@@ -1,0 +1,89 @@
+//! Analytical model of the Intel Xeon Gold 6128 CPU baseline (paper Section VI-C).
+//!
+//! Published characteristics of the part: 6 cores at 3.4 GHz with AVX-512 (two 512-bit
+//! FMA units per core), six DDR4-2666 channels, 115 W TDP, 325 mm² die (Section VI-D
+//! cites the die size for the area comparison). The attention efficiency and dispatch
+//! overhead are calibrated so that the model reproduces the paper's qualitative result:
+//! the CPU is orders of magnitude slower and less energy-efficient than A3 for the
+//! interactive memory-network workloads, where each small attention operation pays the
+//! full framework dispatch cost.
+
+use serde::{Deserialize, Serialize};
+
+use crate::device::Device;
+
+/// The Intel Xeon Gold 6128 baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct XeonGold6128;
+
+impl XeonGold6128 {
+    /// Die area in mm² (Skylake-SP, used by the paper's area comparison: 156x larger
+    /// than one A3 unit).
+    pub const DIE_AREA_MM2: f64 = 325.0;
+
+    /// Process node in nanometres.
+    pub const PROCESS_NM: f64 = 14.0;
+}
+
+impl Device for XeonGold6128 {
+    fn name(&self) -> &'static str {
+        "Intel Xeon Gold 6128"
+    }
+
+    /// 6 cores x 3.4 GHz x 32 single-precision FLOPs per cycle (2 x 512-bit FMA).
+    fn peak_flops(&self) -> f64 {
+        6.0 * 3.4e9 * 32.0
+    }
+
+    /// Six DDR4-2666 channels: ~128 GB/s.
+    fn memory_bandwidth(&self) -> f64 {
+        128e9
+    }
+
+    fn tdp_watts(&self) -> f64 {
+        115.0
+    }
+
+    /// Small matrix-vector kernels reach only a few percent of peak on a CPU.
+    fn attention_efficiency(&self) -> f64 {
+        0.05
+    }
+
+    /// Framework (Python / Torch / TensorFlow) dispatch overhead per attention call.
+    fn invocation_overhead_s(&self) -> f64 {
+        20e-6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_flops_is_about_650_gflops() {
+        let peak = XeonGold6128.peak_flops();
+        assert!(peak > 6.0e11 && peak < 7.0e11, "peak {peak}");
+    }
+
+    #[test]
+    fn small_attention_ops_are_overhead_dominated() {
+        // For bAbI-sized attention (n = 20), the dispatch overhead dominates: latency is
+        // within 2x of the bare overhead.
+        let est = XeonGold6128.estimate(20, 64, 1);
+        assert!(est.latency_s >= 20e-6);
+        assert!(est.latency_s < 40e-6);
+    }
+
+    #[test]
+    fn energy_per_op_is_hundreds_of_microjoules_or_more() {
+        let est = XeonGold6128.estimate(320, 64, 1);
+        assert!(est.energy_per_op_j > 1e-4, "energy {}", est.energy_per_op_j);
+    }
+
+    #[test]
+    fn metadata() {
+        assert_eq!(XeonGold6128.name(), "Intel Xeon Gold 6128");
+        assert_eq!(XeonGold6128.tdp_watts(), 115.0);
+        assert!(XeonGold6128::DIE_AREA_MM2 > 300.0);
+    }
+}

@@ -1,0 +1,120 @@
+//! Analytical device performance/energy model shared by the CPU and GPU baselines.
+
+use serde::{Deserialize, Serialize};
+
+use crate::opcount::{attention_op_counts, AttentionOpCounts};
+
+/// Latency / throughput / energy estimate for attention processing on a device.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeviceEstimate {
+    /// Latency of one attention operation in seconds (including framework/launch
+    /// overhead).
+    pub latency_s: f64,
+    /// Sustained throughput in attention operations per second (overheads amortized
+    /// over the batch).
+    pub throughput_ops_per_s: f64,
+    /// Energy per attention operation in joules (TDP times the amortized time).
+    pub energy_per_op_j: f64,
+}
+
+/// An attention-processing device characterized by a simple roofline + overhead model:
+/// compute time is `flops / (peak * efficiency)`, memory time is
+/// `bytes / bandwidth`, the per-invocation software overhead is amortized over the
+/// batch, and energy is TDP times time (the paper also charges the baselines their TDP,
+/// Section VI-D).
+pub trait Device {
+    /// Device name as used in the paper's figures.
+    fn name(&self) -> &'static str;
+
+    /// Peak single-precision throughput in FLOP/s.
+    fn peak_flops(&self) -> f64;
+
+    /// Sustainable memory bandwidth in bytes/s.
+    fn memory_bandwidth(&self) -> f64;
+
+    /// Thermal design power in watts (the paper assumes the baselines draw their TDP).
+    fn tdp_watts(&self) -> f64;
+
+    /// Fraction of peak FLOP/s attainable on small attention-sized matrix-vector /
+    /// matrix-matrix kernels.
+    fn attention_efficiency(&self) -> f64;
+
+    /// Fixed software overhead per attention invocation in seconds (framework dispatch,
+    /// kernel launch). Amortized over batched invocations.
+    fn invocation_overhead_s(&self) -> f64;
+
+    /// Estimates latency, throughput and energy for attention operations of size
+    /// `n x d`, issued in batches of `batch` operations that share one dispatch
+    /// (`batch = 1` for the interactive memory-network workloads, `batch = n` or larger
+    /// for BERT's self-attention).
+    fn estimate(&self, n: usize, d: usize, batch: usize) -> DeviceEstimate {
+        let batch = batch.max(1);
+        let counts = attention_op_counts(n, d);
+        let flops = counts.total() as f64;
+        let compute_s = flops / (self.peak_flops() * self.attention_efficiency());
+        let memory_s = AttentionOpCounts::bytes_touched(n, d) as f64 / self.memory_bandwidth();
+        let per_op_s = compute_s.max(memory_s);
+        let amortized_overhead = self.invocation_overhead_s() / batch as f64;
+        let latency_s = per_op_s + self.invocation_overhead_s();
+        let steady_state_s = per_op_s + amortized_overhead;
+        DeviceEstimate {
+            latency_s,
+            throughput_ops_per_s: 1.0 / steady_state_s,
+            energy_per_op_j: self.tdp_watts() * steady_state_s,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct ToyDevice;
+
+    impl Device for ToyDevice {
+        fn name(&self) -> &'static str {
+            "toy"
+        }
+        fn peak_flops(&self) -> f64 {
+            1e9
+        }
+        fn memory_bandwidth(&self) -> f64 {
+            1e9
+        }
+        fn tdp_watts(&self) -> f64 {
+            10.0
+        }
+        fn attention_efficiency(&self) -> f64 {
+            0.5
+        }
+        fn invocation_overhead_s(&self) -> f64 {
+            1e-6
+        }
+    }
+
+    #[test]
+    fn estimate_is_positive_and_consistent() {
+        let e = ToyDevice.estimate(100, 64, 1);
+        assert!(e.latency_s > 0.0);
+        assert!(e.throughput_ops_per_s > 0.0);
+        assert!(e.energy_per_op_j > 0.0);
+        // energy = power * time
+        assert!((e.energy_per_op_j - 10.0 / e.throughput_ops_per_s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn larger_batches_improve_throughput_but_not_latency() {
+        let single = ToyDevice.estimate(100, 64, 1);
+        let batched = ToyDevice.estimate(100, 64, 64);
+        assert!(batched.throughput_ops_per_s > single.throughput_ops_per_s);
+        assert!((batched.latency_s - single.latency_s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bigger_problems_take_longer() {
+        let small = ToyDevice.estimate(50, 64, 1);
+        let large = ToyDevice.estimate(500, 64, 1);
+        assert!(large.latency_s > small.latency_s);
+        assert!(large.throughput_ops_per_s < small.throughput_ops_per_s);
+    }
+}

@@ -1,0 +1,88 @@
+//! Analytical model of the NVIDIA Titan V GPU baseline (paper Section VI-C).
+//!
+//! Published characteristics: ~14.9 TFLOP/s single precision, 653 GB/s HBM2 bandwidth,
+//! 250 W TDP, 815 mm² die at 12 nm (the paper cites the die size for the area
+//! comparison: 391x larger than one A3 unit). The GPU is only used for the BERT
+//! workload, whose self-attention is a batched matrix-matrix multiplication with ample
+//! parallelism — that is why, in the paper's Figure 14, the GPU achieves higher
+//! throughput than a single A3 unit on BERT even though its energy efficiency is three
+//! orders of magnitude worse.
+
+use serde::{Deserialize, Serialize};
+
+use crate::device::Device;
+
+/// The NVIDIA Titan V (Volta) baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct TitanV;
+
+impl TitanV {
+    /// Die area in mm² (GV100).
+    pub const DIE_AREA_MM2: f64 = 815.0;
+
+    /// Process node in nanometres.
+    pub const PROCESS_NM: f64 = 12.0;
+}
+
+impl Device for TitanV {
+    fn name(&self) -> &'static str {
+        "NVIDIA Titan V"
+    }
+
+    /// ~14.9 TFLOP/s single precision.
+    fn peak_flops(&self) -> f64 {
+        14.9e12
+    }
+
+    /// 653 GB/s HBM2.
+    fn memory_bandwidth(&self) -> f64 {
+        653e9
+    }
+
+    fn tdp_watts(&self) -> f64 {
+        250.0
+    }
+
+    /// Batched 320x64 attention matrices still under-utilize a large GPU (the paper
+    /// notes "a large GPU often cannot fully utilize its resources for attention"), but
+    /// batching across heads and queries achieves more of peak than the CPU's strided
+    /// GEMV.
+    fn attention_efficiency(&self) -> f64 {
+        0.12
+    }
+
+    /// Kernel-launch plus framework overhead per batched attention dispatch.
+    fn invocation_overhead_s(&self) -> f64 {
+        10e-6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::XeonGold6128;
+
+    #[test]
+    fn batched_bert_attention_beats_cpu_throughput() {
+        // BERT self-attention batches n = 320 queries (x12 heads); the GPU should be
+        // well ahead of the CPU on throughput, as the paper's Figure 14a shows.
+        let gpu = TitanV.estimate(320, 64, 320 * 12);
+        let cpu = XeonGold6128.estimate(320, 64, 1);
+        assert!(gpu.throughput_ops_per_s > 10.0 * cpu.throughput_ops_per_s);
+    }
+
+    #[test]
+    fn gpu_energy_per_op_is_worse_than_a_milliwatt_accelerator_would_be() {
+        let est = TitanV.estimate(320, 64, 320 * 12);
+        // Even amortized, a 250 W device spends microjoules per attention op — orders
+        // of magnitude above A3's ~tens of nanojoules.
+        assert!(est.energy_per_op_j > 1e-6);
+    }
+
+    #[test]
+    fn metadata() {
+        assert_eq!(TitanV.name(), "NVIDIA Titan V");
+        assert_eq!(TitanV.tdp_watts(), 250.0);
+        assert!(TitanV::DIE_AREA_MM2 > 800.0);
+    }
+}

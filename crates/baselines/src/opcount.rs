@@ -1,0 +1,209 @@
+//! Operation-count models (paper Section II-B and Figure 3).
+//!
+//! Section II-B counts the arithmetic of one attention operation over an `n x d`
+//! memory:
+//!
+//! * Step 1 (dot products): `n*d` multiplications and `n*(d-1)` additions,
+//! * Step 2 (softmax): `n` exponentials, `n-1` additions and `n` divisions,
+//! * Step 3 (weighted sum): `n*d` multiplications and `(n-1)*d` additions.
+//!
+//! [`ModelOpProfile`] combines those counts with an estimate of each model's
+//! *non-attention* work (embedding/comprehension and output layers) and with the
+//! relative hardware efficiency of small attention kernels versus large dense layers,
+//! which is what turns operation counts into the *time* fractions of Figure 3.
+
+use serde::{Deserialize, Serialize};
+
+/// Arithmetic-operation counts of one exact attention operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AttentionOpCounts {
+    /// Number of scalar multiplications.
+    pub multiplications: u64,
+    /// Number of scalar additions.
+    pub additions: u64,
+    /// Number of exponential evaluations.
+    pub exponentials: u64,
+    /// Number of divisions.
+    pub divisions: u64,
+}
+
+impl AttentionOpCounts {
+    /// Total floating-point operations, counting every category equally.
+    pub fn total(&self) -> u64 {
+        self.multiplications + self.additions + self.exponentials + self.divisions
+    }
+
+    /// Bytes of operand traffic assuming 4-byte elements and a single pass over the
+    /// key matrix, the value matrix and the query (used by the roofline models).
+    pub fn bytes_touched(n: usize, d: usize) -> u64 {
+        ((2 * n * d + n + 2 * d) * 4) as u64
+    }
+}
+
+/// Operation counts for one exact attention operation over an `n x d` memory
+/// (Section II-B).
+pub fn attention_op_counts(n: usize, d: usize) -> AttentionOpCounts {
+    let n64 = n as u64;
+    let d64 = d as u64;
+    AttentionOpCounts {
+        multiplications: 2 * n64 * d64,
+        additions: n64 * (d64 - 1) + (n64 - 1) + (n64 - 1) * d64,
+        exponentials: n64,
+        divisions: n64,
+    }
+}
+
+/// A coarse operation profile of one of the paper's workloads, used to reproduce
+/// Figure 3 (the fraction of time attributable to the attention mechanism).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelOpProfile {
+    /// Workload name as used in the paper's figures.
+    pub name: String,
+    /// Total attention-mechanism operations per query (all hops / heads / layers).
+    pub attention_ops: f64,
+    /// Non-attention operations on the query-response critical path (output projection,
+    /// question embedding, ...).
+    pub other_query_ops: f64,
+    /// Non-attention operations that can be preprocessed at comprehension time
+    /// (statement/knowledge embedding). Zero for BERT, whose comprehension and query
+    /// response are integrated.
+    pub comprehension_ops: f64,
+    /// Achievable fraction of device peak for the attention kernels (small
+    /// matrix-vector work).
+    pub attention_efficiency: f64,
+    /// Achievable fraction of device peak for the rest of the model (large dense
+    /// layers).
+    pub other_efficiency: f64,
+}
+
+impl ModelOpProfile {
+    /// MemN2N on bAbI: 3 hops over an `n = 20`, `d = 64` memory; small output
+    /// projection; per-statement embedding at comprehension time.
+    pub fn memn2n() -> Self {
+        let att = attention_op_counts(20, 64).total() as f64 * 3.0;
+        Self {
+            name: "MemN2N".to_owned(),
+            attention_ops: att,
+            other_query_ops: 64.0 * 60.0 + 6.0 * 64.0,
+            comprehension_ops: 20.0 * 6.0 * 64.0 + 20.0 * 64.0 * 64.0,
+            attention_efficiency: 0.05,
+            other_efficiency: 0.35,
+        }
+    }
+
+    /// KV-MemN2N on WikiMovies: 2 hops over an `n = 186`, `d = 64` memory; entity
+    /// ranking on the output; per-fact embedding at comprehension time.
+    pub fn kv_memn2n() -> Self {
+        let att = attention_op_counts(186, 64).total() as f64 * 2.0;
+        Self {
+            name: "KV-MemN2N".to_owned(),
+            attention_ops: att,
+            other_query_ops: 64.0 * 34.0 + 8.0 * 64.0,
+            comprehension_ops: 186.0 * 8.0 * 64.0 + 186.0 * 64.0 * 64.0,
+            attention_efficiency: 0.05,
+            other_efficiency: 0.35,
+        }
+    }
+
+    /// BERT (base) on SQuAD: 12 layers x 12 heads of `n = 320`, `d = 64` self-attention
+    /// (each token is a query), plus the Q/K/V/output projections and feed-forward
+    /// layers which dominate the op count but run at much higher hardware efficiency.
+    pub fn bert() -> Self {
+        let per_head = attention_op_counts(320, 64).total() as f64 * 320.0;
+        let attention_ops = per_head * 12.0 * 12.0;
+        let projections = 4.0 * 320.0 * 768.0 * 768.0 * 2.0 * 12.0;
+        let ffn = 2.0 * 320.0 * 768.0 * 3072.0 * 2.0 * 12.0;
+        Self {
+            name: "BERT".to_owned(),
+            attention_ops,
+            other_query_ops: projections + ffn,
+            comprehension_ops: 0.0,
+            attention_efficiency: 0.06,
+            other_efficiency: 0.5,
+        }
+    }
+
+    /// The three paper workloads in figure order.
+    pub fn paper_workloads() -> Vec<Self> {
+        vec![Self::memn2n(), Self::kv_memn2n(), Self::bert()]
+    }
+
+    /// Effective "time units" for the attention portion (operations divided by relative
+    /// efficiency).
+    fn attention_time(&self) -> f64 {
+        self.attention_ops / self.attention_efficiency
+    }
+
+    /// Effective time units for the non-attention portion of the query response.
+    fn other_query_time(&self) -> f64 {
+        self.other_query_ops / self.other_efficiency
+    }
+
+    /// Effective time units for comprehension-time work.
+    fn comprehension_time(&self) -> f64 {
+        self.comprehension_ops / self.other_efficiency
+    }
+
+    /// Fraction of the *total inference time* (comprehension + query response) spent in
+    /// the attention mechanism — the left half of Figure 3.
+    pub fn attention_fraction_total(&self) -> f64 {
+        let total = self.attention_time() + self.other_query_time() + self.comprehension_time();
+        self.attention_time() / total
+    }
+
+    /// Fraction of the *query response time* spent in the attention mechanism — the
+    /// right half of Figure 3.
+    pub fn attention_fraction_query(&self) -> f64 {
+        let total = self.attention_time() + self.other_query_time();
+        self.attention_time() / total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_counts_match_section_2b_formulas() {
+        let c = attention_op_counts(320, 64);
+        assert_eq!(c.multiplications, 2 * 320 * 64);
+        assert_eq!(c.additions, 320 * 63 + 319 + 319 * 64);
+        assert_eq!(c.exponentials, 320);
+        assert_eq!(c.divisions, 320);
+        assert!(c.total() > 0);
+    }
+
+    #[test]
+    fn op_counts_scale_roughly_linearly_in_n_and_d() {
+        let a = attention_op_counts(100, 64).total();
+        let b = attention_op_counts(200, 64).total();
+        let ratio = b as f64 / a as f64;
+        assert!((ratio - 2.0).abs() < 0.05);
+        let c = attention_op_counts(100, 128).total();
+        let ratio_d = c as f64 / a as f64;
+        assert!(ratio_d > 1.8 && ratio_d < 2.1);
+    }
+
+    #[test]
+    fn bytes_touched_is_dominated_by_key_and_value() {
+        let b = AttentionOpCounts::bytes_touched(320, 64);
+        assert!(b >= (2 * 320 * 64 * 4) as u64);
+    }
+
+    #[test]
+    fn figure3_fractions_match_paper_shape() {
+        // Figure 3: attention is over 35% of total inference time in every workload,
+        // and over 70% of query-response time for both memory networks; for BERT the
+        // two fractions are the same because comprehension is integrated.
+        for profile in ModelOpProfile::paper_workloads() {
+            let total = profile.attention_fraction_total();
+            let query = profile.attention_fraction_query();
+            assert!(total > 0.35, "{}: total fraction {total}", profile.name);
+            assert!(query >= total - 1e-12, "{}: query {query} < total {total}", profile.name);
+        }
+        assert!(ModelOpProfile::memn2n().attention_fraction_query() > 0.7);
+        assert!(ModelOpProfile::kv_memn2n().attention_fraction_query() > 0.7);
+        let bert = ModelOpProfile::bert();
+        assert!((bert.attention_fraction_total() - bert.attention_fraction_query()).abs() < 1e-12);
+    }
+}

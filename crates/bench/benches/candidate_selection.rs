@@ -1,0 +1,42 @@
+//! Figure 11 benchmark: greedy candidate selection.
+//!
+//! Measures the software cost of (a) the off-critical-path preprocessing, (b) the
+//! efficient `O(M log d)` candidate selection for the paper's `M` sweep, and (c) the
+//! naive `O(nd log nd)` algorithm the efficient one replaces.
+
+use a3_bench::skewed_memory;
+use a3_core::approx::{select_candidates, select_candidates_naive, SortedKeyColumns};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_candidate_selection(c: &mut Criterion) {
+    let (keys, _values, query) = skewed_memory(320, 64, 7);
+    let sorted = SortedKeyColumns::preprocess(&keys);
+
+    let mut group = c.benchmark_group("fig11_candidate_selection");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    group.sample_size(20);
+
+    group.bench_function("preprocess_n320_d64", |b| {
+        b.iter(|| SortedKeyColumns::preprocess(black_box(&keys)))
+    });
+
+    for m_fraction in [1.0f64, 0.75, 0.5, 0.25, 0.125] {
+        let m = (320.0 * m_fraction) as usize;
+        group.bench_with_input(
+            BenchmarkId::new("efficient", format!("M={m_fraction}n")),
+            &m,
+            |b, &m| b.iter(|| select_candidates(black_box(&sorted), black_box(&query), m)),
+        );
+    }
+
+    group.bench_function("naive_M=0.5n", |b| {
+        b.iter(|| select_candidates_naive(black_box(&keys), black_box(&query), 160))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_candidate_selection);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Baseline benchmark (Figures 14/15 software reference): dense single-query attention
+//! and dense batched self-attention, the computations the CPU/GPU baselines perform.
+
+use a3_baselines::dense::{dense_attention, dense_self_attention};
+use a3_bench::skewed_memory;
+use a3_core::Matrix;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_dense(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dense_baseline");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    group.sample_size(15);
+
+    for n in [20usize, 186, 320] {
+        let (keys, values, query) = skewed_memory(n, 64, 13);
+        group.bench_with_input(BenchmarkId::new("single_query", n), &n, |b, _| {
+            b.iter(|| dense_attention(black_box(&keys), black_box(&values), black_box(&query)))
+        });
+    }
+
+    // BERT-style batched self-attention: 320 queries against the same memory.
+    let (keys, values, _) = skewed_memory(320, 64, 17);
+    let queries = Matrix::from_rows((0..320).map(|i| keys.row(i).to_vec()).collect()).unwrap();
+    group.bench_function("self_attention_n320", |b| {
+        b.iter(|| dense_self_attention(black_box(&keys), black_box(&values), black_box(&queries)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dense);
+criterion_main!(benches);

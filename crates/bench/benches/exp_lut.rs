@@ -1,0 +1,49 @@
+//! Exponent-unit benchmark (Section III-A, Module 2): the two-half lookup-table
+//! datapath versus a single table and the libm `exp` reference.
+
+use a3_fixed::{ExpLut, Fixed, QFormat};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_exp(c: &mut Criterion) {
+    let input = QFormat::new(15, 8);
+    let output = QFormat::new(0, 8);
+    let two_half = ExpLut::two_half(input, output);
+    let single = ExpLut::single(input, output);
+    let float = ExpLut::float_reference(input, output);
+    let xs: Vec<Fixed> = (0..320)
+        .map(|i| Fixed::quantize(-(i as f64) * 0.05, input))
+        .collect();
+
+    let mut group = c.benchmark_group("exp_lut");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    group.sample_size(30);
+
+    group.bench_function("two_half_lut_320_rows", |b| {
+        b.iter(|| {
+            for x in &xs {
+                black_box(two_half.eval(black_box(*x)).unwrap());
+            }
+        })
+    });
+    group.bench_function("single_lut_320_rows", |b| {
+        b.iter(|| {
+            for x in &xs {
+                black_box(single.eval(black_box(*x)).unwrap());
+            }
+        })
+    });
+    group.bench_function("float_exp_320_rows", |b| {
+        b.iter(|| {
+            for x in &xs {
+                black_box(float.eval(black_box(*x)).unwrap());
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_exp);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Figure 12 benchmark: post-scoring selection across the paper's threshold sweep,
+//! plus the static top-k alternative used in the ablation.
+
+use a3_bench::skewed_memory;
+use a3_core::approx::{post_scoring_select, static_top_k};
+use a3_core::attention::attention_with_scores;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_post_scoring(c: &mut Criterion) {
+    let (keys, values, query) = skewed_memory(320, 64, 11);
+    let exact = attention_with_scores(&keys, &values, &query).unwrap();
+    let rows: Vec<usize> = (0..keys.rows()).collect();
+
+    let mut group = c.benchmark_group("fig12_post_scoring");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    group.sample_size(30);
+
+    for t in [1.0f64, 2.5, 5.0, 10.0, 20.0] {
+        group.bench_with_input(BenchmarkId::new("dynamic_threshold", format!("T={t}%")), &t, |b, &t| {
+            b.iter(|| post_scoring_select(black_box(&rows), black_box(&exact.scores), t))
+        });
+    }
+    group.bench_function("static_top5", |b| {
+        b.iter(|| static_top_k(black_box(&rows), black_box(&exact.scores), 5))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_post_scoring);
+criterion_main!(benches);

@@ -1,0 +1,120 @@
+//! Softmax normalization (Step 2 of Figure 1 / Module 2 of Figure 5).
+
+/// The softmax function exactly as written in Figure 1 of the paper: exponentiate every
+/// element and divide by the sum of exponentials.
+///
+/// For large positive inputs this can overflow to infinity; the hardware (and
+/// [`stable_softmax`]) subtract the maximum first. This variant is kept because it is
+/// the literal reference the paper's Figure 1 shows.
+///
+/// Returns an empty vector for empty input.
+pub fn softmax(input: &[f32]) -> Vec<f32> {
+    if input.is_empty() {
+        return Vec::new();
+    }
+    let exps: Vec<f32> = input.iter().map(|&x| x.exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+/// Numerically stable softmax: subtracts the maximum element before exponentiation, as
+/// the base A3 pipeline does (Figure 5, Module 2). Softmax is invariant to this shift,
+/// so the result equals [`softmax`] whenever the latter does not overflow.
+///
+/// Returns an empty vector for empty input.
+pub fn stable_softmax(input: &[f32]) -> Vec<f32> {
+    let mut out = input.to_vec();
+    softmax_in_place(&mut out);
+    out
+}
+
+/// In-place numerically stable softmax, for callers that want to avoid the extra
+/// allocation (e.g. the self-attention layer which normalizes one row at a time).
+pub fn softmax_in_place(values: &mut [f32]) {
+    if values.is_empty() {
+        return;
+    }
+    let max = values.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0f32;
+    for v in values.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    for v in values.iter_mut() {
+        *v /= sum;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sums_to_one() {
+        let w = softmax(&[1.0, 2.0, 3.0]);
+        assert!((w.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn stable_matches_naive_for_small_inputs() {
+        let input = [0.3, -1.2, 2.5, 0.0];
+        let a = softmax(&input);
+        let b = stable_softmax(&input);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn stable_handles_large_inputs() {
+        let input = [1000.0, 999.0];
+        let w = stable_softmax(&input);
+        assert!(w.iter().all(|x| x.is_finite()));
+        assert!(w[0] > w[1]);
+        assert!((w.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn uniform_input_gives_uniform_weights() {
+        let w = stable_softmax(&[0.5; 8]);
+        for x in w {
+            assert!((x - 0.125).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn empty_input_gives_empty_output() {
+        assert!(softmax(&[]).is_empty());
+        assert!(stable_softmax(&[]).is_empty());
+    }
+
+    #[test]
+    fn single_element_is_one() {
+        assert_eq!(stable_softmax(&[42.0]), vec![1.0]);
+    }
+
+    #[test]
+    fn monotone_in_input() {
+        let w = stable_softmax(&[1.0, 2.0, 3.0, 4.0]);
+        for pair in w.windows(2) {
+            assert!(pair[0] < pair[1]);
+        }
+    }
+
+    #[test]
+    fn softmax_amplifies_differences() {
+        // The paper's motivation: softmax is a soft argmax, so a modest score gap turns
+        // into a large weight gap.
+        let w = stable_softmax(&[5.0, 1.0, 0.5, 0.0]);
+        assert!(w[0] > 0.9);
+        assert!(w[2] < 0.05);
+    }
+
+    #[test]
+    fn in_place_matches_allocating_variant() {
+        let input = [0.1, -0.4, 3.0];
+        let mut in_place = input.to_vec();
+        softmax_in_place(&mut in_place);
+        assert_eq!(in_place, stable_softmax(&input));
+    }
+}

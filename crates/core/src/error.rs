@@ -1,0 +1,103 @@
+//! Error type shared by the attention and approximation APIs.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by attention computations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttentionError {
+    /// The matrix rows do not all have the same length.
+    RaggedRows {
+        /// Index of the first offending row.
+        row: usize,
+        /// Expected row length.
+        expected: usize,
+        /// Actual row length.
+        actual: usize,
+    },
+    /// The key and value matrices must have the same number of rows.
+    RowCountMismatch {
+        /// Number of key rows.
+        keys: usize,
+        /// Number of value rows.
+        values: usize,
+    },
+    /// The query dimension does not match the key-matrix dimension.
+    DimensionMismatch {
+        /// Key/value embedding dimension.
+        expected: usize,
+        /// Query length.
+        actual: usize,
+    },
+    /// The key matrix is empty (no rows to attend over).
+    EmptyMemory,
+    /// An approximation parameter is out of its valid range.
+    InvalidParameter {
+        /// Name of the parameter.
+        name: &'static str,
+        /// Human-readable description of the violated constraint.
+        constraint: &'static str,
+    },
+}
+
+impl fmt::Display for AttentionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttentionError::RaggedRows {
+                row,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "row {row} has {actual} elements but the matrix dimension is {expected}"
+            ),
+            AttentionError::RowCountMismatch { keys, values } => write!(
+                f,
+                "key matrix has {keys} rows but value matrix has {values} rows"
+            ),
+            AttentionError::DimensionMismatch { expected, actual } => write!(
+                f,
+                "query has {actual} elements but the key matrix dimension is {expected}"
+            ),
+            AttentionError::EmptyMemory => write!(f, "attention over an empty key matrix"),
+            AttentionError::InvalidParameter { name, constraint } => {
+                write!(f, "invalid parameter {name}: {constraint}")
+            }
+        }
+    }
+}
+
+impl Error for AttentionError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = AttentionError::DimensionMismatch {
+            expected: 64,
+            actual: 32,
+        };
+        let text = e.to_string();
+        assert!(text.contains("64"));
+        assert!(text.contains("32"));
+        assert!(text.chars().next().unwrap().is_lowercase());
+    }
+
+    #[test]
+    fn error_trait_implemented() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<AttentionError>();
+    }
+
+    #[test]
+    fn ragged_rows_message() {
+        let e = AttentionError::RaggedRows {
+            row: 3,
+            expected: 8,
+            actual: 7,
+        };
+        assert!(e.to_string().contains("row 3"));
+    }
+}

@@ -1,0 +1,251 @@
+//! Pluggable attention kernels.
+//!
+//! A [`AttentionKernel`] computes one attention operation (one query against one
+//! key/value memory). The workloads in `a3-workloads` are written against this trait so
+//! that the exact, approximate and quantized computations can be swapped without
+//! touching the model code — exactly how the accuracy study in Section VI-B of the paper
+//! swaps the attention implementation inside otherwise unchanged models.
+
+use crate::approx::{ApproxConfig, ApproximateAttention};
+use crate::attention::{attention_with_scores, AttentionResult};
+use crate::quantized::QuantizedAttention;
+use crate::{AttentionError, Matrix};
+use a3_fixed::QFormat;
+
+/// A strategy for computing one attention operation.
+///
+/// The trait is object-safe so models can hold a `&dyn AttentionKernel`.
+pub trait AttentionKernel {
+    /// Computes attention of `query` over the (`keys`, `values`) memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the shapes are inconsistent.
+    fn attend(
+        &self,
+        keys: &Matrix,
+        values: &Matrix,
+        query: &[f32],
+    ) -> Result<AttentionResult, AttentionError>;
+
+    /// Computes attention for every row of `queries` against the same (`keys`,
+    /// `values`) memory — the self-attention pattern of BERT/Transformer models.
+    ///
+    /// The default implementation simply loops over [`AttentionKernel::attend`];
+    /// kernels with per-key-matrix preprocessing (the approximate kernel sorts the key
+    /// columns) override it so the preprocessing is amortized over all queries, exactly
+    /// as Section IV-C of the paper describes for self-attention models.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the shapes are inconsistent.
+    fn attend_batch(
+        &self,
+        keys: &Matrix,
+        values: &Matrix,
+        queries: &Matrix,
+    ) -> Result<Vec<AttentionResult>, AttentionError> {
+        queries
+            .iter_rows()
+            .map(|q| self.attend(keys, values, q))
+            .collect()
+    }
+
+    /// Short human-readable name used in reports (e.g. `"exact"`, `"approx-conservative"`).
+    fn name(&self) -> String;
+}
+
+/// The exact floating-point attention of Figure 1 / Figure 5.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExactKernel;
+
+impl AttentionKernel for ExactKernel {
+    fn attend(
+        &self,
+        keys: &Matrix,
+        values: &Matrix,
+        query: &[f32],
+    ) -> Result<AttentionResult, AttentionError> {
+        attention_with_scores(keys, values, query)
+    }
+
+    fn name(&self) -> String {
+        "exact".to_owned()
+    }
+}
+
+/// The A3 approximate attention (candidate selection + post-scoring selection).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ApproximateKernel {
+    inner: ApproximateAttention,
+}
+
+impl ApproximateKernel {
+    /// Creates an approximate kernel with the given configuration.
+    pub fn new(config: ApproxConfig) -> Self {
+        Self {
+            inner: ApproximateAttention::new(config),
+        }
+    }
+
+    /// The paper's conservative configuration (`M = n/2`, `T = 5%`).
+    pub fn conservative() -> Self {
+        Self::new(ApproxConfig::conservative())
+    }
+
+    /// The paper's aggressive configuration (`M = n/8`, `T = 10%`).
+    pub fn aggressive() -> Self {
+        Self::new(ApproxConfig::aggressive())
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &ApproxConfig {
+        self.inner.config()
+    }
+}
+
+impl AttentionKernel for ApproximateKernel {
+    fn attend(
+        &self,
+        keys: &Matrix,
+        values: &Matrix,
+        query: &[f32],
+    ) -> Result<AttentionResult, AttentionError> {
+        Ok(self.inner.attend(keys, values, query)?.result)
+    }
+
+    fn attend_batch(
+        &self,
+        keys: &Matrix,
+        values: &Matrix,
+        queries: &Matrix,
+    ) -> Result<Vec<AttentionResult>, AttentionError> {
+        // Preprocess (column-sort) the key matrix once and reuse it for every query.
+        let sorted = crate::approx::SortedKeyColumns::preprocess(keys);
+        queries
+            .iter_rows()
+            .map(|q| {
+                Ok(self
+                    .inner
+                    .attend_prepared(&sorted, keys, values, q)?
+                    .result)
+            })
+            .collect()
+    }
+
+    fn name(&self) -> String {
+        let m = match self.config().m {
+            crate::approx::MSpec::Disabled => "off".to_owned(),
+            crate::approx::MSpec::Absolute(m) => format!("{m}"),
+            crate::approx::MSpec::FractionOfN(f) => format!("{f}n"),
+        };
+        let t = match self.config().threshold() {
+            Some(t) => format!("{t}%"),
+            None => "off".to_owned(),
+        };
+        format!("approx(M={m},T={t})")
+    }
+}
+
+/// The fixed-point (quantized) base-pipeline attention.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuantizedKernel {
+    input_format: QFormat,
+}
+
+impl QuantizedKernel {
+    /// Creates a quantized kernel with the given input format.
+    pub fn new(input_format: QFormat) -> Self {
+        Self { input_format }
+    }
+
+    /// The paper's `Q4.4` input quantization.
+    pub fn paper() -> Self {
+        Self::new(a3_fixed::paper_input_format())
+    }
+}
+
+impl AttentionKernel for QuantizedKernel {
+    fn attend(
+        &self,
+        keys: &Matrix,
+        values: &Matrix,
+        query: &[f32],
+    ) -> Result<AttentionResult, AttentionError> {
+        QuantizedAttention::new(self.input_format).attend(keys, values, query)
+    }
+
+    fn name(&self) -> String {
+        format!("quantized({})", self.input_format)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn case() -> (Matrix, Matrix, Vec<f32>) {
+        let keys = Matrix::from_rows(vec![
+            vec![0.9, 0.1, -0.3],
+            vec![-0.2, 0.4, 0.6],
+            vec![0.8, 0.2, -0.1],
+        ])
+        .unwrap();
+        let values = Matrix::from_rows(vec![
+            vec![1.0, 0.0, 0.0],
+            vec![0.0, 1.0, 0.0],
+            vec![0.0, 0.0, 1.0],
+        ])
+        .unwrap();
+        (keys, values, vec![1.0, 0.2, -0.4])
+    }
+
+    #[test]
+    fn exact_kernel_matches_free_function() {
+        let (k, v, q) = case();
+        let a = ExactKernel.attend(&k, &v, &q).unwrap();
+        let b = attention_with_scores(&k, &v, &q).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn kernels_are_object_safe() {
+        let kernels: Vec<Box<dyn AttentionKernel>> = vec![
+            Box::new(ExactKernel),
+            Box::new(ApproximateKernel::conservative()),
+            Box::new(QuantizedKernel::paper()),
+        ];
+        let (k, v, q) = case();
+        for kernel in &kernels {
+            let result = kernel.attend(&k, &v, &q).unwrap();
+            assert_eq!(result.output.len(), 3);
+            assert!(!kernel.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn approximate_kernel_close_to_exact_on_small_case() {
+        let (k, v, q) = case();
+        let exact = ExactKernel.attend(&k, &v, &q).unwrap();
+        let approx = ApproximateKernel::conservative().attend(&k, &v, &q).unwrap();
+        // The dominant weight must land on the same row.
+        assert_eq!(exact.argmax(), approx.argmax());
+    }
+
+    #[test]
+    fn quantized_kernel_close_to_exact() {
+        let (k, v, q) = case();
+        let exact = ExactKernel.attend(&k, &v, &q).unwrap();
+        let quant = QuantizedKernel::paper().attend(&k, &v, &q).unwrap();
+        for (a, b) in exact.output.iter().zip(&quant.output) {
+            assert!((a - b).abs() < 0.1, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn kernel_names_are_descriptive() {
+        assert_eq!(ExactKernel.name(), "exact");
+        assert!(ApproximateKernel::aggressive().name().contains("0.125n"));
+        assert!(QuantizedKernel::paper().name().contains("Q4.4"));
+    }
+}

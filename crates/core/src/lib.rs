@@ -1,0 +1,61 @@
+//! Attention mechanisms and the A3 approximation algorithms.
+//!
+//! This crate implements the algorithmic contribution of *A3: Accelerating Attention
+//! Mechanisms in Neural Networks with Approximation* (Ham et al., HPCA 2020):
+//!
+//! * the reference soft attention mechanism (dot-product similarity, softmax, weighted
+//!   sum — paper Figure 1) and the hardware-oriented reordering used by the base A3
+//!   pipeline (Figure 5), in [`attention`];
+//! * the greedy candidate-selection algorithm in both its naive `O(nd log nd)` form
+//!   (Figure 6) and the efficient preprocessed form with per-column sorted keys and
+//!   dual priority queues (Figures 7–8), in [`approx::candidate`];
+//! * the dynamic post-scoring selection scheme (Section IV-D), in
+//!   [`approx::post_scoring`];
+//! * the end-to-end approximate attention pipeline combining the two with configurable
+//!   `(M, T)` knobs, in [`approx`];
+//! * a bit-accurate fixed-point (quantized) model of the base pipeline built on
+//!   [`a3_fixed`], in [`quantized`].
+//!
+//! # Quick start
+//!
+//! ```
+//! use a3_core::{Matrix, attention::attention, approx::{ApproxConfig, ApproximateAttention}};
+//!
+//! // A tiny key/value memory with 4 rows of dimension 3 (the paper's Figure 6 example).
+//! let key = Matrix::from_rows(vec![
+//!     vec![-0.6, 0.1, 0.8],
+//!     vec![0.1, -0.2, -0.9],
+//!     vec![0.8, 0.6, 0.7],
+//!     vec![0.5, 0.7, 0.5],
+//! ]).unwrap();
+//! let value = key.clone();
+//! let query = vec![0.8, -0.3, 0.4];
+//!
+//! // Exact attention.
+//! let exact = attention(&key, &value, &query).unwrap();
+//!
+//! // Approximate attention with the paper's "conservative" configuration.
+//! let approx = ApproximateAttention::new(ApproxConfig::conservative());
+//! let out = approx.attend(&key, &value, &query).unwrap();
+//! assert_eq!(out.output.len(), exact.len());
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod approx;
+pub mod attention;
+mod error;
+pub mod kernel;
+mod matrix;
+pub mod quantized;
+
+pub use error::AttentionError;
+pub use matrix::Matrix;
+
+/// The embedding dimension used for every workload in the paper's evaluation.
+pub const PAPER_D: usize = 64;
+
+/// The maximum number of key/value rows the evaluated A3 instance was sized for
+/// (the BERT/SQuAD sequence length).
+pub const PAPER_N_MAX: usize = 320;

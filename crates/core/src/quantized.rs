@@ -1,0 +1,273 @@
+//! Bit-accurate fixed-point model of the base A3 pipeline (paper Sections III-A/III-B).
+//!
+//! [`QuantizedAttention`] performs exactly the arithmetic the three hardware modules
+//! perform: inputs are quantized to `Q(i.f)`, element products keep `2i/2f` bits, dot
+//! products widen by `log2(d)` integer bits, the exponent is evaluated through the
+//! two-half lookup table, scores and weights are `Q0.2f` fractions, and the output
+//! accumulator carries `i + log2(n)` integer and `3f` fraction bits. The only deviation
+//! from real silicon is that we do not model clock cycles here — that is `a3-sim`'s job.
+
+use a3_fixed::{ExpLut, Fixed, PipelineFormats, QFormat};
+
+use crate::attention::AttentionResult;
+use crate::{AttentionError, Matrix};
+
+/// Fixed-point model of the base (non-approximate) A3 attention pipeline.
+///
+/// ```
+/// use a3_core::{Matrix, quantized::QuantizedAttention};
+/// use a3_fixed::paper_input_format;
+///
+/// let keys = Matrix::from_rows(vec![vec![0.5, -0.25], vec![1.0, 0.75]]).unwrap();
+/// let values = Matrix::from_rows(vec![vec![1.0, 0.0], vec![0.0, 1.0]]).unwrap();
+/// let qa = QuantizedAttention::new(paper_input_format());
+/// let result = qa.attend(&keys, &values, &[1.0, 0.5]).unwrap();
+/// assert_eq!(result.output.len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuantizedAttention {
+    input_format: QFormat,
+}
+
+impl QuantizedAttention {
+    /// Creates a quantized pipeline model with the given input format.
+    pub fn new(input_format: QFormat) -> Self {
+        Self { input_format }
+    }
+
+    /// Creates the paper's configuration (`Q4.4` inputs).
+    pub fn paper() -> Self {
+        Self::new(a3_fixed::paper_input_format())
+    }
+
+    /// The input quantization format.
+    pub fn input_format(&self) -> QFormat {
+        self.input_format
+    }
+
+    /// The per-stage formats this model will use for an `n x d` problem.
+    pub fn formats(&self, n: usize, d: usize) -> PipelineFormats {
+        PipelineFormats::new(self.input_format, n, d)
+    }
+
+    /// Runs the fixed-point pipeline over the whole memory and returns scores, weights
+    /// and the output in `f32` (dequantized).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the key/value/query shapes are inconsistent.
+    pub fn attend(
+        &self,
+        keys: &Matrix,
+        values: &Matrix,
+        query: &[f32],
+    ) -> Result<AttentionResult, AttentionError> {
+        let rows: Vec<usize> = (0..keys.rows()).collect();
+        self.attend_rows(keys, values, query, &rows)
+    }
+
+    /// Runs the fixed-point pipeline over a subset of rows (the candidate set produced
+    /// by the approximation stages). Rows not listed get score and weight zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if shapes are inconsistent, `rows` is empty, or an index is out
+    /// of bounds.
+    pub fn attend_rows(
+        &self,
+        keys: &Matrix,
+        values: &Matrix,
+        query: &[f32],
+        rows: &[usize],
+    ) -> Result<AttentionResult, AttentionError> {
+        keys.validate_attention(values, query)?;
+        if rows.is_empty() {
+            return Err(AttentionError::InvalidParameter {
+                name: "rows",
+                constraint: "at least one row must be selected",
+            });
+        }
+        if rows.iter().any(|&r| r >= keys.rows()) {
+            return Err(AttentionError::InvalidParameter {
+                name: "rows",
+                constraint: "row indices must be within the key matrix",
+            });
+        }
+        let n = keys.rows();
+        let d = keys.dim();
+        let formats = self.formats(n, d);
+        let exp_lut = ExpLut::two_half(formats.shifted_dot_product(), formats.score());
+
+        // Quantize the query once (it is reused by every row).
+        let q_fixed: Vec<Fixed> = query
+            .iter()
+            .map(|&x| Fixed::quantize(x as f64, formats.input()))
+            .collect();
+
+        // Module 1: dot products and the running maximum.
+        let mut dot_products: Vec<Fixed> = Vec::with_capacity(rows.len());
+        let mut max_dot = Fixed::min(formats.dot_product());
+        for &r in rows {
+            let key_row = keys.row(r);
+            let products = key_row.iter().zip(&q_fixed).map(|(&k, q)| {
+                Fixed::quantize(k as f64, formats.input()).mul_full(*q)
+            });
+            let dot = Fixed::accumulate(products, formats.product(), d);
+            debug_assert_eq!(dot.format(), formats.dot_product());
+            if dot > max_dot {
+                max_dot = dot;
+            }
+            dot_products.push(dot);
+        }
+
+        // Module 2: exponent computation with max subtraction, plus the exponent sum.
+        let shifted_format = formats.shifted_dot_product();
+        let mut scores: Vec<Fixed> = Vec::with_capacity(rows.len());
+        let mut exp_sum = Fixed::zero(formats.exp_sum());
+        for dot in &dot_products {
+            let shifted = dot
+                .extend_to(shifted_format)
+                .saturating_sub(max_dot.extend_to(shifted_format));
+            let score = exp_lut
+                .eval(shifted)
+                .expect("shifted dot product is non-positive by construction");
+            exp_sum = exp_sum.saturating_add(score.extend_to(formats.exp_sum()));
+            scores.push(score);
+        }
+
+        // Module 3: normalization and the weighted sum of value rows.
+        let mut output_acc: Vec<Fixed> = vec![Fixed::zero(formats.output()); d];
+        let mut weights_fixed: Vec<Fixed> = Vec::with_capacity(rows.len());
+        for (&r, score) in rows.iter().zip(&scores) {
+            // weight = score / expsum, still a Q0.2f fraction.
+            let weight = if exp_sum.is_zero() {
+                Fixed::zero(formats.weight())
+            } else {
+                score.div_weight(exp_sum)
+            };
+            weights_fixed.push(weight);
+            let value_row = values.row(r);
+            for (acc, &v) in output_acc.iter_mut().zip(value_row) {
+                let v_fixed = Fixed::quantize(v as f64, formats.input());
+                // weight (Q0.2f) * value (Qi.f) = Q(i).(3f), then accumulate.
+                let term = weight.mul_full(v_fixed).round_to(formats.output());
+                *acc = acc.saturating_add(term);
+            }
+        }
+
+        // Dequantize into the full-length result layout.
+        let mut scores_out = vec![0.0f32; n];
+        let mut weights_out = vec![0.0f32; n];
+        for ((&r, dot), weight) in rows.iter().zip(&dot_products).zip(&weights_fixed) {
+            scores_out[r] = dot.to_f64() as f32;
+            weights_out[r] = weight.to_f64() as f32;
+        }
+        let output = output_acc.iter().map(|x| x.to_f64() as f32).collect();
+        Ok(AttentionResult {
+            scores: scores_out,
+            weights: weights_out,
+            output,
+        })
+    }
+}
+
+impl Default for QuantizedAttention {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attention::attention_with_scores;
+
+    fn case(n: usize, d: usize) -> (Matrix, Matrix, Vec<f32>) {
+        let rows: Vec<Vec<f32>> = (0..n)
+            .map(|i| {
+                (0..d)
+                    .map(|j| (((i * 13 + j * 7) % 31) as f32 - 15.0) / 15.0)
+                    .collect()
+            })
+            .collect();
+        let keys = Matrix::from_rows(rows.clone()).unwrap();
+        let values = Matrix::from_rows(rows).unwrap();
+        let query: Vec<f32> = (0..d).map(|j| ((j % 5) as f32 - 2.0) / 2.0).collect();
+        (keys, values, query)
+    }
+
+    #[test]
+    fn close_to_float_attention_with_paper_precision() {
+        let (keys, values, query) = case(24, 16);
+        let exact = attention_with_scores(&keys, &values, &query).unwrap();
+        let quant = QuantizedAttention::paper().attend(&keys, &values, &query).unwrap();
+        for (a, b) in exact.output.iter().zip(&quant.output) {
+            assert!((a - b).abs() < 0.15, "{a} vs {b}");
+        }
+        // The dominant row must be preserved.
+        let exact_top = exact.argmax();
+        let quant_top = quant
+            .weights
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        assert_eq!(exact_top, quant_top);
+    }
+
+    #[test]
+    fn more_fraction_bits_reduce_error() {
+        let (keys, values, query) = case(20, 8);
+        let exact = attention_with_scores(&keys, &values, &query).unwrap();
+        let err = |fmt: QFormat| -> f32 {
+            let quant = QuantizedAttention::new(fmt).attend(&keys, &values, &query).unwrap();
+            exact
+                .output
+                .iter()
+                .zip(&quant.output)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f32, f32::max)
+        };
+        let coarse = err(QFormat::new(4, 2));
+        let fine = err(QFormat::new(4, 8));
+        assert!(fine <= coarse + 1e-6, "fine {fine} vs coarse {coarse}");
+    }
+
+    #[test]
+    fn weights_approximately_sum_to_one() {
+        let (keys, values, query) = case(16, 8);
+        let quant = QuantizedAttention::paper().attend(&keys, &values, &query).unwrap();
+        let sum: f32 = quant.weights.iter().sum();
+        assert!((sum - 1.0).abs() < 0.1, "weight sum {sum}");
+    }
+
+    #[test]
+    fn attend_rows_subset_zeroes_excluded_rows() {
+        let (keys, values, query) = case(10, 8);
+        let quant = QuantizedAttention::paper()
+            .attend_rows(&keys, &values, &query, &[1, 4, 7])
+            .unwrap();
+        for r in [0usize, 2, 3, 5, 6, 8, 9] {
+            assert_eq!(quant.weights[r], 0.0);
+            assert_eq!(quant.scores[r], 0.0);
+        }
+    }
+
+    #[test]
+    fn rejects_empty_or_out_of_bounds_rows() {
+        let (keys, values, query) = case(6, 4);
+        let qa = QuantizedAttention::paper();
+        assert!(qa.attend_rows(&keys, &values, &query, &[]).is_err());
+        assert!(qa.attend_rows(&keys, &values, &query, &[99]).is_err());
+    }
+
+    #[test]
+    fn formats_accessor_matches_problem_size() {
+        let qa = QuantizedAttention::paper();
+        let f = qa.formats(320, 64);
+        assert_eq!(f.n(), 320);
+        assert_eq!(f.d(), 64);
+        assert_eq!(qa.input_format(), a3_fixed::paper_input_format());
+    }
+}

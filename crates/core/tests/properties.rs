@@ -1,0 +1,149 @@
+//! Property-based tests for the attention and approximation algorithms.
+
+use a3_core::approx::{
+    post_scoring_select, select_candidates, select_candidates_naive, ApproxConfig,
+    ApproximateAttention, SortedKeyColumns,
+};
+use a3_core::attention::{attention_with_scores, stable_softmax};
+use a3_core::Matrix;
+use proptest::prelude::*;
+
+/// Strategy producing a random (keys, values, query) triple with `n` in 2..40 and
+/// `d` in 1..16.
+fn attention_case() -> impl Strategy<Value = (Matrix, Matrix, Vec<f32>)> {
+    (2usize..40, 1usize..16).prop_flat_map(|(n, d)| {
+        (
+            prop::collection::vec(prop::collection::vec(-2.0f32..2.0, d..=d), n..=n),
+            prop::collection::vec(prop::collection::vec(-2.0f32..2.0, d..=d), n..=n),
+            prop::collection::vec(-2.0f32..2.0, d..=d),
+        )
+            .prop_map(|(k, v, q)| {
+                (
+                    Matrix::from_rows(k).unwrap(),
+                    Matrix::from_rows(v).unwrap(),
+                    q,
+                )
+            })
+    })
+}
+
+proptest! {
+    /// Softmax output is a probability distribution.
+    #[test]
+    fn softmax_is_distribution(scores in prop::collection::vec(-30.0f32..30.0, 1..100)) {
+        let w = stable_softmax(&scores);
+        prop_assert!((w.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+        prop_assert!(w.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    /// Exact attention output lies inside the convex hull of the value rows
+    /// (component-wise bounding box check).
+    #[test]
+    fn attention_output_in_value_bounding_box((keys, values, query) in attention_case()) {
+        let result = attention_with_scores(&keys, &values, &query).unwrap();
+        for j in 0..values.dim() {
+            let lo = values.column(j).fold(f32::INFINITY, f32::min);
+            let hi = values.column(j).fold(f32::NEG_INFINITY, f32::max);
+            prop_assert!(result.output[j] >= lo - 1e-4);
+            prop_assert!(result.output[j] <= hi + 1e-4);
+        }
+    }
+
+    /// The naive O(nd log nd) candidate search and the efficient preprocessed search are
+    /// functionally identical (paper Section IV-C claims functional identity).
+    #[test]
+    fn naive_and_efficient_candidate_search_agree((keys, _values, query) in attention_case(), m_frac in 0.1f64..1.0) {
+        let n = keys.rows();
+        let m = ((n as f64) * m_frac).ceil() as usize;
+        let sorted = SortedKeyColumns::preprocess(&keys);
+        let naive = select_candidates_naive(&keys, &query, m);
+        let efficient = select_candidates(&sorted, &query, m);
+        prop_assert_eq!(&naive.candidates, &efficient.candidates);
+        prop_assert_eq!(naive.iterations, efficient.iterations);
+        prop_assert_eq!(naive.min_ops_skipped, efficient.min_ops_skipped);
+        for (a, b) in naive.greedy_scores.iter().zip(&efficient.greedy_scores) {
+            prop_assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    /// Candidate selection with a huge iteration budget assigns a positive greedy score
+    /// to the row with the largest true dot product whenever that dot product is
+    /// positive.
+    #[test]
+    fn exhaustive_candidate_selection_finds_best_row((keys, _values, query) in attention_case()) {
+        let scores: Vec<f32> = (0..keys.rows()).map(|i| keys.row_dot(i, &query)).collect();
+        let (best, &best_score) = scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap();
+        prop_assume!(best_score > 0.05);
+        let sorted = SortedKeyColumns::preprocess(&keys);
+        let sel = select_candidates(&sorted, &query, keys.rows() * keys.dim());
+        prop_assert!(sel.candidates.contains(&best),
+            "best row {} (score {}) not selected; greedy = {:?}", best, best_score, sel.greedy_scores);
+    }
+
+    /// Post-scoring selection always keeps the maximum-score row and selects a set whose
+    /// size shrinks (weakly) as T grows.
+    #[test]
+    fn post_scoring_monotone_in_threshold(scores in prop::collection::vec(-10.0f32..10.0, 1..60)) {
+        let rows: Vec<usize> = (0..scores.len()).collect();
+        let argmax = scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        let mut prev_len = usize::MAX;
+        for t in [1.0, 2.5, 5.0, 10.0, 20.0] {
+            let sel = post_scoring_select(&rows, &scores, t);
+            prop_assert!(sel.contains(&argmax));
+            prop_assert!(sel.len() <= prev_len);
+            prev_len = sel.len();
+        }
+    }
+
+    /// With approximation disabled, the approximate pipeline equals exact attention.
+    #[test]
+    fn disabled_approximation_is_exact((keys, values, query) in attention_case()) {
+        let exact = attention_with_scores(&keys, &values, &query).unwrap();
+        let approx = ApproximateAttention::new(ApproxConfig::none())
+            .attend(&keys, &values, &query)
+            .unwrap();
+        for (a, b) in exact.output.iter().zip(&approx.output) {
+            prop_assert!((a - b).abs() < 1e-4);
+        }
+        for (a, b) in exact.weights.iter().zip(&approx.result.weights) {
+            prop_assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    /// The approximate output error is bounded by the total softmax weight of the rows
+    /// it dropped (times the value range), and the selected rows' recomputed weights are
+    /// always a valid distribution.
+    #[test]
+    fn approximate_weights_form_distribution((keys, values, query) in attention_case()) {
+        let out = ApproximateAttention::new(ApproxConfig::conservative())
+            .attend(&keys, &values, &query)
+            .unwrap();
+        let sum: f32 = out.result.weights.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-3);
+        prop_assert!(out.stats.num_selected <= out.stats.num_candidates
+            || out.stats.num_candidates == 0);
+        prop_assert!(out.stats.num_candidates <= keys.rows());
+    }
+
+    /// Aggressive approximation never selects more entries than conservative
+    /// approximation on the same input.
+    #[test]
+    fn aggressive_selects_no_more_than_conservative((keys, values, query) in attention_case()) {
+        let cons = ApproximateAttention::new(ApproxConfig::conservative())
+            .attend(&keys, &values, &query)
+            .unwrap();
+        let aggr = ApproximateAttention::new(ApproxConfig::aggressive())
+            .attend(&keys, &values, &query)
+            .unwrap();
+        prop_assert!(aggr.stats.num_candidates <= cons.stats.num_candidates + 1);
+    }
+}

@@ -1,0 +1,72 @@
+//! `a3-repro`: regenerate the tables and figures of the A3 paper's evaluation section.
+//!
+//! Usage:
+//!
+//! ```text
+//! a3-repro [--fast] [experiment ...]
+//! ```
+//!
+//! where each `experiment` is one of `fig3`, `fig11`, `fig12`, `fig13`, `quant`,
+//! `fig14`, `fig15`, `table1`, `latency`, `ablation`, or `all` (the default).
+//! `--fast` uses reduced example counts (useful in debug builds).
+
+use std::process::ExitCode;
+
+use a3_eval::experiments::{self, accuracy, performance};
+use a3_eval::{EvalSettings, Table};
+
+const EXPERIMENTS: &[&str] = &[
+    "fig3", "fig11", "fig12", "fig13", "quant", "fig14", "fig15", "table1", "latency",
+    "ablation",
+];
+
+fn print_tables(tables: Vec<Table>) {
+    for table in tables {
+        println!("{}", table.render());
+    }
+}
+
+fn run(name: &str, settings: &EvalSettings) -> bool {
+    match name {
+        "fig3" => print_tables(vec![experiments::fig3()]),
+        "fig11" => print_tables(accuracy::fig11(settings)),
+        "fig12" => print_tables(accuracy::fig12(settings)),
+        "fig13" => print_tables(accuracy::fig13(settings)),
+        "quant" => print_tables(vec![accuracy::quantization(settings)]),
+        "fig14" => print_tables(performance::fig14(settings)),
+        "fig15" => print_tables(performance::fig15(settings)),
+        "table1" => print_tables(experiments::table1()),
+        "latency" => print_tables(vec![experiments::latency_model(settings)]),
+        "ablation" => print_tables(experiments::ablation(settings)),
+        other => {
+            eprintln!("unknown experiment `{other}`; available: {EXPERIMENTS:?} or `all`");
+            return false;
+        }
+    }
+    true
+}
+
+fn main() -> ExitCode {
+    let mut settings = EvalSettings::full();
+    let mut requested: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--fast" => settings = EvalSettings::fast(),
+            "--help" | "-h" => {
+                println!("usage: a3-repro [--fast] [experiment ...]");
+                println!("experiments: {EXPERIMENTS:?} or `all` (default)");
+                return ExitCode::SUCCESS;
+            }
+            other => requested.push(other.to_owned()),
+        }
+    }
+    if requested.is_empty() || requested.iter().any(|r| r == "all") {
+        requested = EXPERIMENTS.iter().map(|s| (*s).to_owned()).collect();
+    }
+    for name in &requested {
+        if !run(name, &settings) {
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

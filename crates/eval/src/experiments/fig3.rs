@@ -1,0 +1,49 @@
+//! Figure 3: portion of execution time attributable to the attention mechanism.
+
+use a3_baselines::ModelOpProfile;
+
+use crate::report::{fmt3, Table};
+
+/// Regenerates Figure 3: for each workload, the fraction of total inference time and of
+/// query-response time spent in the attention mechanism.
+pub fn fig3() -> Table {
+    let mut table = Table::new(
+        "Figure 3: portion of time accountable to the attention mechanism",
+        &[
+            "Workload",
+            "Attention (whole inference)",
+            "Attention (question-answering time)",
+        ],
+    );
+    for profile in ModelOpProfile::paper_workloads() {
+        table.push_row(vec![
+            profile.name.clone(),
+            fmt3(profile.attention_fraction_total()),
+            fmt3(profile.attention_fraction_query()),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_has_three_workloads_with_paper_shape() {
+        let t = fig3();
+        assert_eq!(t.len(), 3);
+        for row in 0..3 {
+            let total: f64 = t.cell(row, 1).unwrap().parse().unwrap();
+            let query: f64 = t.cell(row, 2).unwrap().parse().unwrap();
+            // Over 35% everywhere; query-time fraction never below the total fraction.
+            assert!(total > 0.35, "row {row}: total {total}");
+            assert!(query + 1e-9 >= total, "row {row}");
+        }
+        // Memory networks: attention is >70% of query-response time.
+        for row in 0..2 {
+            let query: f64 = t.cell(row, 2).unwrap().parse().unwrap();
+            assert!(query > 0.7);
+        }
+    }
+}

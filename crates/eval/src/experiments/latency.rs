@@ -1,0 +1,78 @@
+//! Latency / throughput model check (Sections III-A and V-C).
+
+use a3_sim::{A3Config, PipelineModel};
+use a3_workloads::WorkloadKind;
+
+use crate::experiments::paper_workloads;
+use crate::report::Table;
+use crate::settings::EvalSettings;
+
+/// Renders the analytic base-pipeline cycle model for each workload's typical `n`
+/// (latency `3n + 27`, throughput `n + 9`) together with the measured average cycles of
+/// the approximate pipeline on that workload's attention cases.
+pub fn latency_model(settings: &EvalSettings) -> Table {
+    let mut table = Table::new(
+        "Pipeline cycle model (Sections III-A and V-C)",
+        &[
+            "Workload",
+            "n",
+            "Base latency (3n+27)",
+            "Base cycles/query (n+9)",
+            "Approx(cons) latency",
+            "Approx(cons) cycles/query",
+            "Approx(aggr) cycles/query",
+        ],
+    );
+    let workloads = paper_workloads(settings);
+    for w in &workloads {
+        let kind: WorkloadKind = w.kind();
+        let n = kind.typical_n();
+        let base = PipelineModel::new(A3Config::paper_base());
+        let cases = w.attention_cases(settings.cases_per_workload);
+        let measure = |config: A3Config| {
+            let model = PipelineModel::new(config);
+            let costs: Vec<_> = cases
+                .iter()
+                .map(|c| model.run_query(&c.keys, &c.values, &c.query))
+                .collect();
+            model.aggregate(&costs)
+        };
+        let cons = measure(A3Config::paper_conservative());
+        let aggr = measure(A3Config::paper_aggressive());
+        table.push_row(vec![
+            kind.name().to_owned(),
+            n.to_string(),
+            base.base_latency_cycles(n).to_string(),
+            base.base_throughput_cycles(n).to_string(),
+            format!("{:.0}", cons.avg_latency_cycles),
+            format!("{:.0}", cons.avg_throughput_cycles),
+            format!("{:.0}", aggr.avg_throughput_cycles),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approximate_cycles_are_below_base_for_every_workload() {
+        let settings = EvalSettings {
+            memn2n_examples: 2,
+            kv_examples: 2,
+            bert_examples: 1,
+            cases_per_workload: 2,
+            seed: 5,
+        };
+        let t = latency_model(&settings);
+        assert_eq!(t.len(), 3);
+        for row in 0..3 {
+            let base_tp: f64 = t.cell(row, 3).unwrap().parse().unwrap();
+            let cons_tp: f64 = t.cell(row, 5).unwrap().parse().unwrap();
+            let aggr_tp: f64 = t.cell(row, 6).unwrap().parse().unwrap();
+            assert!(cons_tp <= base_tp * 1.05, "row {row}");
+            assert!(aggr_tp <= cons_tp + 1.0, "row {row}");
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! One module per paper figure/table.
+
+pub mod ablation;
+pub mod accuracy;
+pub mod fig3;
+pub mod latency;
+pub mod performance;
+pub mod table1;
+
+pub use ablation::ablation;
+pub use fig3::fig3;
+pub use latency::latency_model;
+pub use table1::table1;
+
+use a3_workloads::bert::BertLite;
+use a3_workloads::kvmemn2n::KvMemN2N;
+use a3_workloads::memn2n::MemN2N;
+use a3_workloads::{Workload, WorkloadKind};
+
+use crate::settings::EvalSettings;
+
+/// Instantiates the three paper workloads with the configured seed, in figure order.
+pub fn paper_workloads(settings: &EvalSettings) -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(MemN2N::new(settings.seed)),
+        Box::new(KvMemN2N::new(settings.seed)),
+        Box::new(BertLite::new(settings.seed)),
+    ]
+}
+
+/// The workload names in figure order.
+pub fn workload_names() -> Vec<&'static str> {
+    WorkloadKind::ALL.iter().map(|k| k.name()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_workloads_in_paper_order() {
+        let w = paper_workloads(&EvalSettings::fast());
+        assert_eq!(w.len(), 3);
+        assert_eq!(w[0].name(), "MemN2N");
+        assert_eq!(w[1].name(), "KV-MemN2N");
+        assert_eq!(w[2].name(), "BERT");
+        assert_eq!(workload_names(), vec!["MemN2N", "KV-MemN2N", "BERT"]);
+    }
+}

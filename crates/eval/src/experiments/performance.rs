@@ -1,0 +1,280 @@
+//! Performance and energy experiments: Figures 14 and 15.
+
+use a3_baselines::{Device, TitanV, XeonGold6128};
+use a3_sim::{A3Config, EnergyModel, PipelineModel, SimReport};
+use a3_workloads::{Workload, WorkloadKind};
+
+use crate::experiments::paper_workloads;
+use crate::report::{fmt3, fmt_ratio, fmt_si, Table};
+use crate::settings::EvalSettings;
+
+/// The three A3 configurations compared in Figures 14 and 15.
+fn a3_configs() -> [(&'static str, A3Config); 3] {
+    [
+        ("Base A3", A3Config::paper_base()),
+        ("Approx. A3 (conservative)", A3Config::paper_conservative()),
+        ("Approx. A3 (aggressive)", A3Config::paper_aggressive()),
+    ]
+}
+
+/// Simulated A3 results for one workload under one configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct A3Result {
+    /// The raw simulator report.
+    pub report: SimReport,
+    /// Sustained throughput in attention ops/s, including the amortized preprocessing
+    /// overhead for workloads where preprocessing is on the critical path (BERT).
+    pub throughput_ops_per_s: f64,
+    /// Average per-query latency in seconds (including the same overhead).
+    pub latency_s: f64,
+    /// Energy per attention operation in joules.
+    pub energy_per_op_j: f64,
+}
+
+/// Runs the cycle-level simulator on a workload's attention cases under the given
+/// configuration and returns throughput/latency/energy, applying the amortized
+/// key-matrix preprocessing overhead for BERT-style workloads (Section VI-C).
+pub fn simulate_workload(
+    workload: &dyn Workload,
+    config: A3Config,
+    settings: &EvalSettings,
+) -> A3Result {
+    let model = PipelineModel::new(config);
+    let cases = workload.attention_cases(settings.cases_per_workload);
+    let costs: Vec<_> = cases
+        .iter()
+        .map(|case| model.run_query(&case.keys, &case.values, &case.query))
+        .collect();
+    let report = model.aggregate(&costs);
+    let preprocessing_cycles = if config.is_approximate()
+        && !workload.kind().preprocessing_off_critical_path()
+    {
+        model.amortized_preprocessing_cycles(workload.kind().typical_n())
+    } else {
+        0.0
+    };
+    let throughput_cycles = report.avg_throughput_cycles + preprocessing_cycles;
+    let latency_cycles = report.avg_latency_cycles + preprocessing_cycles;
+    let energy = EnergyModel::new(config);
+    A3Result {
+        report,
+        throughput_ops_per_s: config.clock_hz / throughput_cycles,
+        latency_s: latency_cycles * config.clock_period_s(),
+        energy_per_op_j: 1.0 / energy.ops_per_joule(&report),
+    }
+}
+
+/// CPU baseline estimate for a workload (batch 1 for the interactive memory networks,
+/// batched over the sequence for BERT).
+fn cpu_estimate(kind: WorkloadKind) -> a3_baselines::DeviceEstimate {
+    let n = kind.typical_n();
+    let batch = match kind {
+        WorkloadKind::Bert => 320,
+        _ => 1,
+    };
+    XeonGold6128.estimate(n, 64, batch)
+}
+
+/// GPU baseline estimate (only meaningful for BERT, per the paper).
+fn gpu_estimate(kind: WorkloadKind) -> Option<a3_baselines::DeviceEstimate> {
+    match kind {
+        WorkloadKind::Bert => Some(TitanV.estimate(320, 64, 320 * 12)),
+        _ => None,
+    }
+}
+
+/// Figure 14: normalized throughput and latency of attention processing across
+/// platforms. Returns the throughput table (14a) and the latency table (14b).
+pub fn fig14(settings: &EvalSettings) -> Vec<Table> {
+    let workloads = paper_workloads(settings);
+    let mut throughput = Table::new(
+        "Figure 14a: attention throughput by platform (normalized to CPU and to base A3)",
+        &["Workload", "Platform", "Throughput", "vs CPU", "vs Base A3"],
+    );
+    let mut latency = Table::new(
+        "Figure 14b: attention latency by platform (normalized to base A3)",
+        &["Workload", "Platform", "Latency", "vs Base A3"],
+    );
+    for w in &workloads {
+        let kind = w.kind();
+        let cpu = cpu_estimate(kind);
+        let gpu = gpu_estimate(kind);
+        let a3: Vec<(&str, A3Result)> = a3_configs()
+            .iter()
+            .map(|(name, cfg)| (*name, simulate_workload(w.as_ref(), *cfg, settings)))
+            .collect();
+        let base_tp = a3[0].1.throughput_ops_per_s;
+        let base_lat = a3[0].1.latency_s;
+
+        throughput.push_row(vec![
+            kind.name().to_owned(),
+            "CPU".to_owned(),
+            fmt_si(cpu.throughput_ops_per_s, "ops/s"),
+            fmt_ratio(1.0),
+            fmt_ratio(cpu.throughput_ops_per_s / base_tp),
+        ]);
+        match gpu {
+            Some(g) => throughput.push_row(vec![
+                kind.name().to_owned(),
+                "GPU".to_owned(),
+                fmt_si(g.throughput_ops_per_s, "ops/s"),
+                fmt_ratio(g.throughput_ops_per_s / cpu.throughput_ops_per_s),
+                fmt_ratio(g.throughput_ops_per_s / base_tp),
+            ]),
+            None => throughput.push_row(vec![
+                kind.name().to_owned(),
+                "GPU".to_owned(),
+                "model not available".to_owned(),
+                "-".to_owned(),
+                "-".to_owned(),
+            ]),
+        }
+        for (name, result) in &a3 {
+            throughput.push_row(vec![
+                kind.name().to_owned(),
+                (*name).to_owned(),
+                fmt_si(result.throughput_ops_per_s, "ops/s"),
+                fmt_ratio(result.throughput_ops_per_s / cpu.throughput_ops_per_s),
+                fmt_ratio(result.throughput_ops_per_s / base_tp),
+            ]);
+            latency.push_row(vec![
+                kind.name().to_owned(),
+                (*name).to_owned(),
+                fmt_si(result.latency_s, "s"),
+                fmt3(result.latency_s / base_lat),
+            ]);
+        }
+    }
+    vec![throughput, latency]
+}
+
+/// Figure 15: energy efficiency (operations per joule) and per-module energy breakdown.
+pub fn fig15(settings: &EvalSettings) -> Vec<Table> {
+    let workloads = paper_workloads(settings);
+    let mut efficiency = Table::new(
+        "Figure 15a: energy efficiency (attention operations per joule, normalized to CPU)",
+        &["Workload", "Platform", "Ops/Joule", "vs CPU"],
+    );
+    let mut breakdown = Table::new(
+        "Figure 15b: A3 energy breakdown by module",
+        &[
+            "Workload",
+            "Configuration",
+            "Candidate Sel.",
+            "Dot Product",
+            "Exponent (+Post-Scoring)",
+            "Output",
+            "Memory",
+        ],
+    );
+    for w in &workloads {
+        let kind = w.kind();
+        let cpu = cpu_estimate(kind);
+        let cpu_ops_per_j = 1.0 / cpu.energy_per_op_j;
+        efficiency.push_row(vec![
+            kind.name().to_owned(),
+            "CPU".to_owned(),
+            fmt_si(cpu_ops_per_j, "ops/J"),
+            fmt_ratio(1.0),
+        ]);
+        if let Some(gpu) = gpu_estimate(kind) {
+            efficiency.push_row(vec![
+                kind.name().to_owned(),
+                "GPU".to_owned(),
+                fmt_si(1.0 / gpu.energy_per_op_j, "ops/J"),
+                fmt_ratio(cpu.energy_per_op_j / gpu.energy_per_op_j),
+            ]);
+        } else {
+            efficiency.push_row(vec![
+                kind.name().to_owned(),
+                "GPU".to_owned(),
+                "model not available".to_owned(),
+                "-".to_owned(),
+            ]);
+        }
+        for (name, cfg) in a3_configs() {
+            let result = simulate_workload(w.as_ref(), cfg, settings);
+            efficiency.push_row(vec![
+                kind.name().to_owned(),
+                name.to_owned(),
+                fmt_si(1.0 / result.energy_per_op_j, "ops/J"),
+                fmt_ratio(cpu.energy_per_op_j / result.energy_per_op_j),
+            ]);
+            let energy = EnergyModel::new(cfg).energy(&result.report);
+            let fractions = energy.fractions();
+            breakdown.push_row(vec![
+                kind.name().to_owned(),
+                name.to_owned(),
+                fmt3(fractions[0].1),
+                fmt3(fractions[1].1),
+                fmt3(fractions[2].1),
+                fmt3(fractions[3].1),
+                fmt3(fractions[4].1),
+            ]);
+        }
+    }
+    vec![efficiency, breakdown]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use a3_workloads::memn2n::MemN2N;
+
+    fn tiny() -> EvalSettings {
+        EvalSettings {
+            memn2n_examples: 4,
+            kv_examples: 3,
+            bert_examples: 1,
+            cases_per_workload: 3,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn simulate_workload_approximation_improves_throughput() {
+        let settings = tiny();
+        let w = MemN2N::new(settings.seed);
+        let base = simulate_workload(&w, A3Config::paper_base(), &settings);
+        let aggr = simulate_workload(&w, A3Config::paper_aggressive(), &settings);
+        assert!(aggr.throughput_ops_per_s > base.throughput_ops_per_s);
+        assert!(aggr.energy_per_op_j < base.energy_per_op_j);
+    }
+
+    #[test]
+    fn fig14_tables_have_rows_for_every_workload_and_platform() {
+        let tables = fig14(&tiny());
+        assert_eq!(tables.len(), 2);
+        // 3 workloads x 5 platforms for throughput, 3 x 3 A3 configs for latency.
+        assert_eq!(tables[0].len(), 15);
+        assert_eq!(tables[1].len(), 9);
+        // The non-BERT GPU rows must say the model is not available (as in the paper).
+        assert_eq!(tables[0].cell(1, 2), Some("model not available"));
+    }
+
+    #[test]
+    fn fig15_energy_efficiency_is_orders_of_magnitude_over_cpu() {
+        let tables = fig15(&tiny());
+        assert_eq!(tables.len(), 2);
+        // Every A3 row's "vs CPU" ratio should be at least 1000x.
+        for row in 0..tables[0].len() {
+            let platform = tables[0].cell(row, 1).unwrap();
+            if platform.contains("A3") {
+                let ratio: f64 = tables[0]
+                    .cell(row, 3)
+                    .unwrap()
+                    .trim_end_matches('x')
+                    .parse()
+                    .unwrap();
+                assert!(ratio > 1_000.0, "row {row}: ratio {ratio}");
+            }
+        }
+        // Breakdown fractions sum to ~1 per row.
+        for row in 0..tables[1].len() {
+            let sum: f64 = (2..7)
+                .map(|c| tables[1].cell(row, c).unwrap().parse::<f64>().unwrap())
+                .sum();
+            assert!((sum - 1.0).abs() < 0.01, "row {row}: sum {sum}");
+        }
+    }
+}

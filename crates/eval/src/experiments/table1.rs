@@ -1,0 +1,85 @@
+//! Table I: area and power characteristics of A3.
+
+use a3_baselines::{TitanV, XeonGold6128};
+use a3_sim::TableI;
+
+use crate::report::Table;
+
+/// Regenerates Table I (per-module area and power) plus the paper's area comparison
+/// against the baseline CPU and GPU dies.
+pub fn table1() -> Vec<Table> {
+    let characteristics = TableI::paper();
+    let mut table = Table::new(
+        "Table I: area and power characteristics of A3 (TSMC 40nm, 1 GHz)",
+        &["Module", "Area (mm^2)", "Dynamic Power (mW)", "Static Power (mW)"],
+    );
+    for module in characteristics.modules() {
+        table.push_row(vec![
+            module.name.to_owned(),
+            format!("{:.3}", module.area_mm2),
+            format!("{:.3}", module.dynamic_mw),
+            format!("{:.3}", module.static_mw),
+        ]);
+    }
+    table.push_row(vec![
+        "Total (A3)".to_owned(),
+        format!("{:.3}", characteristics.total_area_mm2()),
+        format!("{:.2}", characteristics.total_dynamic_mw()),
+        format!("{:.3}", characteristics.total_static_mw()),
+    ]);
+
+    let mut comparison = Table::new(
+        "Die-area comparison (Section VI-D)",
+        &["Device", "Die Area (mm^2)", "Process (nm)", "vs one A3 unit"],
+    );
+    let a3_area = characteristics.total_area_mm2();
+    comparison.push_row(vec![
+        "A3 (one unit)".to_owned(),
+        format!("{a3_area:.3}"),
+        "40".to_owned(),
+        "1.0x".to_owned(),
+    ]);
+    comparison.push_row(vec![
+        "Intel Xeon Gold 6128".to_owned(),
+        format!("{:.0}", XeonGold6128::DIE_AREA_MM2),
+        format!("{:.0}", XeonGold6128::PROCESS_NM),
+        format!("{:.0}x", XeonGold6128::DIE_AREA_MM2 / a3_area),
+    ]);
+    comparison.push_row(vec![
+        "NVIDIA Titan V".to_owned(),
+        format!("{:.0}", TitanV::DIE_AREA_MM2),
+        format!("{:.0}", TitanV::PROCESS_NM),
+        format!("{:.0}x", TitanV::DIE_AREA_MM2 / a3_area),
+    ]);
+    vec![table, comparison]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_published_totals_and_ratios() {
+        let tables = table1();
+        assert_eq!(tables.len(), 2);
+        // 8 modules + total row.
+        assert_eq!(tables[0].len(), 9);
+        let total_area: f64 = tables[0].cell(8, 1).unwrap().parse().unwrap();
+        assert!((total_area - 2.082).abs() < 0.01);
+        // The paper reports the CPU die is 156x and the GPU die 391x larger than A3.
+        let cpu_ratio: f64 = tables[1]
+            .cell(1, 3)
+            .unwrap()
+            .trim_end_matches('x')
+            .parse()
+            .unwrap();
+        let gpu_ratio: f64 = tables[1]
+            .cell(2, 3)
+            .unwrap()
+            .trim_end_matches('x')
+            .parse()
+            .unwrap();
+        assert!((cpu_ratio - 156.0).abs() < 2.0);
+        assert!((gpu_ratio - 391.0).abs() < 3.0);
+    }
+}

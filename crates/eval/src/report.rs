@@ -1,0 +1,155 @@
+//! Plain-text table rendering for experiment results.
+
+use serde::{Deserialize, Serialize};
+
+/// A rectangular result table with a title, column headers and string cells.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Table {
+    /// Table title (e.g. `"Figure 11a: end-to-end accuracy"`).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells; every row should have `headers.len()` cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table with the given title and headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|h| (*h).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length does not match the header count.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row has {} cells but the table has {} columns",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Looks up a cell by row and column index.
+    pub fn cell(&self, row: usize, col: usize) -> Option<&str> {
+        self.rows.get(row).and_then(|r| r.get(col)).map(String::as_str)
+    }
+
+    /// Renders the table as aligned monospace text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let mut line = String::new();
+        for (h, w) in self.headers.iter().zip(&widths) {
+            line.push_str(&format!("{h:<w$}  ", w = w));
+        }
+        out.push_str(line.trim_end());
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        out.push('\n');
+        for row in &self.rows {
+            let mut line = String::new();
+            for (cell, w) in row.iter().zip(&widths) {
+                line.push_str(&format!("{cell:<w$}  ", w = w));
+            }
+            out.push_str(line.trim_end());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a float with three decimal places (accuracy metrics).
+pub fn fmt3(value: f64) -> String {
+    format!("{value:.3}")
+}
+
+/// Formats a ratio as `X.XXx`.
+pub fn fmt_ratio(value: f64) -> String {
+    if value >= 100.0 {
+        format!("{value:.0}x")
+    } else {
+        format!("{value:.2}x")
+    }
+}
+
+/// Formats a value in engineering notation with a unit.
+pub fn fmt_si(value: f64, unit: &str) -> String {
+    let (scaled, prefix) = if value.abs() >= 1e9 {
+        (value / 1e9, "G")
+    } else if value.abs() >= 1e6 {
+        (value / 1e6, "M")
+    } else if value.abs() >= 1e3 {
+        (value / 1e3, "k")
+    } else if value.abs() >= 1.0 {
+        (value, "")
+    } else if value.abs() >= 1e-3 {
+        (value * 1e3, "m")
+    } else if value.abs() >= 1e-6 {
+        (value * 1e6, "u")
+    } else {
+        (value * 1e9, "n")
+    };
+    format!("{scaled:.2} {prefix}{unit}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns_and_includes_title() {
+        let mut t = Table::new("Demo", &["name", "value"]);
+        t.push_row(vec!["alpha".into(), "1".into()]);
+        t.push_row(vec!["b".into(), "22222".into()]);
+        let text = t.render();
+        assert!(text.contains("== Demo =="));
+        assert!(text.contains("alpha"));
+        assert!(text.contains("22222"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        assert_eq!(t.cell(1, 1), Some("22222"));
+        assert_eq!(t.cell(5, 0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "cells")]
+    fn mismatched_row_length_panics() {
+        let mut t = Table::new("Demo", &["a", "b"]);
+        t.push_row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt3(0.12345), "0.123");
+        assert_eq!(fmt_ratio(2.5), "2.50x");
+        assert_eq!(fmt_ratio(1234.0), "1234x");
+        assert_eq!(fmt_si(2.5e6, "ops/s"), "2.50 Mops/s");
+        assert_eq!(fmt_si(3.3e-8, "J"), "33.00 nJ");
+    }
+}

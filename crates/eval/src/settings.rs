@@ -1,0 +1,86 @@
+//! Evaluation-run settings (how many synthetic examples to evaluate per workload).
+
+use serde::{Deserialize, Serialize};
+
+/// Number of evaluation examples per workload, plus the generator seed.
+///
+/// The paper evaluates on the official test sets; our synthetic generators can produce
+/// arbitrarily many examples, so the counts trade accuracy-estimate noise against run
+/// time. [`EvalSettings::full`] is the default for the `a3-repro` binary (release
+/// build); [`EvalSettings::fast`] keeps the test suite quick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EvalSettings {
+    /// Number of bAbI stories for MemN2N.
+    pub memn2n_examples: usize,
+    /// Number of WikiMovies questions for KV-MemN2N.
+    pub kv_examples: usize,
+    /// Number of SQuAD passages for BERT.
+    pub bert_examples: usize,
+    /// Number of attention cases per workload for per-operation statistics
+    /// (candidate counts, simulator traces).
+    pub cases_per_workload: usize,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl EvalSettings {
+    /// Full-size evaluation used by `a3-repro` (a few seconds in release mode).
+    pub fn full() -> Self {
+        Self {
+            memn2n_examples: 200,
+            kv_examples: 80,
+            bert_examples: 12,
+            cases_per_workload: 24,
+            seed: 42,
+        }
+    }
+
+    /// Reduced evaluation for unit/integration tests and debug builds.
+    pub fn fast() -> Self {
+        Self {
+            memn2n_examples: 24,
+            kv_examples: 10,
+            bert_examples: 2,
+            cases_per_workload: 6,
+            seed: 42,
+        }
+    }
+
+    /// Example count for a given workload kind.
+    pub fn examples_for(&self, kind: a3_workloads::WorkloadKind) -> usize {
+        match kind {
+            a3_workloads::WorkloadKind::MemN2N => self.memn2n_examples,
+            a3_workloads::WorkloadKind::KvMemN2N => self.kv_examples,
+            a3_workloads::WorkloadKind::Bert => self.bert_examples,
+        }
+    }
+}
+
+impl Default for EvalSettings {
+    fn default() -> Self {
+        Self::full()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use a3_workloads::WorkloadKind;
+
+    #[test]
+    fn fast_is_smaller_than_full() {
+        let fast = EvalSettings::fast();
+        let full = EvalSettings::full();
+        assert!(fast.memn2n_examples < full.memn2n_examples);
+        assert!(fast.bert_examples < full.bert_examples);
+        assert_eq!(full, EvalSettings::default());
+    }
+
+    #[test]
+    fn examples_for_dispatches_by_kind() {
+        let s = EvalSettings::fast();
+        assert_eq!(s.examples_for(WorkloadKind::MemN2N), s.memn2n_examples);
+        assert_eq!(s.examples_for(WorkloadKind::KvMemN2N), s.kv_examples);
+        assert_eq!(s.examples_for(WorkloadKind::Bert), s.bert_examples);
+    }
+}

@@ -1,0 +1,95 @@
+//! Error type for fixed-point conversions and arithmetic.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::QFormat;
+
+/// Errors produced by fixed-point construction and arithmetic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FixedError {
+    /// The value cannot be represented in the requested format without overflow.
+    Overflow {
+        /// Value that was being converted or computed.
+        value: f64,
+        /// Target format.
+        format: QFormat,
+    },
+    /// Two operands of an operation that requires matching formats had different formats.
+    FormatMismatch {
+        /// Format of the left-hand operand.
+        lhs: QFormat,
+        /// Format of the right-hand operand.
+        rhs: QFormat,
+    },
+    /// The requested format exceeds the 63-bit raw-width limit of this implementation.
+    FormatTooWide {
+        /// Requested total width in bits (excluding the sign bit).
+        requested_bits: u32,
+    },
+    /// The input to an operation that requires a non-positive argument was positive.
+    PositiveExponentInput {
+        /// Offending input value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for FixedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FixedError::Overflow { value, format } => {
+                write!(f, "value {value} overflows fixed-point format {format}")
+            }
+            FixedError::FormatMismatch { lhs, rhs } => {
+                write!(f, "fixed-point format mismatch: {lhs} vs {rhs}")
+            }
+            FixedError::FormatTooWide { requested_bits } => {
+                write!(
+                    f,
+                    "requested fixed-point width of {requested_bits} bits exceeds the 63-bit limit"
+                )
+            }
+            FixedError::PositiveExponentInput { value } => {
+                write!(
+                    f,
+                    "exponent lookup requires a non-positive input, got {value}"
+                )
+            }
+        }
+    }
+}
+
+impl Error for FixedError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_overflow_mentions_value_and_format() {
+        let err = FixedError::Overflow {
+            value: 99.0,
+            format: QFormat::new(4, 4),
+        };
+        let text = err.to_string();
+        assert!(text.contains("99"));
+        assert!(text.contains("Q4.4"));
+    }
+
+    #[test]
+    fn display_mismatch_mentions_both_formats() {
+        let err = FixedError::FormatMismatch {
+            lhs: QFormat::new(1, 2),
+            rhs: QFormat::new(3, 4),
+        };
+        let text = err.to_string();
+        assert!(text.contains("Q1.2"));
+        assert!(text.contains("Q3.4"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_error<E: Error>() {}
+        assert_error::<FixedError>();
+    }
+}

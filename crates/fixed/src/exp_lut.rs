@@ -1,0 +1,336 @@
+//! Lookup-table exponentiation (paper Section III-A, Module 2).
+//!
+//! The exponent-computation module of A3 never evaluates `exp` directly. Instead it
+//! exploits two facts:
+//!
+//! 1. After subtracting the running maximum, every input is non-positive, so the result
+//!    of `exp` is in `(0, 1]` and cannot overflow a fixed-point fraction.
+//! 2. `exp(a + b) = exp(a) * exp(b)`, so a wide input can be split into an upper and a
+//!    lower bit-field and looked up in two much smaller tables whose outputs are
+//!    multiplied — e.g. a 16-bit input needs two 256-entry tables instead of one
+//!    65 536-entry table.
+//!
+//! [`ExpLut`] models this datapath bit-accurately. Table entries are themselves
+//! quantized (to `Q1.(frac+guard)` so that `exp(0) = 1` is representable exactly), the
+//! two looked-up entries are multiplied in fixed point, and the product is rounded to
+//! the score format. The [`ExpLutKind::Single`] and [`ExpLutKind::FloatReference`]
+//! variants exist for the ablation study comparing table organisations.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Fixed, FixedError, QFormat};
+
+/// Which exponent-evaluation datapath to model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ExpLutKind {
+    /// The paper's design: two half-width tables and one multiplier.
+    TwoHalf,
+    /// A single table indexed by the full input width (ablation baseline; exponentially
+    /// larger table).
+    Single,
+    /// Direct floating-point `exp` followed by output quantization (software reference).
+    FloatReference,
+}
+
+/// Configuration of an exponent lookup table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExpLutConfig {
+    /// Format of the (non-positive) input, i.e. the max-subtracted dot product.
+    pub input_format: QFormat,
+    /// Format of the output score (a pure fraction, `Q0.2f` in the paper).
+    pub output_format: QFormat,
+    /// Extra fraction guard bits kept in the table entries before the final rounding.
+    pub entry_guard_bits: u32,
+    /// Table organisation.
+    pub kind: ExpLutKind,
+}
+
+impl ExpLutConfig {
+    /// The paper's configuration for a given input/output format pair: two-half tables
+    /// with 4 guard bits in the entries.
+    pub fn paper(input_format: QFormat, output_format: QFormat) -> Self {
+        Self {
+            input_format,
+            output_format,
+            entry_guard_bits: 4,
+            kind: ExpLutKind::TwoHalf,
+        }
+    }
+}
+
+/// Accuracy / size report for an exponent lookup table (used by the ablation bench).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExpLutReport {
+    /// Total number of table entries that would be stored in SRAM/ROM.
+    pub table_entries: u64,
+    /// Maximum absolute error versus `f64::exp` over the sampled inputs.
+    pub max_abs_error: f64,
+    /// Mean absolute error versus `f64::exp` over the sampled inputs.
+    pub mean_abs_error: f64,
+    /// Number of sampled inputs.
+    pub samples: usize,
+}
+
+/// Bit-accurate model of the exponent lookup datapath.
+///
+/// ```
+/// use a3_fixed::{ExpLut, ExpLutConfig, Fixed, QFormat};
+/// let input = QFormat::new(15, 8);
+/// let output = QFormat::new(0, 8);
+/// let lut = ExpLut::new(ExpLutConfig::paper(input, output));
+/// let x = Fixed::quantize(-1.0, input);
+/// let y = lut.eval(x).unwrap();
+/// assert!((y.to_f64() - (-1.0f64).exp()).abs() < 0.01);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ExpLut {
+    config: ExpLutConfig,
+    entry_format: QFormat,
+    lower_bits: u32,
+    upper_bits: u32,
+}
+
+impl ExpLut {
+    /// Builds a lookup-table model from a configuration.
+    pub fn new(config: ExpLutConfig) -> Self {
+        let total = config.input_format.total_bits();
+        // Split as evenly as possible; the upper half gets the extra bit when odd.
+        let lower_bits = total / 2;
+        let upper_bits = total - lower_bits;
+        let entry_format = QFormat::new(
+            1,
+            config.output_format.frac_bits() + config.entry_guard_bits,
+        );
+        Self {
+            config,
+            entry_format,
+            lower_bits,
+            upper_bits,
+        }
+    }
+
+    /// Convenience constructor for the paper's two-half design.
+    pub fn two_half(input_format: QFormat, output_format: QFormat) -> Self {
+        Self::new(ExpLutConfig::paper(input_format, output_format))
+    }
+
+    /// Convenience constructor for the single-table ablation variant.
+    pub fn single(input_format: QFormat, output_format: QFormat) -> Self {
+        Self::new(ExpLutConfig {
+            kind: ExpLutKind::Single,
+            ..ExpLutConfig::paper(input_format, output_format)
+        })
+    }
+
+    /// Convenience constructor for the floating-point reference variant.
+    pub fn float_reference(input_format: QFormat, output_format: QFormat) -> Self {
+        Self::new(ExpLutConfig {
+            kind: ExpLutKind::FloatReference,
+            ..ExpLutConfig::paper(input_format, output_format)
+        })
+    }
+
+    /// The configuration this model was built from.
+    pub fn config(&self) -> &ExpLutConfig {
+        &self.config
+    }
+
+    /// Number of entries in the (upper, lower) tables. For the single-table variant the
+    /// second element is zero; for the float reference both are zero.
+    pub fn table_entries(&self) -> (u64, u64) {
+        match self.config.kind {
+            ExpLutKind::TwoHalf => (1u64 << self.upper_bits, 1u64 << self.lower_bits),
+            ExpLutKind::Single => (1u64 << self.config.input_format.total_bits(), 0),
+            ExpLutKind::FloatReference => (0, 0),
+        }
+    }
+
+    /// Total table size in bits (entries times entry width), used by the area model.
+    pub fn table_bits(&self) -> u64 {
+        let (a, b) = self.table_entries();
+        (a + b) * self.entry_format.storage_bits() as u64
+    }
+
+    /// Evaluates `exp(x)` for a non-positive fixed-point `x` in the configured input
+    /// format, returning the score in the configured output format.
+    ///
+    /// # Errors
+    ///
+    /// * [`FixedError::FormatMismatch`] if `x` is not in the configured input format.
+    /// * [`FixedError::PositiveExponentInput`] if `x > 0` (the hardware can never see a
+    ///   positive value here because the maximum has been subtracted).
+    pub fn eval(&self, x: Fixed) -> Result<Fixed, FixedError> {
+        if x.format() != self.config.input_format {
+            return Err(FixedError::FormatMismatch {
+                lhs: x.format(),
+                rhs: self.config.input_format,
+            });
+        }
+        if x.raw() > 0 {
+            return Err(FixedError::PositiveExponentInput { value: x.to_f64() });
+        }
+        let result = match self.config.kind {
+            ExpLutKind::FloatReference => x.to_f64().exp(),
+            ExpLutKind::Single => self.quantized_entry(x.to_f64()),
+            ExpLutKind::TwoHalf => {
+                let magnitude = (-x.raw()) as u64;
+                let lower_mask = (1u64 << self.lower_bits) - 1;
+                let lower_raw = magnitude & lower_mask;
+                let upper_raw = magnitude >> self.lower_bits;
+                let resolution = self.config.input_format.resolution();
+                let upper_value = -((upper_raw << self.lower_bits) as f64) * resolution;
+                let lower_value = -(lower_raw as f64) * resolution;
+                let upper_entry = self.quantized_entry(upper_value);
+                let lower_entry = self.quantized_entry(lower_value);
+                // The hardware multiplies the two table outputs in fixed point.
+                let a = Fixed::quantize(upper_entry, self.entry_format);
+                let b = Fixed::quantize(lower_entry, self.entry_format);
+                a.mul_full(b).to_f64()
+            }
+        };
+        Ok(Fixed::quantize(result, self.config.output_format))
+    }
+
+    /// Evaluates `exp(x)` for an arbitrary (clamped, quantized) floating-point input and
+    /// returns the result as `f64`. This is the convenience path used by the software
+    /// model of the approximate pipeline.
+    pub fn eval_f64(&self, x: f64) -> f64 {
+        let clamped = x.min(0.0);
+        let q = Fixed::quantize(clamped, self.config.input_format);
+        self.eval(q)
+            .expect("quantized non-positive input must be accepted")
+            .to_f64()
+    }
+
+    /// What a single ROM entry stores for input value `x`: `exp(x)` quantized to the
+    /// entry format.
+    fn quantized_entry(&self, x: f64) -> f64 {
+        Fixed::quantize(x.exp(), self.entry_format).to_f64()
+    }
+
+    /// Sweeps `samples` evenly spaced non-positive inputs over `[lo, 0]` and reports the
+    /// error of this datapath versus `f64::exp`.
+    pub fn report(&self, lo: f64, samples: usize) -> ExpLutReport {
+        assert!(lo <= 0.0, "sweep lower bound must be non-positive");
+        assert!(samples >= 2, "need at least two samples");
+        let mut max_err: f64 = 0.0;
+        let mut sum_err = 0.0;
+        for k in 0..samples {
+            let x = lo * (1.0 - k as f64 / (samples - 1) as f64);
+            let approx = self.eval_f64(x);
+            let exact = x.exp();
+            let err = (approx - exact).abs();
+            max_err = max_err.max(err);
+            sum_err += err;
+        }
+        let (a, b) = self.table_entries();
+        ExpLutReport {
+            table_entries: a + b,
+            max_abs_error: max_err,
+            mean_abs_error: sum_err / samples as f64,
+            samples,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_lut() -> ExpLut {
+        ExpLut::two_half(QFormat::new(15, 8), QFormat::new(0, 8))
+    }
+
+    #[test]
+    fn exp_of_zero_is_one_ish() {
+        let lut = paper_lut();
+        let x = Fixed::zero(QFormat::new(15, 8));
+        let y = lut.eval(x).unwrap();
+        // Q0.8 cannot hold exactly 1.0; it saturates to 255/256.
+        assert!(y.to_f64() >= 1.0 - 2.0 / 256.0);
+    }
+
+    #[test]
+    fn rejects_positive_input() {
+        let lut = paper_lut();
+        let x = Fixed::quantize(0.5, QFormat::new(15, 8));
+        assert!(matches!(
+            lut.eval(x),
+            Err(FixedError::PositiveExponentInput { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_wrong_format() {
+        let lut = paper_lut();
+        let x = Fixed::quantize(-0.5, QFormat::new(4, 4));
+        assert!(matches!(lut.eval(x), Err(FixedError::FormatMismatch { .. })));
+    }
+
+    #[test]
+    fn two_half_close_to_true_exp() {
+        let lut = paper_lut();
+        for k in 0..200 {
+            let x = -(k as f64) * 0.05;
+            let approx = lut.eval_f64(x);
+            let exact = x.exp();
+            assert!(
+                (approx - exact).abs() < 0.02,
+                "x = {x}: approx {approx} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn deep_negative_input_is_zero() {
+        let lut = paper_lut();
+        assert_eq!(lut.eval_f64(-100.0), 0.0);
+    }
+
+    #[test]
+    fn table_entry_counts_match_paper_example() {
+        // A 16-bit input splits into two 256-entry tables (the paper's example).
+        let lut = ExpLut::two_half(QFormat::new(8, 8), QFormat::new(0, 8));
+        assert_eq!(lut.table_entries(), (256, 256));
+        let single = ExpLut::single(QFormat::new(8, 8), QFormat::new(0, 8));
+        assert_eq!(single.table_entries(), (65_536, 0));
+        let float = ExpLut::float_reference(QFormat::new(8, 8), QFormat::new(0, 8));
+        assert_eq!(float.table_entries(), (0, 0));
+    }
+
+    #[test]
+    fn two_half_is_much_smaller_than_single() {
+        let two = ExpLut::two_half(QFormat::new(8, 8), QFormat::new(0, 8));
+        let single = ExpLut::single(QFormat::new(8, 8), QFormat::new(0, 8));
+        assert!(two.table_bits() * 32 < single.table_bits());
+    }
+
+    #[test]
+    fn report_error_bounded() {
+        let lut = paper_lut();
+        let report = lut.report(-16.0, 512);
+        assert!(report.max_abs_error < 0.02);
+        assert!(report.mean_abs_error <= report.max_abs_error);
+        assert_eq!(report.samples, 512);
+    }
+
+    #[test]
+    fn float_reference_has_only_output_quantization_error() {
+        let lut = ExpLut::float_reference(QFormat::new(15, 8), QFormat::new(0, 8));
+        let report = lut.report(-8.0, 256);
+        // Only the final Q0.8 rounding remains: at most half an LSB... plus the input
+        // quantization of the sweep points; keep a conservative bound.
+        assert!(report.max_abs_error <= 1.0 / 256.0 + 1e-9);
+    }
+
+    #[test]
+    fn monotonically_nonincreasing_in_magnitude() {
+        let lut = paper_lut();
+        let mut prev = f64::INFINITY;
+        for k in 0..64 {
+            let y = lut.eval_f64(-(k as f64) * 0.25);
+            assert!(y <= prev + 1e-12);
+            prev = y;
+        }
+    }
+}

@@ -1,0 +1,413 @@
+//! A fixed-point value tagged with its [`QFormat`].
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{FixedError, QFormat};
+
+/// A signed fixed-point value: a raw scaled integer plus the [`QFormat`] that gives it
+/// meaning.
+///
+/// All arithmetic is performed on the raw integers exactly as the A3 datapath would, so
+/// a chain of [`Fixed`] operations is bit-accurate with respect to the hardware pipeline
+/// model in `a3-sim`.
+///
+/// ```
+/// use a3_fixed::{Fixed, QFormat};
+/// let fmt = QFormat::new(4, 4);
+/// let x = Fixed::quantize(0.7, fmt);
+/// // 0.7 rounds to 0.6875 = 11/16 in Q4.4
+/// assert_eq!(x.raw(), 11);
+/// assert_eq!(x.to_f64(), 0.6875);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Fixed {
+    raw: i64,
+    format: QFormat,
+}
+
+impl Fixed {
+    /// The value zero in the given format.
+    pub fn zero(format: QFormat) -> Self {
+        Self { raw: 0, format }
+    }
+
+    /// The largest representable value in the given format.
+    pub fn max(format: QFormat) -> Self {
+        Self {
+            raw: format.max_raw(),
+            format,
+        }
+    }
+
+    /// The smallest (most negative) representable value in the given format.
+    pub fn min(format: QFormat) -> Self {
+        Self {
+            raw: format.min_raw(),
+            format,
+        }
+    }
+
+    /// Quantizes a floating-point value to the given format using round-to-nearest and
+    /// saturation, which matches the behaviour of the quantizer in front of the A3 SRAM.
+    pub fn quantize(value: f64, format: QFormat) -> Self {
+        let scaled = (value * 2f64.powi(format.frac_bits() as i32)).round();
+        let raw = if scaled.is_nan() {
+            0
+        } else {
+            scaled.clamp(format.min_raw() as f64, format.max_raw() as f64) as i64
+        };
+        Self { raw, format }
+    }
+
+    /// Quantizes a floating-point value, returning an error instead of saturating when
+    /// the value does not fit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FixedError::Overflow`] if the rounded value lies outside the format's
+    /// representable range.
+    pub fn try_quantize(value: f64, format: QFormat) -> Result<Self, FixedError> {
+        if !format.can_represent(value) {
+            return Err(FixedError::Overflow { value, format });
+        }
+        Ok(Self::quantize(value, format))
+    }
+
+    /// Constructs a fixed-point value from a raw scaled integer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `raw` is outside the representable raw range of `format`.
+    pub fn from_raw(raw: i64, format: QFormat) -> Self {
+        assert!(
+            raw >= format.min_raw() && raw <= format.max_raw(),
+            "raw value {raw} outside the range of {format}"
+        );
+        Self { raw, format }
+    }
+
+    /// The raw scaled-integer representation.
+    pub fn raw(&self) -> i64 {
+        self.raw
+    }
+
+    /// The format of this value.
+    pub fn format(&self) -> QFormat {
+        self.format
+    }
+
+    /// Converts back to floating point (exact: every fixed-point value is a dyadic
+    /// rational well inside `f64` range).
+    pub fn to_f64(&self) -> f64 {
+        self.raw as f64 * self.format.resolution()
+    }
+
+    /// Returns the quantization error `self.to_f64() - original`.
+    pub fn quantization_error(&self, original: f64) -> f64 {
+        self.to_f64() - original
+    }
+
+    /// Reinterprets this value in a wider (or equal) format without changing its
+    /// numerical value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` has fewer fraction bits than the current format or cannot hold
+    /// the value.
+    pub fn extend_to(&self, target: QFormat) -> Self {
+        assert!(
+            target.frac_bits() >= self.format.frac_bits(),
+            "cannot extend {} to {} (fraction bits would be dropped)",
+            self.format,
+            target
+        );
+        let shift = target.frac_bits() - self.format.frac_bits();
+        let raw = self.raw << shift;
+        Self::from_raw(raw, target)
+    }
+
+    /// Rounds this value to a narrower format (round-to-nearest-even on the dropped
+    /// fraction bits, saturating on the integer side). Used where the hardware truncates
+    /// a wide intermediate back to a narrower register.
+    pub fn round_to(&self, target: QFormat) -> Self {
+        if target.frac_bits() >= self.format.frac_bits() {
+            // Widening (or equal) fraction: just extend then saturate integer part.
+            let shift = target.frac_bits() - self.format.frac_bits();
+            let raw = (self.raw << shift).clamp(target.min_raw(), target.max_raw());
+            return Self { raw, format: target };
+        }
+        let shift = self.format.frac_bits() - target.frac_bits();
+        let half = 1i64 << (shift - 1);
+        let rounded = (self.raw + half) >> shift;
+        let raw = rounded.clamp(target.min_raw(), target.max_raw());
+        Self { raw, format: target }
+    }
+
+    /// Full-precision multiplication: the result format is the sum of the operand
+    /// formats, so no precision is lost (this is what the `d` multipliers in the
+    /// dot-product module produce).
+    pub fn mul_full(&self, rhs: Fixed) -> Fixed {
+        let format = self.format.mul_format(rhs.format);
+        let raw = self.raw * rhs.raw;
+        Fixed { raw, format }
+    }
+
+    /// Saturating addition of two values that must share a format.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the formats differ; use [`Fixed::checked_add`] for a fallible variant.
+    pub fn saturating_add(&self, rhs: Fixed) -> Fixed {
+        self.checked_add(rhs).expect("fixed-point format mismatch")
+    }
+
+    /// Saturating addition returning an error on format mismatch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FixedError::FormatMismatch`] if the operand formats differ.
+    pub fn checked_add(&self, rhs: Fixed) -> Result<Fixed, FixedError> {
+        if self.format != rhs.format {
+            return Err(FixedError::FormatMismatch {
+                lhs: self.format,
+                rhs: rhs.format,
+            });
+        }
+        let raw = (self.raw + rhs.raw).clamp(self.format.min_raw(), self.format.max_raw());
+        Ok(Fixed {
+            raw,
+            format: self.format,
+        })
+    }
+
+    /// Saturating subtraction of two values that must share a format.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the formats differ.
+    pub fn saturating_sub(&self, rhs: Fixed) -> Fixed {
+        assert_eq!(
+            self.format, rhs.format,
+            "fixed-point format mismatch in subtraction"
+        );
+        let raw = (self.raw - rhs.raw).clamp(self.format.min_raw(), self.format.max_raw());
+        Fixed {
+            raw,
+            format: self.format,
+        }
+    }
+
+    /// Accumulates an iterator of same-format values into the accumulation format
+    /// dictated by Section III-B (`log2(count)` extra integer bits). Returns the sum in
+    /// the widened format.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any element's format differs from `element_format`.
+    pub fn accumulate<I>(values: I, element_format: QFormat, count_hint: usize) -> Fixed
+    where
+        I: IntoIterator<Item = Fixed>,
+    {
+        let acc_format = element_format.accumulate_format(count_hint.max(1));
+        let mut acc = Fixed::zero(acc_format);
+        for v in values {
+            assert_eq!(
+                v.format(),
+                element_format,
+                "accumulate: element format mismatch"
+            );
+            let widened = v.extend_to(acc_format);
+            acc = acc.saturating_add(widened);
+        }
+        acc
+    }
+
+    /// Fixed-point division `self / rhs` producing a result with the same fraction
+    /// precision as `self` (the paper notes that division does not require extra
+    /// precision as long as the divisor is at least one). The result format equals the
+    /// format of `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero.
+    pub fn div_weight(&self, rhs: Fixed) -> Fixed {
+        assert!(rhs.raw != 0, "fixed-point division by zero");
+        // raw_self / 2^f_self divided by raw_rhs / 2^f_rhs
+        //   = (raw_self << f_rhs) / raw_rhs, still scaled by 2^f_self.
+        let numerator = self.raw << rhs.format.frac_bits();
+        let raw = numerator / rhs.raw;
+        let raw = raw.clamp(self.format.min_raw(), self.format.max_raw());
+        Fixed {
+            raw,
+            format: self.format,
+        }
+    }
+
+    /// Returns true if this value is negative.
+    pub fn is_negative(&self) -> bool {
+        self.raw < 0
+    }
+
+    /// Returns true if this value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.raw == 0
+    }
+}
+
+impl fmt::Display for Fixed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.to_f64(), self.format)
+    }
+}
+
+impl PartialOrd for Fixed {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        if self.format == other.format {
+            self.raw.partial_cmp(&other.raw)
+        } else {
+            self.to_f64().partial_cmp(&other.to_f64())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q44() -> QFormat {
+        QFormat::new(4, 4)
+    }
+
+    #[test]
+    fn quantize_round_to_nearest() {
+        let x = Fixed::quantize(0.7, q44());
+        assert_eq!(x.raw(), 11); // 0.6875
+        let y = Fixed::quantize(-0.7, q44());
+        assert_eq!(y.raw(), -11);
+    }
+
+    #[test]
+    fn quantize_saturates() {
+        let x = Fixed::quantize(100.0, q44());
+        assert_eq!(x.raw(), q44().max_raw());
+        let y = Fixed::quantize(-100.0, q44());
+        assert_eq!(y.raw(), q44().min_raw());
+    }
+
+    #[test]
+    fn quantize_nan_is_zero() {
+        let x = Fixed::quantize(f64::NAN, q44());
+        assert!(x.is_zero());
+    }
+
+    #[test]
+    fn try_quantize_rejects_overflow() {
+        assert!(Fixed::try_quantize(100.0, q44()).is_err());
+        assert!(Fixed::try_quantize(1.0, q44()).is_ok());
+    }
+
+    #[test]
+    fn mul_full_is_exact() {
+        let a = Fixed::quantize(1.25, q44());
+        let b = Fixed::quantize(-0.5, q44());
+        let p = a.mul_full(b);
+        assert_eq!(p.to_f64(), -0.625);
+        assert_eq!(p.format(), QFormat::new(8, 8));
+    }
+
+    #[test]
+    fn extend_preserves_value() {
+        let a = Fixed::quantize(1.25, q44());
+        let wide = a.extend_to(QFormat::new(8, 8));
+        assert_eq!(wide.to_f64(), 1.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction bits would be dropped")]
+    fn extend_to_narrower_fraction_panics() {
+        let a = Fixed::quantize(1.25, QFormat::new(4, 8));
+        let _ = a.extend_to(QFormat::new(8, 4));
+    }
+
+    #[test]
+    fn round_to_narrower() {
+        let a = Fixed::quantize(1.28125, QFormat::new(4, 8)); // 1.28125 exact in Q4.8
+        let narrow = a.round_to(q44());
+        // nearest Q4.4 value to 1.28125 is 1.3125 (ties/rounding up at the half step)
+        assert!((narrow.to_f64() - 1.3125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accumulate_widens_and_sums() {
+        let fmt = QFormat::new(4, 4);
+        let values: Vec<Fixed> = (0..8).map(|_| Fixed::quantize(10.0, fmt)).collect();
+        let sum = Fixed::accumulate(values, fmt, 8);
+        assert_eq!(sum.format(), QFormat::new(7, 4));
+        assert_eq!(sum.to_f64(), 80.0);
+    }
+
+    #[test]
+    fn saturating_add_clamps() {
+        let fmt = q44();
+        let a = Fixed::max(fmt);
+        let b = Fixed::quantize(1.0, fmt);
+        assert_eq!(a.saturating_add(b), Fixed::max(fmt));
+        let c = Fixed::min(fmt);
+        let d = Fixed::quantize(-1.0, fmt);
+        assert_eq!(c.saturating_add(d), Fixed::min(fmt));
+    }
+
+    #[test]
+    fn checked_add_rejects_mismatch() {
+        let a = Fixed::quantize(1.0, QFormat::new(4, 4));
+        let b = Fixed::quantize(1.0, QFormat::new(8, 8));
+        assert!(matches!(
+            a.checked_add(b),
+            Err(FixedError::FormatMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn div_weight_matches_float_division() {
+        // score / expsum style division where divisor >= 1.
+        let score_fmt = QFormat::new(0, 8);
+        let sum_fmt = QFormat::new(9, 8);
+        let score = Fixed::quantize(0.5, score_fmt);
+        let expsum = Fixed::quantize(2.0, sum_fmt);
+        let w = score.div_weight(expsum);
+        assert_eq!(w.format(), score_fmt);
+        assert!((w.to_f64() - 0.25).abs() < score_fmt.resolution() as f64);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        let fmt = q44();
+        let _ = Fixed::quantize(1.0, fmt).div_weight(Fixed::zero(fmt));
+    }
+
+    #[test]
+    fn ordering_same_format_uses_raw() {
+        let fmt = q44();
+        let a = Fixed::quantize(1.0, fmt);
+        let b = Fixed::quantize(2.0, fmt);
+        assert!(a < b);
+    }
+
+    #[test]
+    fn display_contains_value_and_format() {
+        let a = Fixed::quantize(1.5, q44());
+        let text = a.to_string();
+        assert!(text.contains("1.5"));
+        assert!(text.contains("Q4.4"));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the range")]
+    fn from_raw_out_of_range_panics() {
+        let _ = Fixed::from_raw(1_000, q44());
+    }
+}

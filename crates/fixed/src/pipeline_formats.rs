@@ -1,0 +1,189 @@
+//! Per-pipeline-stage fixed-point formats (paper Section III-B).
+
+use serde::{Deserialize, Serialize};
+
+use crate::qformat::ceil_log2;
+use crate::QFormat;
+
+/// The fixed-point formats used at every stage of the A3 pipeline, derived from the
+/// input format `(i, f)`, the number of rows `n` and the embedding dimension `d`
+/// exactly as Section III-B of the paper prescribes.
+///
+/// | stage                    | integer bits        | fraction bits |
+/// |--------------------------|---------------------|---------------|
+/// | inputs (key/value/query) | `i`                 | `f`           |
+/// | element product `temp`   | `2i`                | `2f`          |
+/// | dot product              | `2i + log2(d)`      | `2f`          |
+/// | max-subtracted dot prod. | `2i + log2(d) + 1`  | `2f`          |
+/// | softmax score            | `0`                 | `2f`          |
+/// | exponent sum             | `log2(n)`           | `2f`          |
+/// | weight                   | `0`                 | `2f`          |
+/// | output accumulator       | `i + log2(n)`       | `3f`          |
+///
+/// ```
+/// use a3_fixed::PipelineFormats;
+/// let fmts = PipelineFormats::paper_default();
+/// assert_eq!(fmts.input().to_string(), "Q4.4");
+/// assert_eq!(fmts.dot_product().to_string(), "Q14.8"); // 2*4 + log2(64)
+/// assert_eq!(fmts.output().to_string(), "Q13.12");     // 4 + log2(320), 3*4
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PipelineFormats {
+    input: QFormat,
+    product: QFormat,
+    dot_product: QFormat,
+    shifted_dot_product: QFormat,
+    score: QFormat,
+    exp_sum: QFormat,
+    weight: QFormat,
+    output: QFormat,
+    n: usize,
+    d: usize,
+}
+
+impl PipelineFormats {
+    /// Derives all pipeline formats from the input format and the problem size.
+    pub fn new(input: QFormat, n: usize, d: usize) -> Self {
+        let i = input.int_bits();
+        let f = input.frac_bits();
+        let product = QFormat::new(2 * i, 2 * f);
+        let dot_product = QFormat::new(2 * i + ceil_log2(d), 2 * f);
+        let shifted_dot_product = dot_product.widen_int(1);
+        let score = QFormat::new(0, 2 * f);
+        let exp_sum = QFormat::new(ceil_log2(n), 2 * f);
+        let weight = QFormat::new(0, 2 * f);
+        let output = QFormat::new(i + ceil_log2(n), 3 * f);
+        Self {
+            input,
+            product,
+            dot_product,
+            shifted_dot_product,
+            score,
+            exp_sum,
+            weight,
+            output,
+            n,
+            d,
+        }
+    }
+
+    /// The configuration used in the paper's evaluation: `Q4.4` inputs, `n = 320`,
+    /// `d = 64`.
+    pub fn paper_default() -> Self {
+        Self::new(QFormat::new(4, 4), 320, 64)
+    }
+
+    /// Input (key matrix, value matrix, query vector) format.
+    pub fn input(&self) -> QFormat {
+        self.input
+    }
+
+    /// Element-wise product format (`temp` in the paper's pseudocode).
+    pub fn product(&self) -> QFormat {
+        self.product
+    }
+
+    /// Dot-product accumulator format.
+    pub fn dot_product(&self) -> QFormat {
+        self.dot_product
+    }
+
+    /// Format after subtracting the maximum (one extra integer bit).
+    pub fn shifted_dot_product(&self) -> QFormat {
+        self.shifted_dot_product
+    }
+
+    /// Softmax score (exponent output) format: a pure fraction in `[0, 1]`.
+    pub fn score(&self) -> QFormat {
+        self.score
+    }
+
+    /// Exponent-sum (softmax denominator) format.
+    pub fn exp_sum(&self) -> QFormat {
+        self.exp_sum
+    }
+
+    /// Normalized weight format: a pure fraction in `[0, 1]`.
+    pub fn weight(&self) -> QFormat {
+        self.weight
+    }
+
+    /// Output accumulator format.
+    pub fn output(&self) -> QFormat {
+        self.output
+    }
+
+    /// Number of key/value rows this configuration was sized for.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Embedding dimension this configuration was sized for.
+    pub fn d(&self) -> usize {
+        self.d
+    }
+
+    /// Total number of register bits needed for the dot-product outcome register file
+    /// (`n` entries in the dot-product format). Used by the energy/area model.
+    pub fn dot_product_register_bits(&self) -> u64 {
+        self.n as u64 * self.dot_product.storage_bits() as u64
+    }
+
+    /// Total number of register bits needed for the output accumulator (`d` entries in
+    /// the output format).
+    pub fn output_register_bits(&self) -> u64 {
+        self.d as u64 * self.output.storage_bits() as u64
+    }
+}
+
+impl Default for PipelineFormats {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_section_3b() {
+        let f = PipelineFormats::paper_default();
+        assert_eq!(f.input(), QFormat::new(4, 4));
+        assert_eq!(f.product(), QFormat::new(8, 8));
+        // 2i + log2(d) = 8 + 6 = 14 integer bits, 2f = 8 fraction bits.
+        assert_eq!(f.dot_product(), QFormat::new(14, 8));
+        assert_eq!(f.shifted_dot_product(), QFormat::new(15, 8));
+        assert_eq!(f.score(), QFormat::new(0, 8));
+        // log2(320) = 9 integer bits.
+        assert_eq!(f.exp_sum(), QFormat::new(9, 8));
+        assert_eq!(f.weight(), QFormat::new(0, 8));
+        // i + log2(n) = 4 + 9 = 13 integer, 3f = 12 fraction bits.
+        assert_eq!(f.output(), QFormat::new(13, 12));
+    }
+
+    #[test]
+    fn small_configuration() {
+        let f = PipelineFormats::new(QFormat::new(2, 3), 16, 8);
+        assert_eq!(f.product(), QFormat::new(4, 6));
+        assert_eq!(f.dot_product(), QFormat::new(7, 6));
+        assert_eq!(f.exp_sum(), QFormat::new(4, 6));
+        assert_eq!(f.output(), QFormat::new(6, 9));
+        assert_eq!(f.n(), 16);
+        assert_eq!(f.d(), 8);
+    }
+
+    #[test]
+    fn register_bit_counts() {
+        let f = PipelineFormats::paper_default();
+        // 320 entries x (14 + 8 + 1) bits
+        assert_eq!(f.dot_product_register_bits(), 320 * 23);
+        // 64 entries x (13 + 12 + 1) bits
+        assert_eq!(f.output_register_bits(), 64 * 26);
+    }
+
+    #[test]
+    fn default_is_paper_default() {
+        assert_eq!(PipelineFormats::default(), PipelineFormats::paper_default());
+    }
+}

@@ -1,0 +1,32 @@
+//! Cycle-level performance, power, energy and area model of the A3 accelerator.
+//!
+//! The crate models the hardware described in Sections III and V of the paper:
+//!
+//! * [`config`] — the synthesis-time configuration (`n`, `d`, clock, refill depth `c`,
+//!   scan width) and the run-time approximation knobs;
+//! * [`pipeline`] — the cycle model of the base three-module pipeline (latency
+//!   `3n + 27`, throughput `n + 9` cycles/query) and of the five-module approximate
+//!   pipeline (latency `M + C + 2K + α`, throughput limited by the candidate selector),
+//!   driven by the *actual* candidate/selection counts produced by the algorithms in
+//!   [`a3_core`];
+//! * [`sram`] — the on-chip buffer sizing (20 KB key, 20 KB value, 40 KB sorted-key
+//!   SRAMs for the paper's `n = 320`, `d = 64` instance);
+//! * [`energy`] — the per-module area and power characteristics of Table I and an
+//!   activity-based energy model that reproduces Figure 15;
+//! * [`multi_unit`] — throughput scaling across multiple A3 units (Section III-C and
+//!   the BERT discussion of Section VI-C).
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod config;
+pub mod energy;
+pub mod multi_unit;
+pub mod pipeline;
+pub mod sram;
+
+pub use config::A3Config;
+pub use energy::{EnergyBreakdown, EnergyModel, ModuleCharacteristics, TableI};
+pub use multi_unit::MultiUnit;
+pub use pipeline::{ApproxQueryTrace, PipelineModel, QueryCost, SimReport};
+pub use sram::SramConfig;

@@ -1,0 +1,143 @@
+//! Multi-unit scaling (paper Section III-C "Use of Multiple A3 Units" and the BERT
+//! discussion in Section VI-C).
+//!
+//! Independent attention computations (different key/value matrices, or different
+//! queries against the same matrices) can be spread across multiple A3 units with
+//! near-perfect scaling; the paper uses this to argue that 6-7 conservative
+//! approximate units outperform the Titan V on BERT's self-attention.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::A3Config;
+use crate::energy::{EnergyModel, TableI};
+use crate::pipeline::SimReport;
+
+/// A group of identical A3 units processing independent attention operations.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MultiUnit {
+    /// Number of units.
+    pub units: usize,
+    /// Per-unit configuration.
+    pub config: A3Config,
+    /// Scaling efficiency per additional unit (1.0 = perfect; the paper describes the
+    /// BERT case as "near-perfect" because every query is independent).
+    pub scaling_efficiency: f64,
+}
+
+impl MultiUnit {
+    /// Creates a group of `units` units with near-perfect (98%) scaling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `units` is zero.
+    pub fn new(units: usize, config: A3Config) -> Self {
+        assert!(units >= 1, "at least one unit is required");
+        Self {
+            units,
+            config,
+            scaling_efficiency: 0.98,
+        }
+    }
+
+    /// Aggregate throughput in attention operations per second given one unit's
+    /// simulated report.
+    pub fn aggregate_throughput(&self, single_unit: &SimReport) -> f64 {
+        let first = single_unit.throughput_ops_per_s;
+        if self.units == 1 {
+            first
+        } else {
+            first * (1.0 + self.scaling_efficiency * (self.units as f64 - 1.0))
+        }
+    }
+
+    /// Total silicon area of the group in mm².
+    pub fn total_area_mm2(&self) -> f64 {
+        TableI::paper().total_area_mm2() * self.units as f64
+    }
+
+    /// Aggregate peak power in watts.
+    pub fn peak_power_w(&self) -> f64 {
+        let t = TableI::paper();
+        (t.total_dynamic_mw() + t.total_static_mw()) * 1e-3 * self.units as f64
+    }
+
+    /// Energy per attention operation in joules (identical to a single unit — scaling
+    /// out does not change per-operation energy).
+    pub fn energy_per_op_j(&self, single_unit: &SimReport) -> f64 {
+        let model = EnergyModel::new(self.config);
+        1.0 / model.ops_per_joule(single_unit)
+    }
+
+    /// The smallest number of units whose aggregate throughput reaches
+    /// `target_ops_per_s`, given one unit's report. Returns `None` if even 1024 units
+    /// would not suffice (a guard against nonsensical targets).
+    pub fn units_to_reach(
+        config: A3Config,
+        single_unit: &SimReport,
+        target_ops_per_s: f64,
+    ) -> Option<usize> {
+        for units in 1..=1024 {
+            let group = MultiUnit::new(units, config);
+            if group.aggregate_throughput(single_unit) >= target_ops_per_s {
+                return Some(units);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::PipelineModel;
+
+    fn single_report(config: A3Config) -> SimReport {
+        let model = PipelineModel::new(config);
+        let cost = model.base_query_cost(320);
+        model.aggregate(&vec![cost; 8])
+    }
+
+    #[test]
+    fn throughput_scales_nearly_linearly() {
+        let cfg = A3Config::paper_base();
+        let report = single_report(cfg);
+        let one = MultiUnit::new(1, cfg).aggregate_throughput(&report);
+        let four = MultiUnit::new(4, cfg).aggregate_throughput(&report);
+        assert!(four > 3.8 * one);
+        assert!(four < 4.0 * one + 1.0);
+    }
+
+    #[test]
+    fn area_and_power_scale_linearly() {
+        let cfg = A3Config::paper_base();
+        let g = MultiUnit::new(7, cfg);
+        assert!((g.total_area_mm2() - 7.0 * 2.082).abs() < 0.1);
+        assert!(g.peak_power_w() < 7.0 * 0.111);
+    }
+
+    #[test]
+    fn energy_per_op_independent_of_unit_count() {
+        let cfg = A3Config::paper_base();
+        let report = single_report(cfg);
+        let one = MultiUnit::new(1, cfg).energy_per_op_j(&report);
+        let eight = MultiUnit::new(8, cfg).energy_per_op_j(&report);
+        assert!((one - eight).abs() < 1e-15);
+    }
+
+    #[test]
+    fn units_to_reach_finds_minimum() {
+        let cfg = A3Config::paper_base();
+        let report = single_report(cfg);
+        let single = report.throughput_ops_per_s;
+        assert_eq!(MultiUnit::units_to_reach(cfg, &report, single * 0.5), Some(1));
+        let needed = MultiUnit::units_to_reach(cfg, &report, single * 5.0).unwrap();
+        assert!(needed >= 5 && needed <= 6);
+        assert_eq!(MultiUnit::units_to_reach(cfg, &report, single * 1e6), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one unit")]
+    fn zero_units_panics() {
+        let _ = MultiUnit::new(0, A3Config::paper_base());
+    }
+}

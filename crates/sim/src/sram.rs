@@ -1,0 +1,70 @@
+//! On-chip SRAM sizing and access accounting.
+//!
+//! Table I of the paper lists three SRAM macros for the `n = 320`, `d = 64` instance:
+//! a 20 KB key-matrix buffer, a 20 KB value-matrix buffer and a 40 KB sorted-key buffer
+//! (each sorted-key entry stores both the value and its original row index, hence twice
+//! the size).
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::A3Config;
+
+/// SRAM sizing derived from an accelerator configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SramConfig {
+    /// Key-matrix buffer size in bytes.
+    pub key_bytes: usize,
+    /// Value-matrix buffer size in bytes.
+    pub value_bytes: usize,
+    /// Sorted-key buffer size in bytes (value + row index per element).
+    pub sorted_key_bytes: usize,
+}
+
+impl SramConfig {
+    /// Derives the SRAM sizes for a configuration: one byte per key/value element
+    /// (the paper stores `Q4.4` elements, 8 magnitude bits, in 20 KB for 320 x 64) and
+    /// two bytes per sorted-key element (value plus 9-bit row index).
+    pub fn for_config(config: &A3Config) -> Self {
+        let elements = config.n_max * config.d;
+        Self {
+            key_bytes: elements,
+            value_bytes: elements,
+            sorted_key_bytes: 2 * elements,
+        }
+    }
+
+    /// Total SRAM capacity in bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.key_bytes + self.value_bytes + self.sorted_key_bytes
+    }
+
+    /// Total SRAM capacity in kilobytes (rounded).
+    pub fn total_kb(&self) -> usize {
+        self.total_bytes() / 1024
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_instance_matches_table1_sizes() {
+        let sram = SramConfig::for_config(&A3Config::paper_base());
+        assert_eq!(sram.key_bytes, 320 * 64);
+        assert_eq!(sram.key_bytes / 1024, 20);
+        assert_eq!(sram.value_bytes / 1024, 20);
+        assert_eq!(sram.sorted_key_bytes / 1024, 40);
+        assert_eq!(sram.total_kb(), 80);
+    }
+
+    #[test]
+    fn smaller_instances_scale_down() {
+        let mut cfg = A3Config::paper_base();
+        cfg.n_max = 64;
+        cfg.d = 64;
+        let sram = SramConfig::for_config(&cfg);
+        assert_eq!(sram.key_bytes, 64 * 64);
+        assert_eq!(sram.sorted_key_bytes, 2 * 64 * 64);
+    }
+}

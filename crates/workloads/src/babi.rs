@@ -1,0 +1,259 @@
+//! Synthetic bAbI-style story/question generator (substitute for the Facebook bAbI QA
+//! dataset, paper Section VI-A).
+//!
+//! Each example is a short story: a sequence of statements in which people move between
+//! locations (plus distractor statements about objects), followed by a "where is X?"
+//! question whose answer is the location X most recently moved to — the same structure
+//! as bAbI task 1 ("single supporting fact"), which is the canonical example the paper's
+//! Figure 2 uses.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::vocab::{LOCATIONS, OBJECTS, PERSONS, VERBS};
+
+/// One statement of a story.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Statement {
+    /// The person the statement is about.
+    pub person: String,
+    /// The verb used.
+    pub verb: String,
+    /// The location the person moved to, for movement statements.
+    pub location: Option<String>,
+    /// The object involved, for distractor statements.
+    pub object: Option<String>,
+}
+
+impl Statement {
+    /// The statement rendered as a token sequence (used for embedding).
+    pub fn tokens(&self) -> Vec<&str> {
+        let mut t = vec![self.person.as_str(), self.verb.as_str(), "to", "the"];
+        if let Some(loc) = &self.location {
+            t.push(loc.as_str());
+        }
+        if let Some(obj) = &self.object {
+            t.push(obj.as_str());
+        }
+        t
+    }
+
+    /// The statement rendered as an English-ish sentence.
+    pub fn text(&self) -> String {
+        match (&self.location, &self.object) {
+            (Some(loc), _) => format!("{} {} to the {}.", self.person, self.verb, loc),
+            (_, Some(obj)) => format!("{} picked up the {}.", self.person, obj),
+            _ => format!("{} {}.", self.person, self.verb),
+        }
+    }
+
+    /// Whether this is a movement statement (the only kind that can answer a "where is"
+    /// question).
+    pub fn is_movement(&self) -> bool {
+        self.location.is_some()
+    }
+}
+
+/// A complete bAbI-style example: statements, a question, and its answer.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BabiStory {
+    /// The statements, in narrative order.
+    pub statements: Vec<Statement>,
+    /// The person the question asks about ("where is {person}?").
+    pub question_person: String,
+    /// The correct answer (a location name).
+    pub answer_location: String,
+    /// Index of the statement that supports the answer (the person's most recent
+    /// movement).
+    pub supporting_statement: usize,
+}
+
+impl BabiStory {
+    /// Number of statements (`n` for the attention operation).
+    pub fn n(&self) -> usize {
+        self.statements.len()
+    }
+
+    /// The question rendered as a token sequence.
+    pub fn question_tokens(&self) -> Vec<&str> {
+        vec!["where", "is", self.question_person.as_str()]
+    }
+}
+
+/// Deterministic generator of bAbI-style stories.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BabiGenerator {
+    seed: u64,
+    min_statements: usize,
+    max_statements: usize,
+}
+
+impl BabiGenerator {
+    /// Creates a generator matching the paper's bAbI statistics: between 5 and 35
+    /// statements per story (average ≈ 20, maximum bounded by 50).
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            min_statements: 5,
+            max_statements: 35,
+        }
+    }
+
+    /// Creates a generator with an explicit statement-count range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_statements` is 0 or greater than `max_statements`.
+    pub fn with_story_length(seed: u64, min_statements: usize, max_statements: usize) -> Self {
+        assert!(
+            min_statements >= 1 && min_statements <= max_statements,
+            "invalid story length range"
+        );
+        Self {
+            seed,
+            min_statements,
+            max_statements,
+        }
+    }
+
+    /// Generates the `index`-th story. The same `(seed, index)` always yields the same
+    /// story.
+    pub fn generate(&self, index: usize) -> BabiStory {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ (index as u64).wrapping_mul(0xA24B_AED4_963E_E407));
+        let n = rng.gen_range(self.min_statements..=self.max_statements);
+        let mut statements = Vec::with_capacity(n);
+        // Track each person's latest movement statement index and location.
+        let mut latest: Vec<(String, usize, String)> = Vec::new();
+        for i in 0..n {
+            let person = PERSONS[rng.gen_range(0..PERSONS.len())].to_owned();
+            let verb = VERBS[rng.gen_range(0..VERBS.len())].to_owned();
+            // 80% movement statements, 20% object distractors.
+            if rng.gen_bool(0.8) {
+                let location = LOCATIONS[rng.gen_range(0..LOCATIONS.len())].to_owned();
+                if let Some(entry) = latest.iter_mut().find(|(p, _, _)| *p == person) {
+                    *entry = (person.clone(), i, location.clone());
+                } else {
+                    latest.push((person.clone(), i, location.clone()));
+                }
+                statements.push(Statement {
+                    person,
+                    verb,
+                    location: Some(location),
+                    object: None,
+                });
+            } else {
+                let object = OBJECTS[rng.gen_range(0..OBJECTS.len())].to_owned();
+                statements.push(Statement {
+                    person,
+                    verb: "picked".to_owned(),
+                    location: None,
+                    object: Some(object),
+                });
+            }
+        }
+        // Guarantee at least one movement statement so the question is answerable.
+        if latest.is_empty() {
+            let person = PERSONS[0].to_owned();
+            let location = LOCATIONS[0].to_owned();
+            statements.push(Statement {
+                person: person.clone(),
+                verb: VERBS[0].to_owned(),
+                location: Some(location.clone()),
+                object: None,
+            });
+            latest.push((person, statements.len() - 1, location));
+        }
+        let (question_person, supporting_statement, answer_location) =
+            latest[rng.gen_range(0..latest.len())].clone();
+        BabiStory {
+            statements,
+            question_person,
+            answer_location,
+            supporting_statement,
+        }
+    }
+
+    /// Generates a batch of stories.
+    pub fn generate_many(&self, count: usize) -> Vec<BabiStory> {
+        (0..count).map(|i| self.generate(i)).collect()
+    }
+}
+
+impl Default for BabiGenerator {
+    fn default() -> Self {
+        Self::new(0xBAB1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let g = BabiGenerator::new(7);
+        assert_eq!(g.generate(3), g.generate(3));
+        assert_ne!(g.generate(3), g.generate(4));
+    }
+
+    #[test]
+    fn story_lengths_respect_range() {
+        let g = BabiGenerator::with_story_length(1, 8, 12);
+        for story in g.generate_many(50) {
+            assert!(story.n() >= 8 && story.n() <= 13); // +1 for the answerability fix-up
+        }
+    }
+
+    #[test]
+    fn supporting_statement_is_last_movement_of_person() {
+        let g = BabiGenerator::new(11);
+        for story in g.generate_many(100) {
+            let support = &story.statements[story.supporting_statement];
+            assert_eq!(support.person, story.question_person);
+            assert_eq!(support.location.as_deref(), Some(story.answer_location.as_str()));
+            // No later movement statement about the same person exists.
+            for later in &story.statements[story.supporting_statement + 1..] {
+                assert!(!(later.person == story.question_person && later.is_movement()));
+            }
+        }
+    }
+
+    #[test]
+    fn average_story_length_matches_paper() {
+        let g = BabiGenerator::default();
+        let stories = g.generate_many(300);
+        let avg: f64 = stories.iter().map(|s| s.n() as f64).sum::<f64>() / stories.len() as f64;
+        assert!(avg > 15.0 && avg < 25.0, "average length {avg}");
+        assert!(stories.iter().all(|s| s.n() <= 50));
+    }
+
+    #[test]
+    fn statement_rendering() {
+        let s = Statement {
+            person: "john".into(),
+            verb: "moved".into(),
+            location: Some("garden".into()),
+            object: None,
+        };
+        assert_eq!(s.text(), "john moved to the garden.");
+        assert!(s.is_movement());
+        assert!(s.tokens().contains(&"garden"));
+        let o = Statement {
+            person: "mary".into(),
+            verb: "picked".into(),
+            location: None,
+            object: Some("apple".into()),
+        };
+        assert!(o.text().contains("picked up the apple"));
+        assert!(!o.is_movement());
+    }
+
+    #[test]
+    fn question_tokens_mention_person() {
+        let story = BabiGenerator::new(5).generate(0);
+        assert!(story
+            .question_tokens()
+            .contains(&story.question_person.as_str()));
+    }
+}

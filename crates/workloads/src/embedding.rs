@@ -1,0 +1,298 @@
+//! Deterministic pseudo-embeddings standing in for Word2Vec / GloVe / FastText.
+//!
+//! The paper's models embed natural-language tokens into `d`-dimensional vectors
+//! (Section II-A). Since we cannot ship pretrained embedding tables, this module
+//! generates them deterministically: each token's vector is drawn from a seeded
+//! Gaussian-ish distribution keyed by a hash of the token string, so the same token
+//! always maps to the same vector and distinct tokens map to near-orthogonal vectors in
+//! expectation — the property the attention similarity search relies on.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use a3_core::Matrix;
+
+/// A deterministic token-embedding space of dimension `d`.
+///
+/// ```
+/// use a3_workloads::embedding::EmbeddingSpace;
+/// let space = EmbeddingSpace::new(64, 7);
+/// let a = space.embed_token("garden");
+/// let b = space.embed_token("garden");
+/// let c = space.embed_token("bathroom");
+/// assert_eq!(a, b);
+/// assert_ne!(a, c);
+/// assert_eq!(a.len(), 64);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmbeddingSpace {
+    dim: usize,
+    seed: u64,
+    scale: f32,
+}
+
+impl EmbeddingSpace {
+    /// Default squared norm of a token embedding. Trained embeddings produce attention
+    /// logits of a few units between related items (the paper's Figure 2 shows softmax
+    /// outputs like 0.79 vs 0.01), so token vectors are scaled such that a matching
+    /// token contributes a dot product of about 8 while unrelated tokens contribute
+    /// roughly `±8/sqrt(d)`.
+    pub const DEFAULT_NORM_SQ: f32 = 8.0;
+
+    /// Creates an embedding space of dimension `dim` with the given seed and the
+    /// default token norm.
+    pub fn new(dim: usize, seed: u64) -> Self {
+        Self::with_norm(dim, seed, Self::DEFAULT_NORM_SQ)
+    }
+
+    /// Creates an embedding space whose token embeddings have squared norm
+    /// approximately `norm_sq`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `norm_sq` is not positive.
+    pub fn with_norm(dim: usize, seed: u64, norm_sq: f32) -> Self {
+        assert!(norm_sq > 0.0, "embedding norm must be positive");
+        Self {
+            dim,
+            seed,
+            scale: norm_sq.sqrt(),
+        }
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// FNV-1a hash of a token, mixed with the space's seed.
+    fn token_hash(&self, token: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ self.seed;
+        for b in token.as_bytes() {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    /// Embeds a single token. The vector entries are approximately Gaussian (sum of
+    /// uniforms), scaled so the vector's norm is close to the configured token norm;
+    /// dot products of unrelated tokens then concentrate near zero (standard deviation
+    /// about `norm_sq / sqrt(d)`) while `a . a` is near `norm_sq`.
+    pub fn embed_token(&self, token: &str) -> Vec<f32> {
+        let mut rng = StdRng::seed_from_u64(self.token_hash(token));
+        let scale = self.scale / (self.dim as f32).sqrt();
+        (0..self.dim)
+            .map(|_| {
+                // Irwin-Hall approximation of a Gaussian: sum of 4 uniforms.
+                let g: f32 = (0..4).map(|_| rng.gen_range(-0.5f32..0.5)).sum::<f32>() * 1.732;
+                g * scale
+            })
+            .collect()
+    }
+
+    /// Embeds a weighted bag of tokens, normalizing by the root of the sum of squared
+    /// weights so the result keeps roughly the token norm. The dominant-weight token
+    /// therefore dominates the similarity search — this is how the memory-network
+    /// workloads emphasize the entity a statement or question is about.
+    pub fn embed_weighted(&self, tokens: &[(&str, f32)]) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.dim];
+        if tokens.is_empty() {
+            return out;
+        }
+        let norm: f32 = tokens.iter().map(|(_, w)| w * w).sum::<f32>().sqrt();
+        if norm == 0.0 {
+            return out;
+        }
+        for (token, weight) in tokens {
+            for (o, e) in out.iter_mut().zip(self.embed_token(token)) {
+                *o += weight / norm * e;
+            }
+        }
+        out
+    }
+
+    /// Embeds a bag of tokens as the (position-weighted) average of the token
+    /// embeddings, mimicking the position-encoded bag-of-words sentence embeddings used
+    /// by MemN2N. Later tokens get slightly higher weight so word order matters a
+    /// little.
+    pub fn embed_sentence(&self, tokens: &[&str]) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.dim];
+        if tokens.is_empty() {
+            return out;
+        }
+        let mut total = 0.0f32;
+        for (pos, token) in tokens.iter().enumerate() {
+            let weight = 1.0 + 0.1 * pos as f32;
+            total += weight;
+            for (o, e) in out.iter_mut().zip(self.embed_token(token)) {
+                *o += weight * e;
+            }
+        }
+        for o in &mut out {
+            *o /= total;
+        }
+        out
+    }
+
+    /// Embeds a sequence of tokens as a matrix (one row per token) with a sinusoidal
+    /// positional component added, as used by the BERT-style workload.
+    pub fn embed_sequence(&self, tokens: &[&str]) -> Matrix {
+        let rows: Vec<Vec<f32>> = tokens
+            .iter()
+            .enumerate()
+            .map(|(pos, token)| {
+                let mut v = self.embed_token(token);
+                for (j, x) in v.iter_mut().enumerate() {
+                    let angle = pos as f32 / 10_000f32.powf(2.0 * (j / 2) as f32 / self.dim as f32);
+                    let positional = if j % 2 == 0 { angle.sin() } else { angle.cos() };
+                    *x += 0.1 * positional;
+                }
+                v
+            })
+            .collect();
+        Matrix::from_rows(rows).expect("token sequence is non-empty")
+    }
+
+    /// Returns a vector close to `base` but perturbed with deterministic noise of the
+    /// given amplitude; used to make "related" sentences similar but not identical.
+    pub fn perturb(&self, base: &[f32], noise: f32, tag: u64) -> Vec<f32> {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ tag.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        base.iter()
+            .map(|&x| x + rng.gen_range(-noise..noise.max(f32::MIN_POSITIVE)))
+            .collect()
+    }
+
+    /// Cosine similarity between two vectors (helper used by prediction heads and
+    /// tests).
+    pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+        let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+        let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+        let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
+        if na == 0.0 || nb == 0.0 {
+            0.0
+        } else {
+            dot / (na * nb)
+        }
+    }
+
+    /// Finds the index of the candidate vector most similar (by dot product) to
+    /// `target`. Returns `None` when `candidates` is empty.
+    pub fn nearest(target: &[f32], candidates: &[Vec<f32>]) -> Option<usize> {
+        candidates
+            .iter()
+            .enumerate()
+            .max_by(|a, b| {
+                let da: f32 = a.1.iter().zip(target).map(|(x, y)| x * y).sum();
+                let db: f32 = b.1.iter().zip(target).map(|(x, y)| x * y).sum();
+                da.total_cmp(&db)
+            })
+            .map(|(i, _)| i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_token_same_embedding() {
+        let space = EmbeddingSpace::new(32, 1);
+        assert_eq!(space.embed_token("kitchen"), space.embed_token("kitchen"));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = EmbeddingSpace::new(32, 1).embed_token("kitchen");
+        let b = EmbeddingSpace::new(32, 2).embed_token("kitchen");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn unrelated_tokens_are_nearly_orthogonal() {
+        let space = EmbeddingSpace::new(64, 3);
+        let a = space.embed_token("garden");
+        let b = space.embed_token("hallway");
+        let cos = EmbeddingSpace::cosine(&a, &b).abs();
+        assert!(cos < 0.5, "cosine {cos}");
+        let self_cos = EmbeddingSpace::cosine(&a, &a);
+        assert!((self_cos - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn sentence_embedding_mixes_tokens() {
+        let space = EmbeddingSpace::new(32, 4);
+        let s = space.embed_sentence(&["john", "moved", "garden"]);
+        let garden = space.embed_token("garden");
+        let unrelated = space.embed_token("spaceship");
+        assert!(
+            EmbeddingSpace::cosine(&s, &garden) > EmbeddingSpace::cosine(&s, &unrelated),
+            "sentence embedding should be closer to its own tokens"
+        );
+    }
+
+    #[test]
+    fn empty_sentence_is_zero() {
+        let space = EmbeddingSpace::new(16, 5);
+        assert!(space.embed_sentence(&[]).iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn sequence_embedding_shape_and_position_dependence() {
+        let space = EmbeddingSpace::new(16, 6);
+        let m = space.embed_sequence(&["a", "b", "a"]);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.dim(), 16);
+        // Same token at different positions gets different vectors.
+        assert_ne!(m.row(0), m.row(2));
+    }
+
+    #[test]
+    fn perturb_is_deterministic_and_small() {
+        let space = EmbeddingSpace::new(16, 7);
+        let base = space.embed_token("movie");
+        let p1 = space.perturb(&base, 0.05, 9);
+        let p2 = space.perturb(&base, 0.05, 9);
+        assert_eq!(p1, p2);
+        for (a, b) in base.iter().zip(&p1) {
+            assert!((a - b).abs() <= 0.05);
+        }
+    }
+
+    #[test]
+    fn embed_weighted_emphasizes_heavy_token() {
+        let space = EmbeddingSpace::new(32, 12);
+        let v = space.embed_weighted(&[("john", 1.0), ("garden", 0.25), ("moved", 0.25)]);
+        let john = space.embed_token("john");
+        let garden = space.embed_token("garden");
+        let dot = |a: &[f32], b: &[f32]| a.iter().zip(b).map(|(x, y)| x * y).sum::<f32>();
+        assert!(dot(&v, &john) > dot(&v, &garden));
+        assert!(space.embed_weighted(&[]).iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn token_norm_matches_configuration() {
+        let space = EmbeddingSpace::with_norm(64, 1, 8.0);
+        let v = space.embed_token("reactor");
+        let norm_sq: f32 = v.iter().map(|x| x * x).sum();
+        assert!(norm_sq > 3.0 && norm_sq < 16.0, "norm_sq {norm_sq}");
+    }
+
+    #[test]
+    fn nearest_picks_most_similar() {
+        let space = EmbeddingSpace::new(32, 8);
+        let target = space.embed_token("paris");
+        let candidates = vec![
+            space.embed_token("london"),
+            space.embed_token("paris"),
+            space.embed_token("tokyo"),
+        ];
+        assert_eq!(EmbeddingSpace::nearest(&target, &candidates), Some(1));
+        assert_eq!(EmbeddingSpace::nearest(&target, &[]), None);
+    }
+
+    #[test]
+    fn cosine_handles_zero_vectors() {
+        assert_eq!(EmbeddingSpace::cosine(&[0.0, 0.0], &[1.0, 0.0]), 0.0);
+    }
+}

@@ -1,0 +1,37 @@
+//! Synthetic attention workloads for the A3 reproduction.
+//!
+//! The paper evaluates A3 on three neural-network models:
+//!
+//! | paper workload | task | typical `n` | this crate |
+//! |----------------|------|-------------|------------|
+//! | End-to-End Memory Network (MemN2N) | Facebook bAbI QA | avg 20, max 50 | [`babi`], [`memn2n`] |
+//! | Key-Value Memory Network (KV-MemN2N) | WikiMovies QA | avg 186 | [`wikimovies`], [`kvmemn2n`] |
+//! | BERT (base) self-attention | SQuAD v1.1 | 320 | [`squad`], [`bert`] |
+//!
+//! We do not have the pretrained checkpoints or the licensed datasets, so each workload
+//! is replaced by a *synthetic* equivalent (see `DESIGN.md`, substitution #1): a
+//! deterministic generator produces tasks with the same structure (a few relevant
+//! memory rows among many distractors, the paper's `n` and `d`), a light-weight model
+//! embeds them with [`embedding::EmbeddingSpace`], and the model's attention operations
+//! go through the pluggable [`a3_core::kernel::AttentionKernel`] so that exact,
+//! approximate and quantized attention can be compared — which is exactly the
+//! experimental setup of the paper's Section VI-B accuracy study.
+//!
+//! Every workload also implements [`workload::Workload`], the interface the evaluation
+//! harness (`a3-eval`) and the benchmark harness (`a3-bench`) consume.
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod babi;
+pub mod bert;
+pub mod embedding;
+pub mod kvmemn2n;
+pub mod memn2n;
+pub mod metrics;
+pub mod squad;
+pub mod vocab;
+pub mod wikimovies;
+pub mod workload;
+
+pub use workload::{AttentionCase, Workload, WorkloadKind};

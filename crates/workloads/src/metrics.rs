@@ -1,0 +1,191 @@
+//! Accuracy metrics used by the paper's evaluation (Section VI-B).
+//!
+//! * **accuracy** for the bAbI QA task (exact-match answer accuracy),
+//! * **mean average precision (MAP)** for the WikiMovies task,
+//! * **F1** for SQuAD-style span extraction,
+//! * **top-k recall** for Figure 13b (fraction of the true top-k attention entries that
+//!   survive approximation).
+
+/// Exact-match accuracy: the fraction of `(predicted, expected)` pairs that are equal.
+///
+/// Returns 0.0 for an empty input.
+pub fn accuracy<T: PartialEq>(pairs: &[(T, T)]) -> f64 {
+    if pairs.is_empty() {
+        return 0.0;
+    }
+    let correct = pairs.iter().filter(|(p, e)| p == e).count();
+    correct as f64 / pairs.len() as f64
+}
+
+/// Average precision of a single ranked result list against a set of relevant items.
+///
+/// `ranked` is the model's ranking (best first); `relevant` is the set of correct
+/// answers. Returns 0.0 when `relevant` is empty.
+pub fn average_precision<T: PartialEq>(ranked: &[T], relevant: &[T]) -> f64 {
+    if relevant.is_empty() {
+        return 0.0;
+    }
+    let mut hits = 0usize;
+    let mut sum_precision = 0.0f64;
+    for (i, item) in ranked.iter().enumerate() {
+        if relevant.contains(item) {
+            hits += 1;
+            sum_precision += hits as f64 / (i + 1) as f64;
+        }
+    }
+    sum_precision / relevant.len() as f64
+}
+
+/// Mean average precision over a collection of `(ranking, relevant-set)` pairs.
+///
+/// Returns 0.0 for an empty input.
+pub fn mean_average_precision<T: PartialEq>(cases: &[(Vec<T>, Vec<T>)]) -> f64 {
+    if cases.is_empty() {
+        return 0.0;
+    }
+    cases
+        .iter()
+        .map(|(ranked, relevant)| average_precision(ranked, relevant))
+        .sum::<f64>()
+        / cases.len() as f64
+}
+
+/// Token-level F1 between a predicted span `[pred_start, pred_end]` and a gold span
+/// `[gold_start, gold_end]` (both inclusive), as used for SQuAD.
+pub fn span_f1(pred: (usize, usize), gold: (usize, usize)) -> f64 {
+    let (ps, pe) = (pred.0.min(pred.1), pred.0.max(pred.1));
+    let (gs, ge) = (gold.0.min(gold.1), gold.0.max(gold.1));
+    let overlap_start = ps.max(gs);
+    let overlap_end = pe.min(ge);
+    let overlap = if overlap_end >= overlap_start {
+        overlap_end - overlap_start + 1
+    } else {
+        0
+    };
+    if overlap == 0 {
+        return 0.0;
+    }
+    let pred_len = pe - ps + 1;
+    let gold_len = ge - gs + 1;
+    let precision = overlap as f64 / pred_len as f64;
+    let recall = overlap as f64 / gold_len as f64;
+    2.0 * precision * recall / (precision + recall)
+}
+
+/// Mean span F1 over a collection of `(predicted, gold)` span pairs.
+///
+/// Returns 0.0 for an empty input.
+pub fn mean_span_f1(pairs: &[((usize, usize), (usize, usize))]) -> f64 {
+    if pairs.is_empty() {
+        return 0.0;
+    }
+    pairs.iter().map(|&(p, g)| span_f1(p, g)).sum::<f64>() / pairs.len() as f64
+}
+
+/// Top-k recall: the fraction of `true_top` entries that also appear in `selected`.
+/// This is the metric of Figure 13b ("portion of top 5 (2 in bAbI) entries selected").
+///
+/// Returns 1.0 when `true_top` is empty (nothing to recall).
+pub fn top_k_recall(true_top: &[usize], selected: &[usize]) -> f64 {
+    if true_top.is_empty() {
+        return 1.0;
+    }
+    let hit = true_top.iter().filter(|t| selected.contains(t)).count();
+    hit as f64 / true_top.len() as f64
+}
+
+/// Mean top-k recall over many cases.
+///
+/// Returns 0.0 for an empty input.
+pub fn mean_top_k_recall(cases: &[(Vec<usize>, Vec<usize>)]) -> f64 {
+    if cases.is_empty() {
+        return 0.0;
+    }
+    cases
+        .iter()
+        .map(|(t, s)| top_k_recall(t, s))
+        .sum::<f64>()
+        / cases.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_counts_exact_matches() {
+        let pairs = vec![("a", "a"), ("b", "c"), ("d", "d"), ("e", "f")];
+        assert_eq!(accuracy(&pairs), 0.5);
+        assert_eq!(accuracy::<&str>(&[]), 0.0);
+    }
+
+    #[test]
+    fn average_precision_perfect_ranking() {
+        let ap = average_precision(&["x", "y", "z"], &["x", "y"]);
+        assert!((ap - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_precision_penalizes_late_hits() {
+        // Relevant item appears at rank 3: AP = (1/3) / 1 = 0.333...
+        let ap = average_precision(&["a", "b", "x"], &["x"]);
+        assert!((ap - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_precision_empty_relevant_is_zero() {
+        assert_eq!(average_precision(&["a"], &Vec::<&str>::new()), 0.0);
+    }
+
+    #[test]
+    fn map_averages_over_cases() {
+        let cases = vec![
+            (vec!["x"], vec!["x"]),          // AP = 1
+            (vec!["a", "x"], vec!["x"]),     // AP = 0.5
+        ];
+        assert!((mean_average_precision(&cases) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn span_f1_exact_match_is_one() {
+        assert_eq!(span_f1((3, 5), (3, 5)), 1.0);
+    }
+
+    #[test]
+    fn span_f1_no_overlap_is_zero() {
+        assert_eq!(span_f1((0, 2), (5, 7)), 0.0);
+    }
+
+    #[test]
+    fn span_f1_partial_overlap() {
+        // pred [2,5] (len 4), gold [4,7] (len 4), overlap [4,5] (len 2)
+        // precision = recall = 0.5, F1 = 0.5
+        assert!((span_f1((2, 5), (4, 7)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn span_f1_handles_reversed_spans() {
+        assert_eq!(span_f1((5, 3), (3, 5)), 1.0);
+    }
+
+    #[test]
+    fn top_k_recall_counts_hits() {
+        assert_eq!(top_k_recall(&[1, 2], &[2, 9, 1]), 1.0);
+        assert_eq!(top_k_recall(&[1, 2], &[2]), 0.5);
+        assert_eq!(top_k_recall(&[1, 2], &[7]), 0.0);
+        assert_eq!(top_k_recall(&[], &[7]), 1.0);
+    }
+
+    #[test]
+    fn mean_metrics_empty_inputs() {
+        assert_eq!(mean_span_f1(&[]), 0.0);
+        assert_eq!(mean_top_k_recall(&[]), 0.0);
+        assert_eq!(mean_average_precision::<u32>(&[]), 0.0);
+    }
+
+    #[test]
+    fn mean_top_k_recall_averages() {
+        let cases = vec![(vec![1, 2], vec![1, 2]), (vec![1, 2], vec![1])];
+        assert!((mean_top_k_recall(&cases) - 0.75).abs() < 1e-12);
+    }
+}

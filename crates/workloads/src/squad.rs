@@ -1,0 +1,195 @@
+//! Synthetic SQuAD-style passages and questions (substitute for SQuAD v1.1, used by the
+//! BERT workload in Section VI-A).
+//!
+//! Each example is a passage of `n` tokens (the paper uses `n = 320` — the combined
+//! passage + question length fed to BERT) containing one answer-bearing sentence, and a
+//! question that mentions the sentence's topic word. The answer is a contiguous span of
+//! the passage; the model metric is token-level F1, as in the paper.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::vocab::{FILM_PEOPLE, FILLER_WORDS, TOPIC_WORDS, YEARS};
+
+/// One SQuAD-style example.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SquadExample {
+    /// Passage tokens (the context the model reads).
+    pub passage: Vec<String>,
+    /// Question tokens.
+    pub question: Vec<String>,
+    /// Gold answer span as inclusive `(start, end)` token indices into `passage`.
+    pub answer_span: (usize, usize),
+    /// The topic word that links the question to the answer-bearing sentence.
+    pub topic: String,
+}
+
+impl SquadExample {
+    /// Total sequence length the model sees (passage + question), which is the `n` of
+    /// each self-attention operation.
+    pub fn sequence_len(&self) -> usize {
+        self.passage.len() + self.question.len()
+    }
+
+    /// The gold answer tokens.
+    pub fn answer_tokens(&self) -> &[String] {
+        &self.passage[self.answer_span.0..=self.answer_span.1]
+    }
+}
+
+/// Deterministic generator of SQuAD-style examples.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SquadGenerator {
+    seed: u64,
+    passage_len: usize,
+    question_len: usize,
+}
+
+impl SquadGenerator {
+    /// Creates a generator matching the paper's sequence length: 312 passage tokens plus
+    /// an 8-token question, for a total of `n = 320`.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            passage_len: 312,
+            question_len: 8,
+        }
+    }
+
+    /// Creates a generator with explicit passage and question lengths (useful for fast
+    /// tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `passage_len < 16` or `question_len < 3`.
+    pub fn with_lengths(seed: u64, passage_len: usize, question_len: usize) -> Self {
+        assert!(passage_len >= 16, "passage must have at least 16 tokens");
+        assert!(question_len >= 3, "question must have at least 3 tokens");
+        Self {
+            seed,
+            passage_len,
+            question_len,
+        }
+    }
+
+    /// The total sequence length (`n`) of generated examples.
+    pub fn sequence_len(&self) -> usize {
+        self.passage_len + self.question_len
+    }
+
+    /// Generates the `index`-th example. The same `(seed, index)` always yields the same
+    /// example.
+    pub fn generate(&self, index: usize) -> SquadExample {
+        let mut rng =
+            StdRng::seed_from_u64(self.seed ^ (index as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93));
+        // Filler passage.
+        let mut passage: Vec<String> = (0..self.passage_len)
+            .map(|_| FILLER_WORDS[rng.gen_range(0..FILLER_WORDS.len())].to_owned())
+            .collect();
+        // Answer-bearing sentence: "<topic> was established by <person> in <year>".
+        let topic = TOPIC_WORDS[rng.gen_range(0..TOPIC_WORDS.len())].to_owned();
+        let person = FILM_PEOPLE[rng.gen_range(0..FILM_PEOPLE.len())].to_owned();
+        let year = YEARS[rng.gen_range(0..YEARS.len())].to_owned();
+        let sentence = vec![
+            "the".to_owned(),
+            topic.clone(),
+            "was".to_owned(),
+            "established".to_owned(),
+            "by".to_owned(),
+            person.clone(),
+            "in".to_owned(),
+            year.clone(),
+        ];
+        // Answer span = "<person> in <year>" (3 tokens) inside the sentence.
+        let answer_offset_in_sentence = 5;
+        let answer_len = 3;
+        let max_start = self.passage_len - sentence.len();
+        let sentence_start = rng.gen_range(0..=max_start);
+        for (i, tok) in sentence.iter().enumerate() {
+            passage[sentence_start + i] = tok.clone();
+        }
+        let answer_start = sentence_start + answer_offset_in_sentence;
+        let answer_span = (answer_start, answer_start + answer_len - 1);
+        // Question: "by whom was the <topic> established" padded with filler.
+        let mut question = vec![
+            "by".to_owned(),
+            "whom".to_owned(),
+            "was".to_owned(),
+            "the".to_owned(),
+            topic.clone(),
+            "established".to_owned(),
+        ];
+        while question.len() < self.question_len {
+            question.push(FILLER_WORDS[rng.gen_range(0..FILLER_WORDS.len())].to_owned());
+        }
+        question.truncate(self.question_len.max(6));
+        SquadExample {
+            passage,
+            question,
+            answer_span,
+            topic,
+        }
+    }
+
+    /// Generates a batch of examples.
+    pub fn generate_many(&self, count: usize) -> Vec<SquadExample> {
+        (0..count).map(|i| self.generate(i)).collect()
+    }
+}
+
+impl Default for SquadGenerator {
+    fn default() -> Self {
+        Self::new(0x50AD)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_sequence_length_is_320() {
+        let g = SquadGenerator::new(1);
+        assert_eq!(g.sequence_len(), 320);
+        let ex = g.generate(0);
+        assert_eq!(ex.sequence_len(), 320);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let g = SquadGenerator::with_lengths(3, 40, 6);
+        assert_eq!(g.generate(5), g.generate(5));
+        assert_ne!(g.generate(5), g.generate(6));
+    }
+
+    #[test]
+    fn answer_span_is_inside_passage_and_contains_person_and_year() {
+        let g = SquadGenerator::with_lengths(7, 64, 8);
+        for ex in g.generate_many(30) {
+            let (s, e) = ex.answer_span;
+            assert!(e < ex.passage.len());
+            assert_eq!(e - s + 1, 3);
+            let answer = ex.answer_tokens();
+            assert!(FILM_PEOPLE.contains(&answer[0].as_str()));
+            assert_eq!(answer[1], "in");
+            assert!(YEARS.contains(&answer[2].as_str()));
+        }
+    }
+
+    #[test]
+    fn question_mentions_topic() {
+        let g = SquadGenerator::with_lengths(11, 48, 8);
+        for ex in g.generate_many(20) {
+            assert!(ex.question.contains(&ex.topic));
+            // The topic appears in the passage right before the answer sentence verb.
+            assert!(ex.passage.contains(&ex.topic));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 16 tokens")]
+    fn too_short_passage_rejected() {
+        let _ = SquadGenerator::with_lengths(1, 4, 8);
+    }
+}

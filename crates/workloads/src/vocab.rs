@@ -1,0 +1,196 @@
+//! Synthetic vocabularies for the three workload generators.
+//!
+//! The entity lists are intentionally small and human-readable (bAbI-style person and
+//! location names, WikiMovies-style movie/person/genre names); the statistical structure
+//! of the tasks comes from how the generators combine them, not from the lists
+//! themselves.
+
+/// Person names used by the bAbI-style story generator.
+pub const PERSONS: &[&str] = &[
+    "john", "mary", "smith", "daniel", "sandra", "fred", "julie", "bill", "emma", "oliver",
+    "sophia", "lucas", "mia", "noah", "ava", "liam",
+];
+
+/// Location names used by the bAbI-style story generator.
+pub const LOCATIONS: &[&str] = &[
+    "hallway",
+    "bathroom",
+    "bedroom",
+    "garden",
+    "kitchen",
+    "office",
+    "cinema",
+    "park",
+    "school",
+    "garage",
+    "balcony",
+    "cellar",
+];
+
+/// Motion verbs used by the bAbI-style story generator.
+pub const VERBS: &[&str] = &[
+    "travelled",
+    "journeyed",
+    "went",
+    "moved",
+    "walked",
+    "ran",
+    "wandered",
+    "returned",
+];
+
+/// Object names used as distractor statements in bAbI-style stories.
+pub const OBJECTS: &[&str] = &[
+    "football", "apple", "milk", "book", "lamp", "umbrella", "key", "bottle",
+];
+
+/// Movie titles used by the WikiMovies-style knowledge-base generator.
+pub const MOVIES: &[&str] = &[
+    "solaris_echo",
+    "crimson_harbor",
+    "the_last_orchard",
+    "midnight_circuit",
+    "paper_lanterns",
+    "glass_meridian",
+    "hollow_summit",
+    "violet_train",
+    "the_quiet_antenna",
+    "salt_and_ember",
+    "northern_arcade",
+    "the_cartographer",
+    "tidal_engine",
+    "orchid_protocol",
+    "winter_apiary",
+    "the_second_garden",
+    "parallel_harvest",
+    "neon_estuary",
+    "the_glass_harp",
+    "ivory_comet",
+];
+
+/// Person names used as directors, writers and actors in the WikiMovies-style generator.
+pub const FILM_PEOPLE: &[&str] = &[
+    "ana_reyes",
+    "tomas_lind",
+    "grace_okafor",
+    "henri_marchand",
+    "yuki_tanabe",
+    "petra_novak",
+    "samuel_osei",
+    "clara_voss",
+    "diego_serrano",
+    "ingrid_halvorsen",
+    "marcus_bell",
+    "leila_haddad",
+    "viktor_petrov",
+    "naomi_clarke",
+    "rafael_ortiz",
+    "helena_strand",
+];
+
+/// Genres used by the WikiMovies-style generator.
+pub const GENRES: &[&str] = &[
+    "drama",
+    "comedy",
+    "thriller",
+    "science_fiction",
+    "documentary",
+    "romance",
+    "mystery",
+    "animation",
+];
+
+/// Release years used by the WikiMovies-style generator.
+pub const YEARS: &[&str] = &[
+    "1987", "1992", "1996", "2001", "2004", "2008", "2011", "2014", "2017", "2019",
+];
+
+/// Generic filler words used by the SQuAD-style passage generator.
+pub const FILLER_WORDS: &[&str] = &[
+    "the",
+    "of",
+    "and",
+    "in",
+    "during",
+    "system",
+    "process",
+    "region",
+    "early",
+    "large",
+    "known",
+    "development",
+    "history",
+    "structure",
+    "several",
+    "became",
+    "century",
+    "which",
+    "group",
+    "energy",
+    "later",
+    "period",
+    "major",
+    "between",
+    "however",
+    "important",
+    "following",
+    "considered",
+    "technology",
+    "population",
+    "material",
+    "approach",
+];
+
+/// Topic words used to build SQuAD-style answer-bearing sentences.
+pub const TOPIC_WORDS: &[&str] = &[
+    "reactor",
+    "cathedral",
+    "glacier",
+    "parliament",
+    "telescope",
+    "currency",
+    "dynasty",
+    "algorithm",
+    "festival",
+    "harbor",
+    "vaccine",
+    "treaty",
+    "satellite",
+    "orchestra",
+    "pipeline",
+    "archive",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vocabularies_are_nonempty_and_unique() {
+        fn check(list: &[&str]) {
+            assert!(!list.is_empty());
+            let mut sorted: Vec<&str> = list.to_vec();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), list.len(), "duplicate entries in {list:?}");
+        }
+        check(PERSONS);
+        check(LOCATIONS);
+        check(VERBS);
+        check(OBJECTS);
+        check(MOVIES);
+        check(FILM_PEOPLE);
+        check(GENRES);
+        check(YEARS);
+        check(FILLER_WORDS);
+        check(TOPIC_WORDS);
+    }
+
+    #[test]
+    fn enough_entities_for_generators() {
+        assert!(PERSONS.len() >= 8);
+        assert!(LOCATIONS.len() >= 8);
+        assert!(MOVIES.len() >= 16);
+        assert!(FILM_PEOPLE.len() >= 12);
+    }
+}

@@ -1,0 +1,51 @@
+//! bAbI-style question answering with a MemN2N model, comparing exact attention with
+//! the A3 approximation (the paper's Figure 2 scenario).
+//!
+//! Run with: `cargo run --release --example babi_qa`
+
+use a3::core::approx::ApproxConfig;
+use a3::core::kernel::{ApproximateKernel, AttentionKernel, ExactKernel};
+use a3::workloads::babi::BabiGenerator;
+use a3::workloads::memn2n::MemN2N;
+use a3::workloads::Workload;
+
+fn main() {
+    let model = MemN2N::new(7);
+    let generator = BabiGenerator::new(7);
+
+    // Show one story end to end.
+    let story = generator.generate(0);
+    println!("--- story ---");
+    for (i, statement) in story.statements.iter().enumerate() {
+        println!("  [{i:>2}] {}", statement.text());
+    }
+    println!("question: where is {}?", story.question_person);
+    println!("answer  : {}", story.answer_location);
+    println!("supporting statement: {}", story.supporting_statement);
+
+    let kernels: Vec<(&str, Box<dyn AttentionKernel>)> = vec![
+        ("exact", Box::new(ExactKernel)),
+        (
+            "approx (conservative)",
+            Box::new(ApproximateKernel::new(ApproxConfig::conservative())),
+        ),
+        (
+            "approx (aggressive)",
+            Box::new(ApproximateKernel::new(ApproxConfig::aggressive())),
+        ),
+    ];
+    for (name, kernel) in &kernels {
+        let (predicted, expected) = model.predict(kernel.as_ref(), &story);
+        println!(
+            "{name:<22} predicted: {predicted:<10} ({})",
+            if predicted == expected { "correct" } else { "wrong" }
+        );
+    }
+
+    // Accuracy over a larger evaluation set (Figure 13a's MemN2N column).
+    println!("\n--- accuracy over 200 stories ---");
+    for (name, kernel) in &kernels {
+        let accuracy = model.evaluate(kernel.as_ref(), 200);
+        println!("{name:<22} accuracy: {accuracy:.3}");
+    }
+}

@@ -1,0 +1,54 @@
+//! Design-space sweep: how the accuracy / performance trade-off moves as the two
+//! approximation knobs (`M`, `T`) change — the knob the paper highlights as A3's main
+//! strength ("M and T are configurable").
+//!
+//! Run with: `cargo run --release --example design_space_sweep`
+
+use a3::core::approx::ApproxConfig;
+use a3::core::kernel::{ApproximateKernel, ExactKernel};
+use a3::sim::{A3Config, EnergyModel, PipelineModel};
+use a3::workloads::memn2n::MemN2N;
+use a3::workloads::Workload;
+
+fn main() {
+    let workload = MemN2N::new(31);
+    let examples = 150;
+    let exact_accuracy = workload.evaluate(&ExactKernel, examples);
+    println!("exact accuracy: {exact_accuracy:.3}\n");
+    println!(
+        "{:<10} {:<8} {:<10} {:<14} {:<14} {:<12}",
+        "M", "T (%)", "accuracy", "cycles/query", "nJ/op", "speedup"
+    );
+
+    let cases = workload.attention_cases(16);
+    let base_model = PipelineModel::new(A3Config::paper_base());
+    let base_costs: Vec<_> = cases
+        .iter()
+        .map(|c| base_model.run_query(&c.keys, &c.values, &c.query))
+        .collect();
+    let base_cycles = base_model.aggregate(&base_costs).avg_throughput_cycles;
+
+    for m_fraction in [1.0, 0.5, 0.25, 0.125] {
+        for threshold in [2.5, 5.0, 10.0, 20.0] {
+            let approx = ApproxConfig::with_m_and_t(m_fraction, threshold);
+            let accuracy = workload.evaluate(&ApproximateKernel::new(approx), examples);
+            let config = A3Config::paper_base().with_approx(approx);
+            let model = PipelineModel::new(config);
+            let costs: Vec<_> = cases
+                .iter()
+                .map(|c| model.run_query(&c.keys, &c.values, &c.query))
+                .collect();
+            let report = model.aggregate(&costs);
+            let energy = EnergyModel::new(config);
+            println!(
+                "{:<10} {:<8} {:<10.3} {:<14.0} {:<14.1} {:<12.2}",
+                format!("{m_fraction}n"),
+                threshold,
+                accuracy,
+                report.avg_throughput_cycles,
+                1e9 / energy.ops_per_joule(&report),
+                base_cycles / report.avg_throughput_cycles
+            );
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Movie question answering with a Key-Value Memory Network over a synthetic
+//! WikiMovies-style knowledge base, with the accelerator's view of each query.
+//!
+//! Run with: `cargo run --release --example wikimovies_kv`
+
+use a3::core::kernel::{ApproximateKernel, AttentionKernel, ExactKernel};
+use a3::sim::{A3Config, EnergyModel, PipelineModel};
+use a3::workloads::kvmemn2n::KvMemN2N;
+use a3::workloads::wikimovies::WikiMoviesGenerator;
+use a3::workloads::Workload;
+
+fn main() {
+    let model = KvMemN2N::new(13);
+    let generator = WikiMoviesGenerator::new(13);
+    let kb = generator.generate(0);
+    println!("knowledge base: {} facts about {} movies", kb.n(), kb.questions.len());
+
+    // Answer the first few questions with exact and approximate attention.
+    let (keys, values) = model.memory(&kb);
+    for question in kb.questions.iter().take(3) {
+        println!("\nQ: {:?} of {}?", question.relation, question.movie);
+        println!("   gold answers: {:?}", question.answers);
+        for (name, kernel) in [
+            ("exact", Box::new(ExactKernel) as Box<dyn AttentionKernel>),
+            ("approx (conservative)", Box::new(ApproximateKernel::conservative())),
+        ] {
+            let ranked = model.rank_answers(kernel.as_ref(), &keys, &values, question);
+            println!("   {name:<22} top-3: {:?}", &ranked[..3]);
+        }
+    }
+
+    // Task-level MAP, the paper's metric for this workload.
+    println!("\n--- mean average precision over 54 questions ---");
+    for (name, kernel) in [
+        ("exact", Box::new(ExactKernel) as Box<dyn AttentionKernel>),
+        ("approx (conservative)", Box::new(ApproximateKernel::conservative())),
+        ("approx (aggressive)", Box::new(ApproximateKernel::aggressive())),
+    ] {
+        let map = model.evaluate(kernel.as_ref(), 54);
+        println!("{name:<22} MAP: {map:.3}");
+    }
+
+    // Accelerator cost of one query against this knowledge base.
+    println!("\n--- accelerator cost per query (n = {}) ---", kb.n());
+    let case = model.attention_case(&kb, &kb.questions[0]);
+    for (name, config) in [
+        ("Base A3", A3Config::paper_base()),
+        ("Approx. A3 (conservative)", A3Config::paper_conservative()),
+        ("Approx. A3 (aggressive)", A3Config::paper_aggressive()),
+    ] {
+        let pipeline = PipelineModel::new(config);
+        let cost = pipeline.run_query(&case.keys, &case.values, &case.query);
+        let report = pipeline.aggregate(&[cost]);
+        let energy = EnergyModel::new(config);
+        println!(
+            "{name:<26}: {:>4} cycles/query, {:>6.1} nJ/op",
+            cost.throughput_cycles,
+            1e9 / energy.ops_per_joule(&report)
+        );
+    }
+}

@@ -1,0 +1,41 @@
+//! Umbrella crate for the A3 approximate-attention accelerator reproduction.
+//!
+//! This crate re-exports the individual workspace crates under one roof so examples,
+//! integration tests and downstream users can depend on a single `a3` crate:
+//!
+//! * [`fixed`] — fixed-point arithmetic and the lookup-table exponent ([`a3_fixed`]),
+//! * [`core`] — attention mechanisms and the approximation algorithms ([`a3_core`]),
+//! * [`workloads`] — the synthetic MemN2N / KV-MemN2N / BERT workloads ([`a3_workloads`]),
+//! * [`baselines`] — dense attention and CPU/GPU analytical models ([`a3_baselines`]),
+//! * [`sim`] — the cycle-level accelerator simulator and energy model ([`a3_sim`]),
+//! * [`eval`] — the experiment drivers that regenerate the paper's figures ([`a3_eval`]).
+//!
+//! # Quick start
+//!
+//! ```
+//! use a3::core::{Matrix, approx::{ApproxConfig, ApproximateAttention}};
+//! use a3::sim::{A3Config, PipelineModel};
+//!
+//! // Approximate attention over a small memory...
+//! let keys = Matrix::from_rows(vec![vec![0.9, 0.1], vec![-0.4, 0.6], vec![0.8, 0.2]]).unwrap();
+//! let values = keys.clone();
+//! let out = ApproximateAttention::new(ApproxConfig::conservative())
+//!     .attend(&keys, &values, &[1.0, 0.3])
+//!     .unwrap();
+//!
+//! // ...and the cycle cost of that operation on the accelerator.
+//! let model = PipelineModel::new(A3Config::paper_conservative());
+//! let cost = model.run_query(&keys, &values, &[1.0, 0.3]);
+//! assert!(cost.latency_cycles > 0);
+//! assert!(!out.selected.is_empty());
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub use a3_baselines as baselines;
+pub use a3_core as core;
+pub use a3_eval as eval;
+pub use a3_fixed as fixed;
+pub use a3_sim as sim;
+pub use a3_workloads as workloads;
