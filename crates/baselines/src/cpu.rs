@@ -81,6 +81,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn metadata() {
         assert_eq!(XeonGold6128.name(), "Intel Xeon Gold 6128");
         assert_eq!(XeonGold6128.tdp_watts(), 115.0);

@@ -78,7 +78,11 @@ mod tests {
 
     fn case(n: usize, d: usize) -> (Matrix, Matrix, Vec<f32>) {
         let rows: Vec<Vec<f32>> = (0..n)
-            .map(|i| (0..d).map(|j| (((i * 5 + j * 3) % 11) as f32 - 5.0) / 5.0).collect())
+            .map(|i| {
+                (0..d)
+                    .map(|j| (((i * 5 + j * 3) % 11) as f32 - 5.0) / 5.0)
+                    .collect()
+            })
             .collect();
         let keys = Matrix::from_rows(rows.clone()).unwrap();
         let values = Matrix::from_rows(rows).unwrap();

@@ -80,6 +80,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn metadata() {
         assert_eq!(TitanV.name(), "NVIDIA Titan V");
         assert_eq!(TitanV.tdp_watts(), 250.0);

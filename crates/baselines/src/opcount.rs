@@ -199,7 +199,11 @@ mod tests {
             let total = profile.attention_fraction_total();
             let query = profile.attention_fraction_query();
             assert!(total > 0.35, "{}: total fraction {total}", profile.name);
-            assert!(query >= total - 1e-12, "{}: query {query} < total {total}", profile.name);
+            assert!(
+                query >= total - 1e-12,
+                "{}: query {query} < total {total}",
+                profile.name
+            );
         }
         assert!(ModelOpProfile::memn2n().attention_fraction_query() > 0.7);
         assert!(ModelOpProfile::kv_memn2n().attention_fraction_query() > 0.7);

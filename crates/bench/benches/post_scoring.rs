@@ -19,9 +19,11 @@ fn bench_post_scoring(c: &mut Criterion) {
     group.sample_size(30);
 
     for t in [1.0f64, 2.5, 5.0, 10.0, 20.0] {
-        group.bench_with_input(BenchmarkId::new("dynamic_threshold", format!("T={t}%")), &t, |b, &t| {
-            b.iter(|| post_scoring_select(black_box(&rows), black_box(&exact.scores), t))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("dynamic_threshold", format!("T={t}%")),
+            &t,
+            |b, &t| b.iter(|| post_scoring_select(black_box(&rows), black_box(&exact.scores), t)),
+        );
     }
     group.bench_function("static_top5", |b| {
         b.iter(|| static_top_k(black_box(&rows), black_box(&exact.scores), 5))

@@ -108,11 +108,7 @@ impl ColumnPointer {
 /// # Panics
 ///
 /// Panics if `query.len() != sorted.dim()`.
-pub fn select_candidates(
-    sorted: &SortedKeyColumns,
-    query: &[f32],
-    m: usize,
-) -> CandidateSelection {
+pub fn select_candidates(sorted: &SortedKeyColumns, query: &[f32], m: usize) -> CandidateSelection {
     assert_eq!(
         query.len(),
         sorted.dim(),
@@ -307,8 +303,8 @@ mod tests {
 
     #[test]
     fn all_negative_rows_yield_no_candidates_but_a_best_row() {
-        let keys = Matrix::from_rows(vec![vec![-1.0, -0.5], vec![-0.2, -0.4], vec![-0.9, -0.8]])
-            .unwrap();
+        let keys =
+            Matrix::from_rows(vec![vec![-1.0, -0.5], vec![-0.2, -0.4], vec![-0.9, -0.8]]).unwrap();
         let sorted = SortedKeyColumns::preprocess(&keys);
         let sel = select_candidates(&sorted, &[1.0, 1.0], 6);
         assert!(sel.candidates.is_empty());

@@ -109,9 +109,9 @@ mod tests {
             let ratio = ((scores[r] - max) as f64).exp() * 100.0;
             assert!(ratio >= t - 1e-6, "row {r} ratio {ratio}");
         }
-        for r in 0..6 {
+        for (r, &score) in scores.iter().enumerate() {
             if !selected.contains(&r) {
-                let ratio = ((scores[r] - max) as f64).exp() * 100.0;
+                let ratio = ((score - max) as f64).exp() * 100.0;
                 assert!(ratio < t + 1e-6, "row {r} should have been kept ({ratio})");
             }
         }

@@ -146,7 +146,11 @@ mod tests {
     fn every_column_is_sorted_and_a_permutation() {
         let keys = Matrix::from_rows(
             (0..50)
-                .map(|i| (0..16).map(|j| ((i * 7 + j * 13) % 23) as f32 - 11.0).collect())
+                .map(|i| {
+                    (0..16)
+                        .map(|j| ((i * 7 + j * 13) % 23) as f32 - 11.0)
+                        .collect()
+                })
                 .collect(),
         )
         .unwrap();
@@ -168,7 +172,7 @@ mod tests {
         let keys = Matrix::zeros(320, 64);
         let sorted = SortedKeyColumns::preprocess(&keys);
         let bytes = sorted.sram_bytes();
-        assert!(bytes >= 40 * 1024 && bytes <= 2 * 40 * 1024);
+        assert!((40 * 1024..=2 * 40 * 1024).contains(&bytes));
     }
 
     #[test]

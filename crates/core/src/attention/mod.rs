@@ -10,6 +10,8 @@ mod softmax;
 pub use self_attention::{self_attention, MultiHeadSelfAttention, Projection, SelfAttentionOutput};
 pub use softmax::{softmax, softmax_in_place, stable_softmax};
 
+use rayon::prelude::*;
+
 use crate::{AttentionError, Matrix};
 
 /// Full result of an attention operation, exposing the intermediate similarity scores
@@ -128,6 +130,45 @@ pub fn attention_with_scores(
         weights,
         output,
     })
+}
+
+/// Exact attention for a batch of queries sharing one key/value memory, parallelised
+/// across queries.
+///
+/// Each query is computed exactly as [`attention_with_scores`] would compute it — the
+/// results are bit-identical to a sequential loop, in query order — but the queries are
+/// distributed over worker threads, which is the software analogue of the paper's
+/// multi-unit scale-out (Section V-D): attention operations against a shared memory are
+/// embarrassingly parallel.
+///
+/// An empty batch returns an empty vector.
+///
+/// # Errors
+///
+/// Returns the first (in query order) shape error if any query is inconsistent with
+/// the memory.
+///
+/// ```
+/// use a3_core::{Matrix, attention::{attention_batch, attention_with_scores}};
+/// let keys = Matrix::from_rows(vec![vec![0.9, 0.1], vec![-0.4, 0.6]]).unwrap();
+/// let values = keys.clone();
+/// let queries = vec![vec![1.0, 0.3], vec![-0.2, 0.8]];
+/// let batch = attention_batch(&keys, &values, &queries).unwrap();
+/// assert_eq!(batch.len(), 2);
+/// for (q, r) in queries.iter().zip(&batch) {
+///     assert_eq!(r, &attention_with_scores(&keys, &values, q).unwrap());
+/// }
+/// ```
+pub fn attention_batch(
+    keys: &Matrix,
+    values: &Matrix,
+    queries: &[Vec<f32>],
+) -> Result<Vec<AttentionResult>, AttentionError> {
+    let results: Vec<Result<AttentionResult, AttentionError>> = queries
+        .par_iter()
+        .map(|q| attention_with_scores(keys, values, q))
+        .collect();
+    results.into_iter().collect()
 }
 
 /// Attention restricted to a subset of rows: rows not listed in `rows` are treated as if
@@ -286,6 +327,35 @@ mod tests {
         let top = result.top_k(2);
         assert_eq!(top[0], 2);
         assert_eq!(top[1], 3);
+    }
+
+    #[test]
+    fn attention_batch_is_bit_identical_to_sequential() {
+        let (key, value, query) = figure6_example();
+        let mut flipped = query.clone();
+        flipped.iter_mut().for_each(|x| *x = -*x);
+        let queries = vec![query, flipped, vec![0.0, 1.0, 0.0]];
+        let batch = attention_batch(&key, &value, &queries).unwrap();
+        assert_eq!(batch.len(), 3);
+        for (q, r) in queries.iter().zip(&batch) {
+            assert_eq!(r, &attention_with_scores(&key, &value, q).unwrap());
+        }
+    }
+
+    #[test]
+    fn attention_batch_empty_batch_returns_empty() {
+        let (key, value, _) = figure6_example();
+        assert!(attention_batch(&key, &value, &[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn attention_batch_propagates_shape_errors() {
+        let (key, value, query) = figure6_example();
+        let queries = vec![query, vec![1.0, 2.0]];
+        assert!(matches!(
+            attention_batch(&key, &value, &queries),
+            Err(AttentionError::DimensionMismatch { .. })
+        ));
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! swaps the attention implementation inside otherwise unchanged models.
 
 use crate::approx::{ApproxConfig, ApproximateAttention};
-use crate::attention::{attention_with_scores, AttentionResult};
+use crate::attention::{attention_batch, attention_with_scores, AttentionResult};
 use crate::quantized::QuantizedAttention;
 use crate::{AttentionError, Matrix};
 use a3_fixed::QFormat;
@@ -69,6 +69,18 @@ impl AttentionKernel for ExactKernel {
         attention_with_scores(keys, values, query)
     }
 
+    fn attend_batch(
+        &self,
+        keys: &Matrix,
+        values: &Matrix,
+        queries: &Matrix,
+    ) -> Result<Vec<AttentionResult>, AttentionError> {
+        // Exact attention has no shared preprocessing, but the queries are independent,
+        // so the batch still parallelises across worker threads.
+        let query_rows: Vec<Vec<f32>> = queries.iter_rows().map(<[f32]>::to_vec).collect();
+        attention_batch(keys, values, &query_rows)
+    }
+
     fn name(&self) -> String {
         "exact".to_owned()
     }
@@ -120,17 +132,15 @@ impl AttentionKernel for ApproximateKernel {
         values: &Matrix,
         queries: &Matrix,
     ) -> Result<Vec<AttentionResult>, AttentionError> {
-        // Preprocess (column-sort) the key matrix once and reuse it for every query.
-        let sorted = crate::approx::SortedKeyColumns::preprocess(keys);
-        queries
-            .iter_rows()
-            .map(|q| {
-                Ok(self
-                    .inner
-                    .attend_prepared(&sorted, keys, values, q)?
-                    .result)
-            })
-            .collect()
+        // Preprocess (column-sort) the key matrix once, reuse it for every query, and
+        // parallelise across queries (see `ApproximateAttention::attend_batch`).
+        let query_rows: Vec<Vec<f32>> = queries.iter_rows().map(<[f32]>::to_vec).collect();
+        Ok(self
+            .inner
+            .attend_batch(keys, values, &query_rows)?
+            .into_iter()
+            .map(|out| out.result)
+            .collect())
     }
 
     fn name(&self) -> String {
@@ -227,7 +237,9 @@ mod tests {
     fn approximate_kernel_close_to_exact_on_small_case() {
         let (k, v, q) = case();
         let exact = ExactKernel.attend(&k, &v, &q).unwrap();
-        let approx = ApproximateKernel::conservative().attend(&k, &v, &q).unwrap();
+        let approx = ApproximateKernel::conservative()
+            .attend(&k, &v, &q)
+            .unwrap();
         // The dominant weight must land on the same row.
         assert_eq!(exact.argmax(), approx.argmax());
     }

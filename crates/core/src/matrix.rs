@@ -168,11 +168,7 @@ impl Matrix {
     ///
     /// Returns the appropriate [`AttentionError`] variant when shapes disagree or the
     /// memory is empty.
-    pub fn validate_attention(
-        &self,
-        values: &Matrix,
-        query: &[f32],
-    ) -> Result<(), AttentionError> {
+    pub fn validate_attention(&self, values: &Matrix, query: &[f32]) -> Result<(), AttentionError> {
         if self.rows == 0 {
             return Err(AttentionError::EmptyMemory);
         }

@@ -109,9 +109,10 @@ impl QuantizedAttention {
         let mut max_dot = Fixed::min(formats.dot_product());
         for &r in rows {
             let key_row = keys.row(r);
-            let products = key_row.iter().zip(&q_fixed).map(|(&k, q)| {
-                Fixed::quantize(k as f64, formats.input()).mul_full(*q)
-            });
+            let products = key_row
+                .iter()
+                .zip(&q_fixed)
+                .map(|(&k, q)| Fixed::quantize(k as f64, formats.input()).mul_full(*q));
             let dot = Fixed::accumulate(products, formats.product(), d);
             debug_assert_eq!(dot.format(), formats.dot_product());
             if dot > max_dot {
@@ -200,7 +201,9 @@ mod tests {
     fn close_to_float_attention_with_paper_precision() {
         let (keys, values, query) = case(24, 16);
         let exact = attention_with_scores(&keys, &values, &query).unwrap();
-        let quant = QuantizedAttention::paper().attend(&keys, &values, &query).unwrap();
+        let quant = QuantizedAttention::paper()
+            .attend(&keys, &values, &query)
+            .unwrap();
         for (a, b) in exact.output.iter().zip(&quant.output) {
             assert!((a - b).abs() < 0.15, "{a} vs {b}");
         }
@@ -221,7 +224,9 @@ mod tests {
         let (keys, values, query) = case(20, 8);
         let exact = attention_with_scores(&keys, &values, &query).unwrap();
         let err = |fmt: QFormat| -> f32 {
-            let quant = QuantizedAttention::new(fmt).attend(&keys, &values, &query).unwrap();
+            let quant = QuantizedAttention::new(fmt)
+                .attend(&keys, &values, &query)
+                .unwrap();
             exact
                 .output
                 .iter()
@@ -237,7 +242,9 @@ mod tests {
     #[test]
     fn weights_approximately_sum_to_one() {
         let (keys, values, query) = case(16, 8);
-        let quant = QuantizedAttention::paper().attend(&keys, &values, &query).unwrap();
+        let quant = QuantizedAttention::paper()
+            .attend(&keys, &values, &query)
+            .unwrap();
         let sum: f32 = quant.weights.iter().sum();
         assert!((sum - 1.0).abs() < 0.1, "weight sum {sum}");
     }

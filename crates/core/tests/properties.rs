@@ -4,7 +4,7 @@ use a3_core::approx::{
     post_scoring_select, select_candidates, select_candidates_naive, ApproxConfig,
     ApproximateAttention, SortedKeyColumns,
 };
-use a3_core::attention::{attention_with_scores, stable_softmax};
+use a3_core::attention::{attention_batch, attention_with_scores, stable_softmax};
 use a3_core::Matrix;
 use proptest::prelude::*;
 
@@ -22,6 +22,25 @@ fn attention_case() -> impl Strategy<Value = (Matrix, Matrix, Vec<f32>)> {
                     Matrix::from_rows(k).unwrap(),
                     Matrix::from_rows(v).unwrap(),
                     q,
+                )
+            })
+    })
+}
+
+/// Strategy producing a random (keys, values, queries) batch with `n` in 2..24,
+/// `d` in 1..12 and 0 to 4 queries (the empty batch is a legal input).
+fn batch_case() -> impl Strategy<Value = (Matrix, Matrix, Vec<Vec<f32>>)> {
+    (2usize..24, 1usize..12, 0usize..5).prop_flat_map(|(n, d, b)| {
+        (
+            prop::collection::vec(prop::collection::vec(-2.0f32..2.0, d..=d), n..=n),
+            prop::collection::vec(prop::collection::vec(-2.0f32..2.0, d..=d), n..=n),
+            prop::collection::vec(prop::collection::vec(-2.0f32..2.0, d..=d), b..=b),
+        )
+            .prop_map(|(k, v, qs)| {
+                (
+                    Matrix::from_rows(k).unwrap(),
+                    Matrix::from_rows(v).unwrap(),
+                    qs,
                 )
             })
     })
@@ -132,6 +151,25 @@ proptest! {
         prop_assert!(out.stats.num_selected <= out.stats.num_candidates
             || out.stats.num_candidates == 0);
         prop_assert!(out.stats.num_candidates <= keys.rows());
+    }
+
+    /// The batched front-ends are bit-identical to their sequential counterparts
+    /// (including for the empty batch), for both exact and approximate attention.
+    #[test]
+    fn batched_front_ends_match_sequential((keys, values, queries) in batch_case()) {
+        let exact_batch = attention_batch(&keys, &values, &queries).unwrap();
+        prop_assert_eq!(exact_batch.len(), queries.len());
+        for (q, r) in queries.iter().zip(&exact_batch) {
+            prop_assert_eq!(r, &attention_with_scores(&keys, &values, q).unwrap());
+        }
+        for config in [ApproxConfig::conservative(), ApproxConfig::aggressive()] {
+            let approx = ApproximateAttention::new(config);
+            let batch = approx.attend_batch(&keys, &values, &queries).unwrap();
+            prop_assert_eq!(batch.len(), queries.len());
+            for (q, out) in queries.iter().zip(&batch) {
+                prop_assert_eq!(out, &approx.attend(&keys, &values, q).unwrap());
+            }
+        }
     }
 
     /// Aggressive approximation never selects more entries than conservative

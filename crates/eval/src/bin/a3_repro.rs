@@ -16,8 +16,7 @@ use a3_eval::experiments::{self, accuracy, performance};
 use a3_eval::{EvalSettings, Table};
 
 const EXPERIMENTS: &[&str] = &[
-    "fig3", "fig11", "fig12", "fig13", "quant", "fig14", "fig15", "table1", "latency",
-    "ablation",
+    "fig3", "fig11", "fig12", "fig13", "quant", "fig14", "fig15", "table1", "latency", "ablation",
 ];
 
 fn print_tables(tables: Vec<Table>) {

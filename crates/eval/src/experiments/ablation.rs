@@ -24,12 +24,20 @@ pub fn exp_lut_ablation() -> Table {
     let output = QFormat::new(0, 8);
     let mut table = Table::new(
         "Ablation: exponent lookup-table organisation (Q8.8 input, Q0.8 output)",
-        &["Datapath", "Table entries", "Max abs error", "Mean abs error"],
+        &[
+            "Datapath",
+            "Table entries",
+            "Max abs error",
+            "Mean abs error",
+        ],
     );
     let variants = [
         ("two-half LUT (paper)", ExpLut::two_half(input, output)),
         ("single LUT", ExpLut::single(input, output)),
-        ("float exp (reference)", ExpLut::float_reference(input, output)),
+        (
+            "float exp (reference)",
+            ExpLut::float_reference(input, output),
+        ),
     ];
     for (name, lut) in variants {
         let report = lut.report(-16.0, 1024);

@@ -8,9 +8,9 @@ use a3_fixed::QFormat;
 use a3_workloads::metrics::top_k_recall;
 use a3_workloads::Workload;
 
+use crate::experiments::paper_workloads;
 use crate::report::{fmt3, Table};
 use crate::settings::EvalSettings;
-use crate::experiments::paper_workloads;
 
 /// The `M` sweep of Figure 11, as fractions of `n` (plus the exact baseline).
 pub const FIG11_M_FRACTIONS: [f64; 5] = [1.0, 0.75, 0.5, 0.25, 0.125];
@@ -29,7 +29,9 @@ pub fn fig11(settings: &EvalSettings) -> Vec<Table> {
     );
     let mut row = vec!["No Approximation".to_owned()];
     for w in &workloads {
-        row.push(fmt3(w.evaluate(&ExactKernel, settings.examples_for(w.kind()))));
+        row.push(fmt3(
+            w.evaluate(&ExactKernel, settings.examples_for(w.kind())),
+        ));
     }
     accuracy.push_row(row);
     for frac in FIG11_M_FRACTIONS {
@@ -67,7 +69,9 @@ pub fn fig12(settings: &EvalSettings) -> Vec<Table> {
     );
     let mut row = vec!["No Approximation".to_owned()];
     for w in &workloads {
-        row.push(fmt3(w.evaluate(&ExactKernel, settings.examples_for(w.kind()))));
+        row.push(fmt3(
+            w.evaluate(&ExactKernel, settings.examples_for(w.kind())),
+        ));
     }
     accuracy.push_row(row);
     for t in FIG12_THRESHOLDS {
@@ -101,8 +105,14 @@ pub fn fig13(settings: &EvalSettings) -> Vec<Table> {
     let workloads = paper_workloads(settings);
     let configs: [(&str, Option<ApproxConfig>); 3] = [
         ("Base A3 (exact)", None),
-        ("Approximate A3 (conservative)", Some(ApproxConfig::conservative())),
-        ("Approximate A3 (aggressive)", Some(ApproxConfig::aggressive())),
+        (
+            "Approximate A3 (conservative)",
+            Some(ApproxConfig::conservative()),
+        ),
+        (
+            "Approximate A3 (aggressive)",
+            Some(ApproxConfig::aggressive()),
+        ),
     ];
     let mut accuracy = Table::new(
         "Figure 13a: end-to-end accuracy of the combined approximation schemes",
@@ -150,7 +160,9 @@ pub fn quantization(settings: &EvalSettings) -> Table {
     );
     let mut row = vec!["float32".to_owned()];
     for w in &workloads {
-        row.push(fmt3(w.evaluate(&ExactKernel, settings.examples_for(w.kind()))));
+        row.push(fmt3(
+            w.evaluate(&ExactKernel, settings.examples_for(w.kind())),
+        ));
     }
     table.push_row(row);
     for f in [2u32, 4, 6] {

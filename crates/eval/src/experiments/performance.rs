@@ -46,13 +46,12 @@ pub fn simulate_workload(
         .map(|case| model.run_query(&case.keys, &case.values, &case.query))
         .collect();
     let report = model.aggregate(&costs);
-    let preprocessing_cycles = if config.is_approximate()
-        && !workload.kind().preprocessing_off_critical_path()
-    {
-        model.amortized_preprocessing_cycles(workload.kind().typical_n())
-    } else {
-        0.0
-    };
+    let preprocessing_cycles =
+        if config.is_approximate() && !workload.kind().preprocessing_off_critical_path() {
+            model.amortized_preprocessing_cycles(workload.kind().typical_n())
+        } else {
+            0.0
+        };
     let throughput_cycles = report.avg_throughput_cycles + preprocessing_cycles;
     let latency_cycles = report.avg_latency_cycles + preprocessing_cycles;
     let energy = EnergyModel::new(config);

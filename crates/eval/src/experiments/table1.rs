@@ -11,7 +11,12 @@ pub fn table1() -> Vec<Table> {
     let characteristics = TableI::paper();
     let mut table = Table::new(
         "Table I: area and power characteristics of A3 (TSMC 40nm, 1 GHz)",
-        &["Module", "Area (mm^2)", "Dynamic Power (mW)", "Static Power (mW)"],
+        &[
+            "Module",
+            "Area (mm^2)",
+            "Dynamic Power (mW)",
+            "Static Power (mW)",
+        ],
     );
     for module in characteristics.modules() {
         table.push_row(vec![
@@ -30,7 +35,12 @@ pub fn table1() -> Vec<Table> {
 
     let mut comparison = Table::new(
         "Die-area comparison (Section VI-D)",
-        &["Device", "Die Area (mm^2)", "Process (nm)", "vs one A3 unit"],
+        &[
+            "Device",
+            "Die Area (mm^2)",
+            "Process (nm)",
+            "vs one A3 unit",
+        ],
     );
     let a3_area = characteristics.total_area_mm2();
     comparison.push_row(vec![

@@ -51,7 +51,10 @@ impl Table {
 
     /// Looks up a cell by row and column index.
     pub fn cell(&self, row: usize, col: usize) -> Option<&str> {
-        self.rows.get(row).and_then(|r| r.get(col)).map(String::as_str)
+        self.rows
+            .get(row)
+            .and_then(|r| r.get(col))
+            .map(String::as_str)
     }
 
     /// Renders the table as aligned monospace text.

@@ -264,7 +264,10 @@ mod tests {
     fn rejects_wrong_format() {
         let lut = paper_lut();
         let x = Fixed::quantize(-0.5, QFormat::new(4, 4));
-        assert!(matches!(lut.eval(x), Err(FixedError::FormatMismatch { .. })));
+        assert!(matches!(
+            lut.eval(x),
+            Err(FixedError::FormatMismatch { .. })
+        ));
     }
 
     #[test]

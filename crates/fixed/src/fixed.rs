@@ -137,13 +137,19 @@ impl Fixed {
             // Widening (or equal) fraction: just extend then saturate integer part.
             let shift = target.frac_bits() - self.format.frac_bits();
             let raw = (self.raw << shift).clamp(target.min_raw(), target.max_raw());
-            return Self { raw, format: target };
+            return Self {
+                raw,
+                format: target,
+            };
         }
         let shift = self.format.frac_bits() - target.frac_bits();
         let half = 1i64 << (shift - 1);
         let rounded = (self.raw + half) >> shift;
         let raw = rounded.clamp(target.min_raw(), target.max_raw());
-        Self { raw, format: target }
+        Self {
+            raw,
+            format: target,
+        }
     }
 
     /// Full-precision multiplication: the result format is the sum of the operand
@@ -379,7 +385,7 @@ mod tests {
         let expsum = Fixed::quantize(2.0, sum_fmt);
         let w = score.div_weight(expsum);
         assert_eq!(w.format(), score_fmt);
-        assert!((w.to_f64() - 0.25).abs() < score_fmt.resolution() as f64);
+        assert!((w.to_f64() - 0.25).abs() < score_fmt.resolution());
     }
 
     #[test]

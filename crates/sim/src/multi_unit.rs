@@ -129,9 +129,12 @@ mod tests {
         let cfg = A3Config::paper_base();
         let report = single_report(cfg);
         let single = report.throughput_ops_per_s;
-        assert_eq!(MultiUnit::units_to_reach(cfg, &report, single * 0.5), Some(1));
+        assert_eq!(
+            MultiUnit::units_to_reach(cfg, &report, single * 0.5),
+            Some(1)
+        );
         let needed = MultiUnit::units_to_reach(cfg, &report, single * 5.0).unwrap();
-        assert!(needed >= 5 && needed <= 6);
+        assert!((5..=6).contains(&needed));
         assert_eq!(MultiUnit::units_to_reach(cfg, &report, single * 1e6), None);
     }
 

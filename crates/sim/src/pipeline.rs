@@ -16,7 +16,7 @@
 //! resulting per-query counts, so the performance results inherit the data-dependent
 //! behaviour the paper measures.
 
-use a3_core::approx::{ApproximateAttention, SortedKeyColumns};
+use a3_core::approx::ApproximateAttention;
 use a3_core::Matrix;
 use serde::{Deserialize, Serialize};
 
@@ -142,10 +142,7 @@ impl PipelineModel {
 
     /// Approximate-pipeline latency: `M + C + K + K + α` cycles (Section V-C).
     pub fn approx_latency_cycles(&self, trace: &ApproxQueryTrace) -> u64 {
-        trace.m as u64
-            + trace.candidates as u64
-            + 2 * trace.selected as u64
-            + APPROX_PIPELINE_ALPHA
+        trace.m as u64 + trace.candidates as u64 + 2 * trace.selected as u64 + APPROX_PIPELINE_ALPHA
     }
 
     /// Approximate-pipeline steady-state cycles per query. The candidate-selection
@@ -229,6 +226,8 @@ impl PipelineModel {
     /// Simulates a batch of queries that share one key/value memory (the key matrix is
     /// preprocessed once, as in self-attention) and aggregates the results.
     ///
+    /// Equivalent to [`PipelineModel::run_batch`], kept under its historical name.
+    ///
     /// # Panics
     ///
     /// Panics if the problem does not fit the synthesized configuration or `queries` is
@@ -239,17 +238,34 @@ impl PipelineModel {
         values: &Matrix,
         queries: &[Vec<f32>],
     ) -> SimReport {
+        self.run_batch(keys, values, queries)
+    }
+
+    /// Runs the configured pipeline over a batch of queries sharing one key/value
+    /// memory and reports aggregate latency and throughput.
+    ///
+    /// The data-dependent work counts come from
+    /// [`ApproximateAttention::attend_batch`], so the key-matrix preprocessing runs
+    /// once for the whole batch and the per-query approximation algorithms execute in
+    /// parallel on worker threads — the multi-query serving pattern the paper's
+    /// Figure 7 preprocessing is designed to amortise. The returned report is
+    /// identical to simulating the queries one at a time; only the wall-clock time of
+    /// the simulation itself differs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the problem does not fit the synthesized configuration or `queries` is
+    /// empty.
+    pub fn run_batch(&self, keys: &Matrix, values: &Matrix, queries: &[Vec<f32>]) -> SimReport {
         assert!(!queries.is_empty(), "at least one query is required");
         self.config.assert_fits(keys.rows(), keys.dim());
         let costs: Vec<QueryCost> = if self.config.is_approximate() {
-            let sorted = SortedKeyColumns::preprocess(keys);
             let approx = ApproximateAttention::new(self.config.approx);
-            queries
+            approx
+                .attend_batch(keys, values, queries)
+                .expect("caller-provided shapes must be consistent")
                 .iter()
-                .map(|q| {
-                    let out = approx
-                        .attend_prepared(&sorted, keys, values, q)
-                        .expect("caller-provided shapes must be consistent");
+                .map(|out| {
                     self.approx_query_cost(&ApproxQueryTrace {
                         m: out.stats.m_used,
                         candidates: out.stats.num_candidates,
@@ -272,12 +288,15 @@ impl PipelineModel {
     /// back).
     pub fn aggregate(&self, costs: &[QueryCost]) -> SimReport {
         assert!(!costs.is_empty(), "at least one query cost is required");
-        let total_cycles: u64 = costs[0].latency_cycles
-            + costs[1..].iter().map(|c| c.throughput_cycles).sum::<u64>();
+        let total_cycles: u64 =
+            costs[0].latency_cycles + costs[1..].iter().map(|c| c.throughput_cycles).sum::<u64>();
         let avg_latency_cycles =
             costs.iter().map(|c| c.latency_cycles as f64).sum::<f64>() / costs.len() as f64;
-        let avg_throughput_cycles =
-            costs.iter().map(|c| c.throughput_cycles as f64).sum::<f64>() / costs.len() as f64;
+        let avg_throughput_cycles = costs
+            .iter()
+            .map(|c| c.throughput_cycles as f64)
+            .sum::<f64>()
+            / costs.len() as f64;
         let activity = costs
             .iter()
             .fold(ModuleActivity::default(), |acc, c| acc.add(&c.activity));
@@ -419,7 +438,10 @@ mod tests {
         assert!(fraction > 0.03 && fraction < 0.12, "fraction {fraction}");
         // Aggressive: M = 40, throughput ~69 cycles; the paper reports ~24%.
         let aggr_fraction = overhead / 69.0;
-        assert!(aggr_fraction > 0.12 && aggr_fraction < 0.35, "fraction {aggr_fraction}");
+        assert!(
+            aggr_fraction > 0.12 && aggr_fraction < 0.35,
+            "fraction {aggr_fraction}"
+        );
         assert_eq!(m.amortized_preprocessing_cycles(1), 0.0);
     }
 
@@ -442,5 +464,34 @@ mod tests {
     fn empty_batch_panics() {
         let m = PipelineModel::new(A3Config::paper_base());
         let _ = m.aggregate(&[]);
+    }
+
+    #[test]
+    fn run_batch_matches_per_query_simulation() {
+        for config in [
+            A3Config::paper_base(),
+            A3Config::paper_conservative(),
+            A3Config::paper_aggressive(),
+        ] {
+            let m = PipelineModel::new(config);
+            let (keys, values, queries) = skewed_memory(120, 64);
+            let batch = m.run_batch(&keys, &values, &queries);
+            let costs: Vec<QueryCost> = queries
+                .iter()
+                .map(|q| m.run_query(&keys, &values, q))
+                .collect();
+            let sequential = m.aggregate(&costs);
+            assert_eq!(batch, sequential);
+        }
+    }
+
+    #[test]
+    fn simulate_queries_is_run_batch() {
+        let m = PipelineModel::new(A3Config::paper_conservative());
+        let (keys, values, queries) = skewed_memory(64, 64);
+        assert_eq!(
+            m.simulate_queries(&keys, &values, &queries),
+            m.run_batch(&keys, &values, &queries)
+        );
     }
 }

@@ -120,7 +120,8 @@ impl BabiGenerator {
     /// Generates the `index`-th story. The same `(seed, index)` always yields the same
     /// story.
     pub fn generate(&self, index: usize) -> BabiStory {
-        let mut rng = StdRng::seed_from_u64(self.seed ^ (index as u64).wrapping_mul(0xA24B_AED4_963E_E407));
+        let mut rng =
+            StdRng::seed_from_u64(self.seed ^ (index as u64).wrapping_mul(0xA24B_AED4_963E_E407));
         let n = rng.gen_range(self.min_statements..=self.max_statements);
         let mut statements = Vec::with_capacity(n);
         // Track each person's latest movement statement index and location.
@@ -211,7 +212,10 @@ mod tests {
         for story in g.generate_many(100) {
             let support = &story.statements[story.supporting_statement];
             assert_eq!(support.person, story.question_person);
-            assert_eq!(support.location.as_deref(), Some(story.answer_location.as_str()));
+            assert_eq!(
+                support.location.as_deref(),
+                Some(story.answer_location.as_str())
+            );
             // No later movement statement about the same person exists.
             for later in &story.statements[story.supporting_statement + 1..] {
                 assert!(!(later.person == story.question_person && later.is_movement()));

@@ -191,13 +191,18 @@ mod tests {
         let cases = m.attention_cases(12);
         let mut hits = 0;
         for case in &cases {
-            let result = ExactKernel.attend(&case.keys, &case.values, &case.query).unwrap();
+            let result = ExactKernel
+                .attend(&case.keys, &case.values, &case.query)
+                .unwrap();
             let top = result.top_k(5);
             if case.relevant_rows.iter().any(|r| top.contains(r)) {
                 hits += 1;
             }
         }
-        assert!(hits >= 9, "supporting fact in top-5 for only {hits}/12 cases");
+        assert!(
+            hits >= 9,
+            "supporting fact in top-5 for only {hits}/12 cases"
+        );
     }
 
     #[test]
@@ -212,7 +217,10 @@ mod tests {
         let m = small_model();
         let exact = m.evaluate(&ExactKernel, 12);
         let approx = m.evaluate(&ApproximateKernel::conservative(), 12);
-        assert!(approx >= exact - 0.2, "approx MAP {approx} vs exact {exact}");
+        assert!(
+            approx >= exact - 0.2,
+            "approx MAP {approx} vs exact {exact}"
+        );
     }
 
     #[test]

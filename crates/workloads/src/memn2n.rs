@@ -24,6 +24,9 @@ pub struct MemN2N {
     hops: usize,
     /// Strength of the temporal encoding added to the keys so that later statements
     /// about the same person win the similarity search (MemN2N's temporal features).
+    /// A person's most recent movement is scaled by `1 + temporal_weight`; each older
+    /// movement by the same person receives half the previous boost, and non-movement
+    /// distractors get no boost.
     temporal_weight: f32,
 }
 
@@ -35,17 +38,22 @@ impl MemN2N {
             embedding: EmbeddingSpace::new(a3_core::PAPER_D, seed),
             generator: BabiGenerator::new(seed),
             hops: 3,
-            temporal_weight: 0.15,
+            temporal_weight: 0.3,
         }
     }
 
     /// Creates the model with an explicit embedding dimension, hop count and generator.
-    pub fn with_config(embedding_dim: usize, hops: usize, generator: BabiGenerator, seed: u64) -> Self {
+    pub fn with_config(
+        embedding_dim: usize,
+        hops: usize,
+        generator: BabiGenerator,
+        seed: u64,
+    ) -> Self {
         Self {
             embedding: EmbeddingSpace::new(embedding_dim, seed),
             generator,
             hops: hops.max(1),
-            temporal_weight: 0.15,
+            temporal_weight: 0.3,
         }
     }
 
@@ -59,6 +67,21 @@ impl MemN2N {
         let n = story.n();
         let mut keys = Vec::with_capacity(n);
         let mut values = Vec::with_capacity(n);
+        // Per-person recency rank over *movement* statements: 0 for a person's most
+        // recent movement, 1 for the one before it, and so on. Ranking per person
+        // (rather than ramping with the absolute statement index) keeps the temporal
+        // boost bounded regardless of story length, so scores stay on the embedding
+        // scale; ranking only movements keeps a trailing object distractor (whose
+        // value row carries no location) from outboosting the fact that actually
+        // answers a "where is X" question.
+        let recency_rank: Vec<usize> = (0..n)
+            .map(|i| {
+                story.statements[i + 1..]
+                    .iter()
+                    .filter(|s| s.is_movement() && s.person == story.statements[i].person)
+                    .count()
+            })
+            .collect();
         for (i, statement) in story.statements.iter().enumerate() {
             // The key emphasizes the entity the statement is about (the person), with
             // the remaining tokens as weaker context — the role a trained MemN2N
@@ -72,11 +95,18 @@ impl MemN2N {
                 weighted.push((obj.as_str(), 0.25));
             }
             let mut key = self.embedding.embed_weighted(&weighted);
-            // Temporal encoding: later statements get a slightly larger magnitude so
-            // "most recent" facts win ties in the similarity search.
-            let temporal = 1.0 + self.temporal_weight * i as f32;
-            for x in &mut key {
-                *x *= temporal;
+            // Temporal encoding: a person's most recent movement gets a slightly
+            // larger magnitude (halving for each older movement by the same person)
+            // so "most recent" facts win ties in the similarity search. The boost is
+            // bounded by `1 + temporal_weight`, so it orders a person's statements
+            // without blowing up the score scale the way a ramp over the absolute
+            // statement index would. Non-movement distractors get no boost: they
+            // cannot answer a "where is X" question.
+            if statement.is_movement() {
+                let temporal = 1.0 + self.temporal_weight * 0.5f32.powi(recency_rank[i] as i32);
+                for x in &mut key {
+                    *x *= temporal;
+                }
             }
             keys.push(key);
             // The value row carries what the model should retrieve: the location for
@@ -145,10 +175,8 @@ impl Workload for MemN2N {
 
     fn evaluate(&self, kernel: &dyn AttentionKernel, count: usize) -> f64 {
         let stories = self.generator.generate_many(count);
-        let pairs: Vec<(String, String)> = stories
-            .iter()
-            .map(|s| self.predict(kernel, s))
-            .collect();
+        let pairs: Vec<(String, String)> =
+            stories.iter().map(|s| self.predict(kernel, s)).collect();
         accuracy(&pairs)
     }
 }
@@ -182,12 +210,17 @@ mod tests {
         let cases = m.attention_cases(40);
         let mut hits = 0;
         for case in &cases {
-            let result = ExactKernel.attend(&case.keys, &case.values, &case.query).unwrap();
+            let result = ExactKernel
+                .attend(&case.keys, &case.values, &case.query)
+                .unwrap();
             if result.top_k(2).contains(&case.relevant_rows[0]) {
                 hits += 1;
             }
         }
-        assert!(hits >= 28, "supporting statement in top-2 for only {hits}/40 cases");
+        assert!(
+            hits >= 28,
+            "supporting statement in top-2 for only {hits}/40 cases"
+        );
     }
 
     #[test]

@@ -72,10 +72,13 @@ pub fn span_f1(pred: (usize, usize), gold: (usize, usize)) -> f64 {
     2.0 * precision * recall / (precision + recall)
 }
 
+/// A `(predicted, gold)` pair of inclusive `(start, end)` token spans.
+pub type SpanPair = ((usize, usize), (usize, usize));
+
 /// Mean span F1 over a collection of `(predicted, gold)` span pairs.
 ///
 /// Returns 0.0 for an empty input.
-pub fn mean_span_f1(pairs: &[((usize, usize), (usize, usize))]) -> f64 {
+pub fn mean_span_f1(pairs: &[SpanPair]) -> f64 {
     if pairs.is_empty() {
         return 0.0;
     }
@@ -101,11 +104,7 @@ pub fn mean_top_k_recall(cases: &[(Vec<usize>, Vec<usize>)]) -> f64 {
     if cases.is_empty() {
         return 0.0;
     }
-    cases
-        .iter()
-        .map(|(t, s)| top_k_recall(t, s))
-        .sum::<f64>()
-        / cases.len() as f64
+    cases.iter().map(|(t, s)| top_k_recall(t, s)).sum::<f64>() / cases.len() as f64
 }
 
 #[cfg(test)]
@@ -140,8 +139,8 @@ mod tests {
     #[test]
     fn map_averages_over_cases() {
         let cases = vec![
-            (vec!["x"], vec!["x"]),          // AP = 1
-            (vec!["a", "x"], vec!["x"]),     // AP = 0.5
+            (vec!["x"], vec!["x"]),      // AP = 1
+            (vec!["a", "x"], vec!["x"]), // AP = 0.5
         ];
         assert!((mean_average_precision(&cases) - 0.75).abs() < 1e-12);
     }

@@ -10,7 +10,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-use crate::vocab::{FILM_PEOPLE, FILLER_WORDS, TOPIC_WORDS, YEARS};
+use crate::vocab::{FILLER_WORDS, FILM_PEOPLE, TOPIC_WORDS, YEARS};
 
 /// One SQuAD-style example.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -91,7 +91,7 @@ impl SquadGenerator {
         let topic = TOPIC_WORDS[rng.gen_range(0..TOPIC_WORDS.len())].to_owned();
         let person = FILM_PEOPLE[rng.gen_range(0..FILM_PEOPLE.len())].to_owned();
         let year = YEARS[rng.gen_range(0..YEARS.len())].to_owned();
-        let sentence = vec![
+        let sentence = [
             "the".to_owned(),
             topic.clone(),
             "was".to_owned(),

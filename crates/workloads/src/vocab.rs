@@ -13,18 +13,8 @@ pub const PERSONS: &[&str] = &[
 
 /// Location names used by the bAbI-style story generator.
 pub const LOCATIONS: &[&str] = &[
-    "hallway",
-    "bathroom",
-    "bedroom",
-    "garden",
-    "kitchen",
-    "office",
-    "cinema",
-    "park",
-    "school",
-    "garage",
-    "balcony",
-    "cellar",
+    "hallway", "bathroom", "bedroom", "garden", "kitchen", "office", "cinema", "park", "school",
+    "garage", "balcony", "cellar",
 ];
 
 /// Motion verbs used by the bAbI-style story generator.

@@ -137,7 +137,10 @@ impl WikiMoviesGenerator {
     ///
     /// Panics if `movies_per_kb` or `actors_per_movie` is zero.
     pub fn with_size(seed: u64, movies_per_kb: usize, actors_per_movie: usize) -> Self {
-        assert!(movies_per_kb >= 1 && actors_per_movie >= 1, "sizes must be positive");
+        assert!(
+            movies_per_kb >= 1 && actors_per_movie >= 1,
+            "sizes must be positive"
+        );
         Self {
             seed,
             movies_per_kb,
@@ -179,14 +182,15 @@ impl WikiMoviesGenerator {
             }
 
             let mut fact_indices: Vec<(Relation, Vec<usize>, Vec<String>)> = Vec::new();
-            let push_fact = |facts: &mut Vec<MovieFact>, relation: Relation, object: &str| -> usize {
-                facts.push(MovieFact {
-                    movie: movie.clone(),
-                    relation,
-                    object: object.to_owned(),
-                });
-                facts.len() - 1
-            };
+            let push_fact =
+                |facts: &mut Vec<MovieFact>, relation: Relation, object: &str| -> usize {
+                    facts.push(MovieFact {
+                        movie: movie.clone(),
+                        relation,
+                        object: object.to_owned(),
+                    });
+                    facts.len() - 1
+                };
             let idx = push_fact(&mut facts, Relation::DirectedBy, &director);
             fact_indices.push((Relation::DirectedBy, vec![idx], vec![director.clone()]));
             let idx = push_fact(&mut facts, Relation::WrittenBy, &writer);
@@ -277,7 +281,10 @@ mod tests {
         let candidates = WikiMoviesKb::candidate_entities();
         for q in &kb.questions {
             for a in &q.answers {
-                assert!(candidates.contains(&a.as_str()), "answer {a} not in candidates");
+                assert!(
+                    candidates.contains(&a.as_str()),
+                    "answer {a} not in candidates"
+                );
             }
         }
     }

@@ -38,7 +38,11 @@ fn main() {
         let (predicted, expected) = model.predict(kernel.as_ref(), &story);
         println!(
             "{name:<22} predicted: {predicted:<10} ({})",
-            if predicted == expected { "correct" } else { "wrong" }
+            if predicted == expected {
+                "correct"
+            } else {
+                "wrong"
+            }
         );
     }
 

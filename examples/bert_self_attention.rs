@@ -26,8 +26,14 @@ fn main() {
     // Task quality with exact vs approximate attention.
     for (name, kernel) in [
         ("exact", Box::new(ExactKernel) as Box<dyn AttentionKernel>),
-        ("approx (conservative)", Box::new(ApproximateKernel::conservative())),
-        ("approx (aggressive)", Box::new(ApproximateKernel::aggressive())),
+        (
+            "approx (conservative)",
+            Box::new(ApproximateKernel::conservative()),
+        ),
+        (
+            "approx (aggressive)",
+            Box::new(ApproximateKernel::aggressive()),
+        ),
     ] {
         let span = model.predict_span(kernel.as_ref(), &example);
         let f1 = a3::workloads::metrics::span_f1(span, example.answer_span);
@@ -40,7 +46,11 @@ fn main() {
     // key matrix. Compare the accelerator with the CPU and GPU baselines.
     let case = model.attention_cases(1).remove(0);
     let queries: Vec<Vec<f32>> = (0..case.n()).map(|i| case.keys.row(i).to_vec()).collect();
-    println!("\n--- attention throughput for n = {}, d = {} ---", case.n(), case.d());
+    println!(
+        "\n--- attention throughput for n = {}, d = {} ---",
+        case.n(),
+        case.d()
+    );
     let cpu = XeonGold6128.estimate(case.n(), case.d(), 320);
     let gpu = TitanV.estimate(case.n(), case.d(), 320 * 12);
     println!("CPU  : {:>12.0} ops/s", cpu.throughput_ops_per_s);
@@ -52,10 +62,11 @@ fn main() {
     ] {
         let pipeline = PipelineModel::new(config);
         let report = pipeline.simulate_queries(&case.keys, &case.values, &queries);
-        println!("{name:<26}: {:>12.0} ops/s (single unit)", report.throughput_ops_per_s);
-        if let Some(units) =
-            MultiUnit::units_to_reach(config, &report, gpu.throughput_ops_per_s)
-        {
+        println!(
+            "{name:<26}: {:>12.0} ops/s (single unit)",
+            report.throughput_ops_per_s
+        );
+        if let Some(units) = MultiUnit::units_to_reach(config, &report, gpu.throughput_ops_per_s) {
             println!(
                 "{name:<26}: {units} unit(s) needed to match the GPU ({:.1} mm^2 total)",
                 MultiUnit::new(units, config).total_area_mm2()

@@ -13,7 +13,11 @@ fn main() {
     let model = KvMemN2N::new(13);
     let generator = WikiMoviesGenerator::new(13);
     let kb = generator.generate(0);
-    println!("knowledge base: {} facts about {} movies", kb.n(), kb.questions.len());
+    println!(
+        "knowledge base: {} facts about {} movies",
+        kb.n(),
+        kb.questions.len()
+    );
 
     // Answer the first few questions with exact and approximate attention.
     let (keys, values) = model.memory(&kb);
@@ -22,7 +26,10 @@ fn main() {
         println!("   gold answers: {:?}", question.answers);
         for (name, kernel) in [
             ("exact", Box::new(ExactKernel) as Box<dyn AttentionKernel>),
-            ("approx (conservative)", Box::new(ApproximateKernel::conservative())),
+            (
+                "approx (conservative)",
+                Box::new(ApproximateKernel::conservative()),
+            ),
         ] {
             let ranked = model.rank_answers(kernel.as_ref(), &keys, &values, question);
             println!("   {name:<22} top-3: {:?}", &ranked[..3]);
@@ -33,8 +40,14 @@ fn main() {
     println!("\n--- mean average precision over 54 questions ---");
     for (name, kernel) in [
         ("exact", Box::new(ExactKernel) as Box<dyn AttentionKernel>),
-        ("approx (conservative)", Box::new(ApproximateKernel::conservative())),
-        ("approx (aggressive)", Box::new(ApproximateKernel::aggressive())),
+        (
+            "approx (conservative)",
+            Box::new(ApproximateKernel::conservative()),
+        ),
+        (
+            "approx (aggressive)",
+            Box::new(ApproximateKernel::aggressive()),
+        ),
     ] {
         let map = model.evaluate(kernel.as_ref(), 54);
         println!("{name:<22} MAP: {map:.3}");

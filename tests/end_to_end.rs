@@ -45,7 +45,9 @@ fn approximation_prunes_work_but_keeps_relevant_rows_mostly() {
         let mut kept = 0usize;
         let mut total = 0usize;
         for case in &cases {
-            let out = approx.attend(&case.keys, &case.values, &case.query).unwrap();
+            let out = approx
+                .attend(&case.keys, &case.values, &case.query)
+                .unwrap();
             assert!(out.stats.num_candidates <= case.n());
             assert!(out.stats.num_selected <= out.stats.num_candidates.max(1));
             let exact = attention_with_scores(&case.keys, &case.values, &case.query).unwrap();
@@ -57,7 +59,11 @@ fn approximation_prunes_work_but_keeps_relevant_rows_mostly() {
         // The memory-network cases have sharply skewed scores (high recall); the
         // synthetic BERT case's top-5 includes near-tied noise rows, so its bound is
         // looser (Figure 13b shows the same workload ordering).
-        let min_recall = if w.kind() == WorkloadKind::Bert { 0.3 } else { 0.5 };
+        let min_recall = if w.kind() == WorkloadKind::Bert {
+            0.3
+        } else {
+            0.5
+        };
         assert!(
             recall > min_recall,
             "{}: conservative approximation kept only {recall:.2} of the true top rows",
@@ -121,7 +127,10 @@ fn simulator_end_to_end_speedup_and_energy_ordering() {
             report.throughput_ops_per_s > prev_throughput,
             "throughput must improve with approximation"
         );
-        assert!(per_op_j < prev_energy, "energy must improve with approximation");
+        assert!(
+            per_op_j < prev_energy,
+            "energy must improve with approximation"
+        );
         prev_throughput = report.throughput_ops_per_s;
         prev_energy = per_op_j;
         // Average power can never exceed the Table I peak.
@@ -138,6 +147,45 @@ fn multi_unit_scaling_covers_bert_batch_parallelism() {
     let four = MultiUnit::new(4, config);
     assert!(four.aggregate_throughput(&report) > 3.5 * report.throughput_ops_per_s);
     assert!(four.total_area_mm2() < 10.0);
+}
+
+#[test]
+fn batched_front_end_matches_sequential_across_workloads() {
+    // The batched multi-query front-end must be a pure wall-clock optimization: for
+    // every workload's memory, attending a batch of queries yields bit-identical
+    // outputs to attending them one at a time, and the simulator's batch report equals
+    // the per-query aggregation.
+    for w in workloads() {
+        let case = w.attention_cases(1).remove(0);
+        let queries: Vec<Vec<f32>> = (0..5)
+            .map(|i| {
+                let scale = 0.8 + 0.1 * i as f32;
+                case.query.iter().map(|x| x * scale).collect()
+            })
+            .collect();
+        let approx = ApproximateAttention::new(ApproxConfig::conservative());
+        let batch = approx
+            .attend_batch(&case.keys, &case.values, &queries)
+            .unwrap();
+        assert_eq!(batch.len(), queries.len(), "{}", w.name());
+        for (query, out) in queries.iter().zip(&batch) {
+            let sequential = approx.attend(&case.keys, &case.values, query).unwrap();
+            assert_eq!(out, &sequential, "{}", w.name());
+        }
+        // Empty batches are legal and empty.
+        assert!(approx
+            .attend_batch(&case.keys, &case.values, &[])
+            .unwrap()
+            .is_empty());
+        // Simulator batch report: one preprocessing pass, same aggregate numbers.
+        let model = PipelineModel::new(A3Config::paper_conservative());
+        let report = model.run_batch(&case.keys, &case.values, &queries);
+        assert_eq!(report.queries, queries.len());
+        assert_eq!(
+            report,
+            model.simulate_queries(&case.keys, &case.values, &queries)
+        );
+    }
 }
 
 #[test]

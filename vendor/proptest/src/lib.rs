@@ -1,0 +1,360 @@
+//! Offline stand-in for the `proptest` property-testing surface this
+//! workspace uses.
+//!
+//! The build image has no route to crates.io, so the workspace vendors a small
+//! functional property-test engine: the [`proptest!`] macro, range and tuple
+//! strategies, `prop::collection::vec`, `prop_map` / `prop_flat_map`
+//! combinators, and the `prop_assert!` / `prop_assert_eq!` / `prop_assume!`
+//! assertion macros. Each property runs against a deterministic stream of
+//! generated cases (seeded from the test name), so failures are reproducible.
+//! There is no shrinking: a failing case reports its assertion message only.
+
+pub mod strategy {
+    //! Value-generation strategies (a simplified `proptest::strategy`).
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// The deterministic generator handed to strategies.
+    pub type TestRng = StdRng;
+
+    /// A recipe for generating values of type [`Strategy::Value`].
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value from the strategy.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transforms generated values through `map`.
+        fn prop_map<U, F>(self, map: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { base: self, map }
+        }
+
+        /// Builds a dependent strategy from each generated value.
+        fn prop_flat_map<S, F>(self, make: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { base: self, make }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        base: S,
+        map: F,
+    }
+
+    impl<S, U, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.map)(self.base.generate(rng))
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_flat_map`].
+    #[derive(Debug, Clone)]
+    pub struct FlatMap<S, F> {
+        base: S,
+        make: F,
+    }
+
+    impl<S, T, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        T: Strategy,
+        F: Fn(S::Value) -> T,
+    {
+        type Value = T::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (self.make)(self.base.generate(rng)).generate(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(usize, u8, u16, u32, u64, i8, i16, i32, i64, isize, f32, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident),+)),+ $(,)?) => {$(
+            #[allow(non_snake_case)]
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    impl_tuple_strategy!((A, B), (A, B, C), (A, B, C, D), (A, B, C, D, E));
+}
+
+pub mod collection {
+    //! Strategies for collections (a simplified `proptest::collection`).
+
+    use super::strategy::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// An inclusive bound on generated collection sizes.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max_inclusive: usize,
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            Self {
+                min: r.start,
+                max_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty collection size range");
+            Self {
+                min: *r.start(),
+                max_inclusive: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self {
+                min: n,
+                max_inclusive: n,
+            }
+        }
+    }
+
+    /// Generates `Vec`s whose length lies in `size` and whose elements come
+    /// from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.gen_range(self.size.min..=self.size.max_inclusive);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! The case-execution loop behind [`proptest!`](crate::proptest).
+
+    use super::strategy::TestRng;
+    use rand::SeedableRng;
+
+    /// Number of generated cases each property must pass.
+    pub const CASES: u32 = 96;
+    /// Bail out if `prop_assume!` rejects this many candidate cases.
+    pub const MAX_REJECTS: u32 = CASES * 50;
+
+    /// Why a single generated case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// An assertion failed: the property is falsified.
+        Fail(String),
+        /// `prop_assume!` filtered the case out; try another one.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// Builds the failure variant.
+        pub fn fail(message: String) -> Self {
+            Self::Fail(message)
+        }
+
+        /// Builds the rejection variant.
+        pub fn reject(condition: &str) -> Self {
+            Self::Reject(condition.to_owned())
+        }
+    }
+
+    fn seed_for(name: &str) -> u64 {
+        // FNV-1a over the test name: deterministic, distinct per property.
+        name.bytes().fold(0xCBF2_9CE4_8422_2325u64, |h, b| {
+            (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3)
+        })
+    }
+
+    /// Runs `case` until [`CASES`] cases pass, panicking on the first failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a case fails or when `prop_assume!` rejects more than
+    /// [`MAX_REJECTS`] candidates.
+    pub fn run_cases<F>(name: &str, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        let mut rng = TestRng::seed_from_u64(seed_for(name));
+        let mut passed = 0u32;
+        let mut rejected = 0u32;
+        while passed < CASES {
+            match case(&mut rng) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejected += 1;
+                    assert!(
+                        rejected <= MAX_REJECTS,
+                        "property '{name}': prop_assume! rejected {rejected} cases \
+                         (only {passed} passed); the assumption is too restrictive"
+                    );
+                }
+                Err(TestCaseError::Fail(message)) => {
+                    panic!("property '{name}' falsified after {passed} passing cases: {message}")
+                }
+            }
+        }
+    }
+}
+
+/// Declares property tests: `proptest! { #[test] fn prop(x in strategy) { ... } }`.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::test_runner::run_cases(stringify!($name), |__rng| {
+                    $(let $pat = $crate::strategy::Strategy::generate(&($strat), __rng);)*
+                    #[allow(clippy::redundant_closure_call)]
+                    (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })()
+                });
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property, failing the current case otherwise.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a property, failing the current case otherwise.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
+            stringify!($left),
+            stringify!($right),
+            left,
+            right
+        );
+    }};
+}
+
+/// Skips the current case when its generated inputs don't satisfy `cond`.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+pub mod prelude {
+    //! Glob-importable names, mirroring `proptest::prelude`.
+    pub use super::strategy::Strategy;
+    pub use super::{prop_assert, prop_assert_eq, prop_assume, proptest};
+    pub use crate as prop;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    fn pair() -> impl Strategy<Value = (usize, Vec<f64>)> {
+        (1usize..8).prop_flat_map(|n| {
+            (n..=n, prop::collection::vec(-1.0f64..1.0, n..=n)).prop_map(|(n, v)| (n, v))
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn vec_lengths_respect_size((n, v) in pair()) {
+            prop_assert_eq!(v.len(), n);
+            prop_assert!(v.iter().all(|x| (-1.0..1.0).contains(x)));
+        }
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 5u32..9, y in -2.0f32..2.0) {
+            prop_assert!((5..9).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y));
+            prop_assume!(x > 4); // always true; exercises the reject path compiles
+        }
+    }
+}

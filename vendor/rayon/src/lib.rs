@@ -1,0 +1,176 @@
+//! Offline stand-in for the `rayon` API surface this workspace uses.
+//!
+//! The build image has no route to crates.io, so the workspace vendors a small
+//! data-parallel subset of rayon: `par_iter()` over slices and `Vec`s with
+//! `map(..).collect::<Vec<_>>()`, plus `with_min_len` as a chunking hint. Unlike
+//! the serde stand-in this one is real: work is split into contiguous chunks and
+//! executed on `std::thread::scope` threads (one per available core, capped by
+//! the item count), and results are returned in input order — the same ordering
+//! contract as rayon's indexed parallel iterators.
+
+use std::num::NonZeroUsize;
+
+/// Conversion of `&C` into a parallel iterator (rayon's `IntoParallelRefIterator`).
+pub trait IntoParallelRefIterator<'data> {
+    /// The element type iterated over.
+    type Item: Sync + 'data;
+
+    /// Returns a parallel iterator over borrowed elements.
+    fn par_iter(&'data self) -> ParIter<'data, Self::Item>;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = T;
+
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter {
+            slice: self,
+            min_len: 1,
+        }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = T;
+
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        self.as_slice().par_iter()
+    }
+}
+
+/// A parallel iterator over a borrowed slice.
+#[derive(Debug)]
+pub struct ParIter<'data, T> {
+    slice: &'data [T],
+    min_len: usize,
+}
+
+impl<'data, T: Sync> ParIter<'data, T> {
+    /// Requires each worker's chunk to hold at least `min` items (a chunking hint,
+    /// as in rayon's `IndexedParallelIterator::with_min_len`).
+    pub fn with_min_len(mut self, min: usize) -> Self {
+        self.min_len = min.max(1);
+        self
+    }
+
+    /// Maps each element through `op` in parallel.
+    pub fn map<U, F>(self, op: F) -> ParMap<'data, T, F>
+    where
+        U: Send,
+        F: Fn(&'data T) -> U + Sync,
+    {
+        ParMap { base: self, op }
+    }
+}
+
+/// The result of [`ParIter::map`].
+#[derive(Debug)]
+pub struct ParMap<'data, T, F> {
+    base: ParIter<'data, T>,
+    op: F,
+}
+
+impl<'data, T, U, F> ParMap<'data, T, F>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&'data T) -> U + Sync,
+{
+    /// Executes the map on worker threads and collects results in input order.
+    pub fn collect<C>(self) -> C
+    where
+        C: FromOrderedResults<U>,
+    {
+        C::from_ordered(par_map_slice(self.base.slice, self.base.min_len, &self.op))
+    }
+}
+
+/// Collections buildable from an in-order result vector (rayon's
+/// `FromParallelIterator`, restricted to the ordered case).
+pub trait FromOrderedResults<U> {
+    /// Builds the collection from results listed in input order.
+    fn from_ordered(results: Vec<U>) -> Self;
+}
+
+impl<U> FromOrderedResults<U> for Vec<U> {
+    fn from_ordered(results: Vec<U>) -> Self {
+        results
+    }
+}
+
+/// Number of worker threads to use for `len` items of work.
+fn worker_count(len: usize, min_len: usize) -> usize {
+    let cores = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
+    cores.min(len / min_len.max(1)).max(1)
+}
+
+fn par_map_slice<'data, T, U, F>(slice: &'data [T], min_len: usize, op: &F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&'data T) -> U + Sync,
+{
+    let n = slice.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = worker_count(n, min_len);
+    if workers <= 1 {
+        return slice.iter().map(op).collect();
+    }
+    let chunk_len = n.div_ceil(workers);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = slice
+            .chunks(chunk_len)
+            .map(|chunk| scope.spawn(move || chunk.iter().map(op).collect::<Vec<U>>()))
+            .collect();
+        let mut out = Vec::with_capacity(n);
+        for handle in handles {
+            out.extend(handle.join().expect("rayon stand-in worker panicked"));
+        }
+        out
+    })
+}
+
+pub mod prelude {
+    //! Glob-importable traits, mirroring `rayon::prelude`.
+    pub use super::{FromOrderedResults, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let input: Vec<usize> = (0..10_000).collect();
+        let doubled: Vec<usize> = input.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled.len(), input.len());
+        for (i, &v) in doubled.iter().enumerate() {
+            assert_eq!(v, i * 2);
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let input: Vec<u8> = Vec::new();
+        let out: Vec<u8> = input.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn min_len_hint_respected() {
+        let input: Vec<usize> = (0..64).collect();
+        let out: Vec<usize> = input.par_iter().with_min_len(32).map(|&x| x + 1).collect();
+        assert_eq!(out[63], 64);
+    }
+
+    #[test]
+    fn slice_par_iter_works() {
+        let input = [1u32, 2, 3];
+        let out: Vec<u32> = input.par_iter().map(|&x| x * x).collect();
+        assert_eq!(out, vec![1, 4, 9]);
+    }
+}

@@ -1,0 +1,27 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! The build image has no route to crates.io, so the workspace vendors the
+//! minimal serde surface it actually uses: the `Serialize` / `Deserialize`
+//! marker traits and the same-named derive macros. No code in the workspace
+//! serializes values yet; the derives exist so the data types keep the bound
+//! for future (real-serde) consumers. Blanket impls make every type satisfy
+//! both traits, so generic bounds behave as with the real crate.
+//!
+//! Swapping the real serde back in is a one-line change in the workspace
+//! manifest; no source edits are required.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`.
+///
+/// The real trait is parameterized by a deserializer lifetime; the stand-in
+/// keeps the lifetime parameter so `for<'de> T: Deserialize<'de>` bounds from
+/// downstream code keep compiling.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

@@ -1,0 +1,22 @@
+//! No-op stand-in for the `serde_derive` proc-macro crate.
+//!
+//! The real `serde_derive` generates `Serialize`/`Deserialize` impls. This repo's
+//! build environment has no network access to crates.io, and nothing in the
+//! workspace actually serializes values yet (the derives exist so downstream
+//! consumers can rely on the bound), so the vendored stand-in accepts the derive
+//! attribute and emits nothing. The matching `serde` stub provides blanket impls,
+//! which keeps `T: Serialize` bounds satisfiable.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and emits no code (blanket impl lives in `serde`).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and emits no code (blanket impl lives in `serde`).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
