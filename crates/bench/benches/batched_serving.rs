@@ -1,0 +1,82 @@
+//! Batched-serving benchmark: batch size × {cold cache, warm cache}.
+//!
+//! Measures the software serving layer (`ComputeBackend` + `MemoryCache`) on the
+//! approximate datapath, whose per-memory preprocessing (the Figure 7 per-column key
+//! sort) dominates small batches. The cold variant misses the preprocessing cache on
+//! every batch (clearing it first), the warm variant hits it — so the gap between the
+//! two is exactly the preprocessing-cache win, and warm throughput must always be at
+//! least cold throughput.
+
+use a3_bench::skewed_memory;
+use a3_core::backend::{ApproximateBackend, ComputeBackend, MemoryCache};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_batched_serving(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batched_serving");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    group.sample_size(10);
+
+    let n = 320;
+    let d = 64;
+    let (keys, values, query) = skewed_memory(n, d, 11);
+    let backend = ApproximateBackend::conservative();
+
+    for batch_size in [1usize, 8, 32, 128] {
+        let queries: Vec<Vec<f32>> = (0..batch_size)
+            .map(|i| {
+                let scale = 1.0 + 0.001 * i as f32;
+                query.iter().map(|x| x * scale).collect()
+            })
+            .collect();
+        let rows: Vec<&[f32]> = queries.iter().map(Vec::as_slice).collect();
+
+        // Cold: every batch re-runs the per-column key sort (cache cleared each
+        // iteration, as if every batch targeted a never-seen memory).
+        group.bench_with_input(
+            BenchmarkId::new("cold_cache", batch_size),
+            &batch_size,
+            |b, _| {
+                let mut cache = MemoryCache::new(4);
+                b.iter(|| {
+                    cache.clear();
+                    let (memory, hit) = cache
+                        .get_or_prepare(&backend, black_box(&keys), black_box(&values))
+                        .expect("valid shapes");
+                    assert!(!hit);
+                    backend
+                        .attend_batch_prepared(&memory, black_box(&rows))
+                        .expect("valid shapes")
+                })
+            },
+        );
+
+        // Warm: the prepared memory stays cached across batches; only the per-query
+        // work runs.
+        group.bench_with_input(
+            BenchmarkId::new("warm_cache", batch_size),
+            &batch_size,
+            |b, _| {
+                let mut cache = MemoryCache::new(4);
+                cache
+                    .get_or_prepare(&backend, &keys, &values)
+                    .expect("valid shapes");
+                b.iter(|| {
+                    let (memory, hit) = cache
+                        .get_or_prepare(&backend, black_box(&keys), black_box(&values))
+                        .expect("valid shapes");
+                    assert!(hit);
+                    backend
+                        .attend_batch_prepared(&memory, black_box(&rows))
+                        .expect("valid shapes")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batched_serving);
+criterion_main!(benches);

@@ -9,6 +9,7 @@
 //! | `candidate_selection` | Figure 11 — greedy candidate search (naive vs efficient, across `M`) |
 //! | `post_scoring` | Figure 12 — post-scoring selection |
 //! | `pipeline_throughput` | Figure 14 — base vs approximate pipeline cycles across workload sizes |
+//! | `batched_serving` | Section IV-C — batch size × {cold, warm} preprocessing cache on the serving layer |
 //! | `dense_baseline` | Figures 14/15 — the conventional dense attention the baselines run |
 //! | `exp_lut` | Section III-A Module 2 — lookup-table exponent vs `exp()` |
 //! | `energy_model` | Figure 15 / Table I — activity-based energy accounting |

@@ -24,7 +24,7 @@ pub use candidate::{select_candidates, CandidateSelection};
 pub use candidate_naive::select_candidates_naive;
 pub use config::{ApproxConfig, MSpec, ThresholdSpec};
 pub use post_scoring::{post_scoring_select, static_top_k};
-pub use preprocess::SortedKeyColumns;
+pub use preprocess::{preprocess_count, SortedKeyColumns};
 
 use rayon::prelude::*;
 
@@ -141,13 +141,14 @@ impl ApproximateAttention {
     /// for (q, out) in queries.iter().zip(&batch) {
     ///     assert_eq!(out, &approx.attend(&keys, &values, q).unwrap());
     /// }
-    /// assert!(approx.attend_batch(&keys, &values, &[]).unwrap().is_empty());
+    /// let empty: &[Vec<f32>] = &[];
+    /// assert!(approx.attend_batch(&keys, &values, empty).unwrap().is_empty());
     /// ```
-    pub fn attend_batch(
+    pub fn attend_batch<Q: AsRef<[f32]> + Sync>(
         &self,
         keys: &Matrix,
         values: &Matrix,
-        queries: &[Vec<f32>],
+        queries: &[Q],
     ) -> Result<Vec<ApproxAttentionOutput>, AttentionError> {
         if queries.is_empty() {
             return Ok(Vec::new());
@@ -155,7 +156,7 @@ impl ApproximateAttention {
         let sorted = SortedKeyColumns::preprocess(keys);
         let results: Vec<Result<ApproxAttentionOutput, AttentionError>> = queries
             .par_iter()
-            .map(|q| self.attend_prepared(&sorted, keys, values, q))
+            .map(|q| self.attend_prepared(&sorted, keys, values, q.as_ref()))
             .collect();
         results.into_iter().collect()
     }
@@ -381,7 +382,8 @@ mod tests {
     fn attend_batch_empty_batch_returns_empty() {
         let (keys, values, _) = skewed_case(8, 4);
         let approx = ApproximateAttention::new(ApproxConfig::conservative());
-        let out = approx.attend_batch(&keys, &values, &[]).unwrap();
+        let empty: &[Vec<f32>] = &[];
+        let out = approx.attend_batch(&keys, &values, empty).unwrap();
         assert!(out.is_empty());
     }
 

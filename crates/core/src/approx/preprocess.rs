@@ -7,9 +7,28 @@
 //! self-attention models such as BERT, amortized over the `n` queries that share one key
 //! matrix).
 
+use std::cell::Cell;
+
 use serde::{Deserialize, Serialize};
 
 use crate::Matrix;
+
+thread_local! {
+    /// Per-thread count of [`SortedKeyColumns::preprocess`] invocations.
+    static PREPROCESS_COUNT: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Number of key-matrix column sorts performed *by the current thread* so far.
+///
+/// Instrumentation for the preprocessing cache: a warm
+/// [`MemoryCache`](crate::backend::MemoryCache) batch must leave this counter
+/// untouched (zero key sorts), which the cache tests assert directly. The counter is
+/// thread-local — every serving entry point runs the sort on the calling thread
+/// before fanning queries out to workers — so concurrently running tests cannot
+/// disturb each other's readings.
+pub fn preprocess_count() -> u64 {
+    PREPROCESS_COUNT.with(Cell::get)
+}
 
 /// One entry of a sorted key column: the key value and the row it came from.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -47,6 +66,7 @@ impl SortedKeyColumns {
     /// Complexity: `O(d * n log n)`; performed once per key matrix, off the query
     /// critical path.
     pub fn preprocess(keys: &Matrix) -> Self {
+        PREPROCESS_COUNT.with(|c| c.set(c.get() + 1));
         let columns = (0..keys.dim())
             .map(|c| {
                 let mut col: Vec<SortedEntry> = keys

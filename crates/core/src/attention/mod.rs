@@ -143,6 +143,10 @@ pub fn attention_with_scores(
 ///
 /// An empty batch returns an empty vector.
 ///
+/// Queries are accepted as anything that borrows a row slice (`Vec<f32>`, `&[f32]`,
+/// ...), so callers holding a query matrix can pass borrowed rows without copying a
+/// single element.
+///
 /// # Errors
 ///
 /// Returns the first (in query order) shape error if any query is inconsistent with
@@ -158,15 +162,18 @@ pub fn attention_with_scores(
 /// for (q, r) in queries.iter().zip(&batch) {
 ///     assert_eq!(r, &attention_with_scores(&keys, &values, q).unwrap());
 /// }
+/// // Zero-copy: borrowed row slices work too.
+/// let rows: Vec<&[f32]> = queries.iter().map(Vec::as_slice).collect();
+/// assert_eq!(attention_batch(&keys, &values, &rows).unwrap(), batch);
 /// ```
-pub fn attention_batch(
+pub fn attention_batch<Q: AsRef<[f32]> + Sync>(
     keys: &Matrix,
     values: &Matrix,
-    queries: &[Vec<f32>],
+    queries: &[Q],
 ) -> Result<Vec<AttentionResult>, AttentionError> {
     let results: Vec<Result<AttentionResult, AttentionError>> = queries
         .par_iter()
-        .map(|q| attention_with_scores(keys, values, q))
+        .map(|q| attention_with_scores(keys, values, q.as_ref()))
         .collect();
     results.into_iter().collect()
 }
@@ -345,7 +352,8 @@ mod tests {
     #[test]
     fn attention_batch_empty_batch_returns_empty() {
         let (key, value, _) = figure6_example();
-        assert!(attention_batch(&key, &value, &[]).unwrap().is_empty());
+        let empty: &[Vec<f32>] = &[];
+        assert!(attention_batch(&key, &value, empty).unwrap().is_empty());
     }
 
     #[test]

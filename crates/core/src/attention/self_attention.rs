@@ -8,7 +8,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::attention::AttentionResult;
-use crate::kernel::AttentionKernel;
+use crate::backend::ComputeBackend;
 use crate::{AttentionError, Matrix};
 
 /// Result of applying (multi-head) self-attention to a sequence.
@@ -22,13 +22,14 @@ pub struct SelfAttentionOutput {
 }
 
 /// Runs single-head self-attention: for every row of `queries`, attend over
-/// (`keys`, `values`) using `kernel` and stack the outputs.
+/// (`keys`, `values`) using `backend` and stack the outputs. The backend prepares the
+/// key matrix once for the whole sequence (the Section IV-C amortisation).
 ///
 /// # Errors
 ///
-/// Propagates any shape error from the underlying kernel.
-pub fn self_attention<K: AttentionKernel + ?Sized>(
-    kernel: &K,
+/// Propagates any shape error from the underlying backend.
+pub fn self_attention<B: ComputeBackend + ?Sized>(
+    backend: &B,
     keys: &Matrix,
     values: &Matrix,
     queries: &Matrix,
@@ -39,7 +40,7 @@ pub fn self_attention<K: AttentionKernel + ?Sized>(
             actual: queries.dim(),
         });
     }
-    let per_query = kernel.attend_batch(keys, values, queries)?;
+    let per_query = backend.attend_batch(keys, values, queries)?;
     let rows: Vec<Vec<f32>> = per_query.iter().map(|r| r.output.clone()).collect();
     let outputs = Matrix::from_rows(rows)?;
     Ok(SelfAttentionOutput { outputs, per_query })
@@ -160,16 +161,17 @@ impl MultiHeadSelfAttention {
         self.heads.first().map(|h| h.query.d_out()).unwrap_or(0)
     }
 
-    /// Applies the layer to a sequence of token states (`n x d_model`), using `kernel`
-    /// for every attention operation. The output is `n x (num_heads * d_head)` —
-    /// the concatenation of head outputs, as in the Transformer.
+    /// Applies the layer to a sequence of token states (`n x d_model`), using
+    /// `backend` for every attention operation. The output is
+    /// `n x (num_heads * d_head)` — the concatenation of head outputs, as in the
+    /// Transformer.
     ///
     /// # Errors
     ///
-    /// Propagates shape errors from the kernel.
-    pub fn apply<K: AttentionKernel + ?Sized>(
+    /// Propagates shape errors from the backend.
+    pub fn apply<B: ComputeBackend + ?Sized>(
         &self,
-        kernel: &K,
+        backend: &B,
         tokens: &Matrix,
     ) -> Result<SelfAttentionOutput, AttentionError> {
         let n = tokens.rows();
@@ -187,7 +189,7 @@ impl MultiHeadSelfAttention {
                     .map(|r| r.iter().map(|x| x * scale).collect())
                     .collect(),
             )?;
-            let head_out = self_attention(kernel, &keys, &values, &scaled_queries)?;
+            let head_out = self_attention(backend, &keys, &values, &scaled_queries)?;
             for (row, out) in concatenated.iter_mut().zip(head_out.outputs.iter_rows()) {
                 row.extend_from_slice(out);
             }
@@ -209,7 +211,7 @@ impl MultiHeadSelfAttention {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::kernel::ExactKernel;
+    use crate::backend::ExactBackend;
 
     fn token_matrix(n: usize, d: usize) -> Matrix {
         let rows: Vec<Vec<f32>> = (0..n)
@@ -225,7 +227,7 @@ mod tests {
     #[test]
     fn self_attention_shapes() {
         let tokens = token_matrix(6, 8);
-        let out = self_attention(&ExactKernel, &tokens, &tokens, &tokens).unwrap();
+        let out = self_attention(&ExactBackend, &tokens, &tokens, &tokens).unwrap();
         assert_eq!(out.outputs.rows(), 6);
         assert_eq!(out.outputs.dim(), 8);
         assert_eq!(out.per_query.len(), 6);
@@ -235,7 +237,7 @@ mod tests {
     fn self_attention_dimension_mismatch_rejected() {
         let tokens = token_matrix(6, 8);
         let queries = token_matrix(6, 4);
-        assert!(self_attention(&ExactKernel, &tokens, &tokens, &queries).is_err());
+        assert!(self_attention(&ExactBackend, &tokens, &tokens, &queries).is_err());
     }
 
     #[test]
@@ -263,7 +265,7 @@ mod tests {
     fn multi_head_output_shape_is_concatenation() {
         let layer = MultiHeadSelfAttention::random(3, 16, 4, 1);
         let tokens = token_matrix(5, 16);
-        let out = layer.apply(&ExactKernel, &tokens).unwrap();
+        let out = layer.apply(&ExactBackend, &tokens).unwrap();
         assert_eq!(out.outputs.rows(), 5);
         assert_eq!(out.outputs.dim(), 12);
         assert_eq!(out.per_query.len(), 15); // 3 heads x 5 queries
@@ -281,7 +283,7 @@ mod tests {
     fn per_query_weights_are_normalized() {
         let layer = MultiHeadSelfAttention::random(2, 8, 4, 9);
         let tokens = token_matrix(4, 8);
-        let out = layer.apply(&ExactKernel, &tokens).unwrap();
+        let out = layer.apply(&ExactBackend, &tokens).unwrap();
         for r in &out.per_query {
             let sum: f32 = r.weights.iter().sum();
             assert!((sum - 1.0).abs() < 1e-4);

@@ -1,0 +1,238 @@
+//! LRU cache of prepared memories, keyed by memory identity.
+//!
+//! Serving workloads issue many batches against a small working set of key/value
+//! memories (one per passage/knowledge base/sequence). The preprocessing a backend
+//! performs in [`ComputeBackend::prepare`] is query-independent, so a cache keyed by
+//! the memory's content fingerprint lets every batch after the first skip it entirely
+//! — the software analogue of the sorted-key SRAM staying resident across queries in
+//! the hardware (paper Section IV-C).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::{AttentionError, Matrix};
+
+use super::{memory_fingerprint, ComputeBackend, PreparedMemory};
+
+/// Cache key: the backend's name (different backends — or differently configured
+/// backends — prepare different state) plus the memory's content fingerprint.
+type CacheKey = (String, u64);
+
+#[derive(Debug, Clone)]
+struct CacheEntry {
+    memory: Arc<PreparedMemory>,
+    last_used: u64,
+}
+
+/// A bounded LRU cache of [`PreparedMemory`] values.
+///
+/// Entries are shared via [`Arc`], so a caller can keep serving a prepared memory
+/// after it has been evicted. Hit/miss counters make cache effectiveness observable
+/// (the cycle-level simulator copies them into its report: a hit means the batch paid
+/// zero preprocessing cycles).
+///
+/// ```
+/// use a3_core::backend::{ExactBackend, MemoryCache};
+/// use a3_core::Matrix;
+/// let keys = Matrix::from_rows(vec![vec![1.0, 0.0], vec![0.0, 1.0]]).unwrap();
+/// let mut cache = MemoryCache::new(8);
+/// let (_, hit) = cache.get_or_prepare(&ExactBackend, &keys, &keys).unwrap();
+/// assert!(!hit);
+/// let (_, hit) = cache.get_or_prepare(&ExactBackend, &keys, &keys).unwrap();
+/// assert!(hit);
+/// assert_eq!((cache.hits(), cache.misses()), (1, 1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct MemoryCache {
+    capacity: usize,
+    entries: HashMap<CacheKey, CacheEntry>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl MemoryCache {
+    /// Creates a cache holding at most `capacity` prepared memories (clamped to at
+    /// least 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            entries: HashMap::new(),
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Returns the prepared memory for (`keys`, `values`) under `backend`, preparing
+    /// and inserting it on a miss. The boolean is `true` on a cache hit (no
+    /// preprocessing ran).
+    ///
+    /// # Errors
+    ///
+    /// Propagates any preparation error from the backend (nothing is inserted and no
+    /// counter moves in that case).
+    pub fn get_or_prepare(
+        &mut self,
+        backend: &dyn ComputeBackend,
+        keys: &Matrix,
+        values: &Matrix,
+    ) -> Result<(Arc<PreparedMemory>, bool), AttentionError> {
+        let key = (backend.name(), memory_fingerprint(keys, values));
+        self.clock += 1;
+        if let Some(entry) = self.entries.get_mut(&key) {
+            entry.last_used = self.clock;
+            self.hits += 1;
+            return Ok((Arc::clone(&entry.memory), true));
+        }
+        let memory = Arc::new(backend.prepare(keys, values)?);
+        self.misses += 1;
+        if self.entries.len() >= self.capacity {
+            self.evict_lru();
+        }
+        self.entries.insert(
+            key,
+            CacheEntry {
+                memory: Arc::clone(&memory),
+                last_used: self.clock,
+            },
+        );
+        Ok((memory, false))
+    }
+
+    fn evict_lru(&mut self) {
+        if let Some(key) = self
+            .entries
+            .iter()
+            .min_by_key(|(_, e)| e.last_used)
+            .map(|(k, _)| k.clone())
+        {
+            self.entries.remove(&key);
+        }
+    }
+
+    /// Number of lookups served from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of lookups that had to run the backend's preprocessing.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of prepared memories currently resident.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no prepared memory is resident.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Maximum number of resident prepared memories.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Drops every resident entry and resets the hit/miss counters.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.clock = 0;
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+impl Default for MemoryCache {
+    /// A cache sized for a typical serving working set (16 memories).
+    fn default() -> Self {
+        Self::new(16)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{ApproximateBackend, ExactBackend, QuantizedBackend};
+
+    fn memory(tag: f32) -> (Matrix, Matrix) {
+        let rows: Vec<Vec<f32>> = (0..6)
+            .map(|i| (0..4).map(|j| tag + (i * 4 + j) as f32 * 0.01).collect())
+            .collect();
+        let keys = Matrix::from_rows(rows).unwrap();
+        let values = keys.clone();
+        (keys, values)
+    }
+
+    #[test]
+    fn same_memory_hits_mutated_memory_misses() {
+        let backend = ApproximateBackend::conservative();
+        let (keys, values) = memory(0.0);
+        let mut cache = MemoryCache::new(4);
+        let (_, hit) = cache.get_or_prepare(&backend, &keys, &values).unwrap();
+        assert!(!hit);
+        let (_, hit) = cache.get_or_prepare(&backend, &keys, &values).unwrap();
+        assert!(hit);
+        let mut mutated = keys.clone();
+        mutated.row_mut(0)[0] += 1.0;
+        let (_, hit) = cache.get_or_prepare(&backend, &mutated, &values).unwrap();
+        assert!(!hit, "mutated memory must not reuse stale preprocessing");
+        assert_eq!((cache.hits(), cache.misses()), (1, 2));
+    }
+
+    #[test]
+    fn different_backends_do_not_share_entries() {
+        let (keys, values) = memory(0.0);
+        let mut cache = MemoryCache::new(4);
+        cache.get_or_prepare(&ExactBackend, &keys, &values).unwrap();
+        let (_, hit) = cache
+            .get_or_prepare(&QuantizedBackend::paper(), &keys, &values)
+            .unwrap();
+        assert!(!hit, "a quantized lookup must not hit an exact entry");
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn lru_eviction_keeps_recently_used_entries() {
+        let backend = ExactBackend;
+        let mut cache = MemoryCache::new(2);
+        let (k0, v0) = memory(0.0);
+        let (k1, v1) = memory(1.0);
+        let (k2, v2) = memory(2.0);
+        cache.get_or_prepare(&backend, &k0, &v0).unwrap();
+        cache.get_or_prepare(&backend, &k1, &v1).unwrap();
+        // Touch k0 so k1 is the least recently used, then insert a third memory.
+        cache.get_or_prepare(&backend, &k0, &v0).unwrap();
+        cache.get_or_prepare(&backend, &k2, &v2).unwrap();
+        assert_eq!(cache.len(), 2);
+        let (_, hit) = cache.get_or_prepare(&backend, &k0, &v0).unwrap();
+        assert!(hit, "recently used entry must survive eviction");
+        let (_, hit) = cache.get_or_prepare(&backend, &k1, &v1).unwrap();
+        assert!(!hit, "least recently used entry must have been evicted");
+    }
+
+    #[test]
+    fn preparation_errors_do_not_pollute_the_cache() {
+        let (keys, _) = memory(0.0);
+        let bad_values = Matrix::zeros(2, 4);
+        let mut cache = MemoryCache::new(4);
+        assert!(cache
+            .get_or_prepare(&ExactBackend, &keys, &bad_values)
+            .is_err());
+        assert!(cache.is_empty());
+        assert_eq!((cache.hits(), cache.misses()), (0, 0));
+    }
+
+    #[test]
+    fn clear_resets_counters_and_entries() {
+        let (keys, values) = memory(0.0);
+        let mut cache = MemoryCache::default();
+        assert_eq!(cache.capacity(), 16);
+        cache.get_or_prepare(&ExactBackend, &keys, &values).unwrap();
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!((cache.hits(), cache.misses()), (0, 0));
+    }
+}

@@ -1,0 +1,708 @@
+//! Pluggable compute backends with a two-phase *prepare / attend* serving API.
+//!
+//! A3's central architectural observation (Section IV-C) is that one attention
+//! operation can be served by different datapaths — exact floating point, the
+//! approximate candidate-selection pipeline, or the fixed-point/LUT hardware pipeline —
+//! and that every datapath splits into a **query-independent preprocessing phase**
+//! (performed once per key/value memory, at "comprehension time") and a **per-query
+//! phase**. A [`ComputeBackend`] makes that split explicit:
+//!
+//! 1. [`ComputeBackend::prepare`] turns a key/value memory into a [`PreparedMemory`]
+//!    carrying whatever the backend precomputes: nothing for [`ExactBackend`], the
+//!    per-column sorted key matrix for [`ApproximateBackend`], and the quantized
+//!    key/value matrices plus the pipeline formats and exponent lookup tables for
+//!    [`QuantizedBackend`].
+//! 2. [`ComputeBackend::attend_prepared`] / [`ComputeBackend::attend_batch_prepared`]
+//!    serve queries against the prepared memory. The results are **bit-identical** to
+//!    the one-shot [`ComputeBackend::attend`]; preparation is a pure wall-clock
+//!    optimization.
+//!
+//! Repeated batches against the same memory should go through a [`MemoryCache`], which
+//! keys prepared memories by a fingerprint of the memory contents so the preprocessing
+//! runs only on the first batch (the multi-query serving pattern of Section IV-C).
+//!
+//! ```
+//! use a3_core::backend::{ApproximateBackend, ComputeBackend, MemoryCache};
+//! use a3_core::Matrix;
+//!
+//! let keys = Matrix::from_rows(vec![vec![1.0, 0.0], vec![-1.0, 0.5], vec![0.9, 0.1]]).unwrap();
+//! let values = keys.clone();
+//! let backend = ApproximateBackend::conservative();
+//!
+//! let mut cache = MemoryCache::new(4);
+//! let (memory, hit) = cache.get_or_prepare(&backend, &keys, &values).unwrap();
+//! assert!(!hit); // first batch: preprocessing runs
+//! let out = backend.attend_prepared(&memory, &[1.0, 0.0]).unwrap();
+//! assert_eq!(out.output.len(), 2);
+//!
+//! let (_, hit) = cache.get_or_prepare(&backend, &keys, &values).unwrap();
+//! assert!(hit); // same memory: preprocessing skipped entirely
+//! ```
+
+mod cache;
+
+pub use cache::MemoryCache;
+
+use rayon::prelude::*;
+
+use crate::approx::{ApproxConfig, ApproximateAttention, SortedKeyColumns};
+use crate::attention::{attention_with_scores, AttentionResult};
+use crate::quantized::{QuantizedAttention, QuantizedMemory};
+use crate::{AttentionError, Matrix};
+use a3_fixed::QFormat;
+
+/// Backend-specific preprocessed state carried by a [`PreparedMemory`].
+#[derive(Debug, Clone)]
+pub enum PreparedState {
+    /// Exact floating point needs no preprocessing.
+    Exact,
+    /// Per-column sorted key matrix (Figure 7/8) for greedy candidate selection.
+    Sorted(SortedKeyColumns),
+    /// Quantized key/value matrices, per-stage formats and exponent LUTs for the
+    /// fixed-point base pipeline.
+    Quantized(QuantizedMemory),
+}
+
+impl PreparedState {
+    /// Short label used in mismatch errors and debug output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PreparedState::Exact => "exact",
+            PreparedState::Sorted(_) => "sorted",
+            PreparedState::Quantized(_) => "quantized",
+        }
+    }
+}
+
+/// A key/value memory together with one backend's preprocessing of it.
+///
+/// Produced by [`ComputeBackend::prepare`]; consumed by
+/// [`ComputeBackend::attend_prepared`]. The memory owns a copy of the key and value
+/// matrices so a prepared memory is self-contained (it can sit in a [`MemoryCache`]
+/// after the caller's matrices are gone, exactly like the on-chip SRAM copies the
+/// hardware keeps resident across queries).
+#[derive(Debug, Clone)]
+pub struct PreparedMemory {
+    keys: Matrix,
+    values: Matrix,
+    preprocess_ops: u64,
+    state: PreparedState,
+}
+
+impl PreparedMemory {
+    /// Assembles a prepared memory. Intended for [`ComputeBackend::prepare`]
+    /// implementations; validates that keys and values are a consistent memory.
+    pub fn new(
+        keys: &Matrix,
+        values: &Matrix,
+        preprocess_ops: u64,
+        state: PreparedState,
+    ) -> Result<Self, AttentionError> {
+        validate_memory(keys, values)?;
+        Ok(Self {
+            keys: keys.clone(),
+            values: values.clone(),
+            preprocess_ops,
+            state,
+        })
+    }
+
+    /// The key matrix.
+    pub fn keys(&self) -> &Matrix {
+        &self.keys
+    }
+
+    /// The value matrix.
+    pub fn values(&self) -> &Matrix {
+        &self.values
+    }
+
+    /// Number of memory rows (`n`).
+    pub fn n(&self) -> usize {
+        self.keys.rows()
+    }
+
+    /// Embedding dimension (`d`).
+    pub fn d(&self) -> usize {
+        self.keys.dim()
+    }
+
+    /// Number of element-level operations the preprocessing performed (sort
+    /// comparisons, quantizations, ...). The cycle-level simulator converts this into
+    /// host-side preprocessing cycles charged on a cache miss.
+    pub fn preprocess_ops(&self) -> u64 {
+        self.preprocess_ops
+    }
+
+    /// The backend-specific preprocessed state.
+    pub fn state(&self) -> &PreparedState {
+        &self.state
+    }
+
+    /// The sorted key columns, if this memory was prepared by an approximate backend.
+    pub fn sorted(&self) -> Option<&SortedKeyColumns> {
+        match &self.state {
+            PreparedState::Sorted(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The quantized memory, if this memory was prepared by a quantized backend.
+    pub fn quantized(&self) -> Option<&QuantizedMemory> {
+        match &self.state {
+            PreparedState::Quantized(q) => Some(q),
+            _ => None,
+        }
+    }
+
+    fn validate_query(&self, query: &[f32]) -> Result<(), AttentionError> {
+        if query.len() != self.d() {
+            return Err(AttentionError::DimensionMismatch {
+                expected: self.d(),
+                actual: query.len(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Validates that `keys` and `values` form a consistent non-empty memory.
+fn validate_memory(keys: &Matrix, values: &Matrix) -> Result<(), AttentionError> {
+    if keys.is_empty() {
+        return Err(AttentionError::EmptyMemory);
+    }
+    if keys.rows() != values.rows() {
+        return Err(AttentionError::RowCountMismatch {
+            keys: keys.rows(),
+            values: values.rows(),
+        });
+    }
+    if keys.dim() != values.dim() {
+        return Err(AttentionError::DimensionMismatch {
+            expected: keys.dim(),
+            actual: values.dim(),
+        });
+    }
+    Ok(())
+}
+
+/// FNV-1a fingerprint of a (keys, values) memory: shape plus every element's bit
+/// pattern. Used as the [`MemoryCache`] identity, so a mutated memory (any element
+/// changed) produces a different fingerprint and therefore a cache miss.
+pub fn memory_fingerprint(keys: &Matrix, values: &Matrix) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    let mut mix = |word: u64| {
+        for byte in word.to_le_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(PRIME);
+        }
+    };
+    mix(keys.rows() as u64);
+    mix(keys.dim() as u64);
+    for &x in keys.as_slice() {
+        mix(u64::from(x.to_bits()));
+    }
+    for &x in values.as_slice() {
+        mix(u64::from(x.to_bits()));
+    }
+    hash
+}
+
+/// Data-dependent work counts of one query, reported by backends whose per-query work
+/// varies with the data (the approximate pipeline). The cycle-level simulator turns
+/// this into latency/throughput cycles; backends with query-independent work (exact,
+/// quantized base pipeline) report `None` from [`ComputeBackend::profile`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkProfile {
+    /// Candidate-selection iterations executed (`M`).
+    pub m: usize,
+    /// Candidates surviving candidate selection (`C`).
+    pub candidates: usize,
+    /// Entries surviving post-scoring selection (`K`).
+    pub selected: usize,
+    /// Number of memory rows (`n`).
+    pub n: usize,
+}
+
+/// A datapath that can serve attention operations, split into a per-memory
+/// preprocessing phase and a per-query compute phase.
+///
+/// The trait is object-safe (`&dyn ComputeBackend`) and `Send + Sync` so one backend
+/// instance can serve concurrent batches.
+///
+/// # Contract
+///
+/// For every backend, [`ComputeBackend::attend_prepared`] against a memory produced by
+/// [`ComputeBackend::prepare`] must be **bit-identical** to the one-shot
+/// [`ComputeBackend::attend`], and [`ComputeBackend::attend_batch_prepared`] must be
+/// bit-identical to calling `attend_prepared` once per query, in query order.
+pub trait ComputeBackend: Send + Sync {
+    /// Short human-readable name used in reports and as part of the cache key (e.g.
+    /// `"exact"`, `"approx(M=0.5n,T=5%)"`). Backends with different configurations
+    /// must report different names.
+    fn name(&self) -> String;
+
+    /// Runs the backend's preprocessing over a key/value memory (the paper's
+    /// "comprehension time" work, off the query critical path).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the key/value shapes are inconsistent or the memory is
+    /// empty.
+    fn prepare(&self, keys: &Matrix, values: &Matrix) -> Result<PreparedMemory, AttentionError>;
+
+    /// Computes attention of `query` over a prepared memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the query dimension does not match the memory, or if the
+    /// memory was prepared by an incompatible backend.
+    fn attend_prepared(
+        &self,
+        memory: &PreparedMemory,
+        query: &[f32],
+    ) -> Result<AttentionResult, AttentionError>;
+
+    /// Computes attention for every query row against one prepared memory,
+    /// parallelised across queries. Results are in query order and bit-identical to a
+    /// sequential loop over [`ComputeBackend::attend_prepared`]; an empty batch
+    /// returns an empty vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first (in query order) error if any query is inconsistent with the
+    /// memory.
+    fn attend_batch_prepared(
+        &self,
+        memory: &PreparedMemory,
+        queries: &[&[f32]],
+    ) -> Result<Vec<AttentionResult>, AttentionError> {
+        let results: Vec<Result<AttentionResult, AttentionError>> = queries
+            .par_iter()
+            .map(|q| self.attend_prepared(memory, q))
+            .collect();
+        results.into_iter().collect()
+    }
+
+    /// Reports the data-dependent work one query performs, or `None` when the
+    /// backend's per-query work is query-independent (every row is processed).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the query is inconsistent with the memory.
+    fn profile(
+        &self,
+        memory: &PreparedMemory,
+        query: &[f32],
+    ) -> Result<Option<WorkProfile>, AttentionError> {
+        memory.validate_query(query)?;
+        Ok(None)
+    }
+
+    /// One-shot convenience: prepare the memory and attend a single query.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the key/value/query shapes are inconsistent.
+    fn attend(
+        &self,
+        keys: &Matrix,
+        values: &Matrix,
+        query: &[f32],
+    ) -> Result<AttentionResult, AttentionError> {
+        let memory = self.prepare(keys, values)?;
+        self.attend_prepared(&memory, query)
+    }
+
+    /// One-shot convenience: prepare the memory once and attend every row of
+    /// `queries` (the self-attention pattern). Zero-copy: query rows are borrowed
+    /// straight out of the matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first (in query order) error if any shape is inconsistent.
+    fn attend_batch(
+        &self,
+        keys: &Matrix,
+        values: &Matrix,
+        queries: &Matrix,
+    ) -> Result<Vec<AttentionResult>, AttentionError> {
+        let memory = self.prepare(keys, values)?;
+        let rows: Vec<&[f32]> = queries.iter_rows().collect();
+        self.attend_batch_prepared(&memory, &rows)
+    }
+}
+
+/// The exact floating-point datapath (Figure 1 / Figure 5). Preprocessing is a no-op.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExactBackend;
+
+impl ComputeBackend for ExactBackend {
+    fn name(&self) -> String {
+        "exact".to_owned()
+    }
+
+    fn prepare(&self, keys: &Matrix, values: &Matrix) -> Result<PreparedMemory, AttentionError> {
+        PreparedMemory::new(keys, values, 0, PreparedState::Exact)
+    }
+
+    fn attend_prepared(
+        &self,
+        memory: &PreparedMemory,
+        query: &[f32],
+    ) -> Result<AttentionResult, AttentionError> {
+        // Exact attention only needs the raw matrices, which every prepared memory
+        // carries, so it can serve memories prepared by any backend.
+        attention_with_scores(memory.keys(), memory.values(), query)
+    }
+
+    fn attend(
+        &self,
+        keys: &Matrix,
+        values: &Matrix,
+        query: &[f32],
+    ) -> Result<AttentionResult, AttentionError> {
+        // Preparation is a no-op, so the one-shot path skips building (and cloning
+        // the matrices into) a PreparedMemory.
+        attention_with_scores(keys, values, query)
+    }
+
+    fn attend_batch(
+        &self,
+        keys: &Matrix,
+        values: &Matrix,
+        queries: &Matrix,
+    ) -> Result<Vec<AttentionResult>, AttentionError> {
+        let rows: Vec<&[f32]> = queries.iter_rows().collect();
+        crate::attention::attention_batch(keys, values, &rows)
+    }
+}
+
+/// The A3 approximate datapath: greedy candidate selection over the per-column sorted
+/// key matrix, then post-scoring selection (paper Section IV).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ApproximateBackend {
+    inner: ApproximateAttention,
+}
+
+impl ApproximateBackend {
+    /// Creates an approximate backend with the given configuration.
+    pub fn new(config: ApproxConfig) -> Self {
+        Self {
+            inner: ApproximateAttention::new(config),
+        }
+    }
+
+    /// The paper's conservative configuration (`M = n/2`, `T = 5%`).
+    pub fn conservative() -> Self {
+        Self::new(ApproxConfig::conservative())
+    }
+
+    /// The paper's aggressive configuration (`M = n/8`, `T = 10%`).
+    pub fn aggressive() -> Self {
+        Self::new(ApproxConfig::aggressive())
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &ApproxConfig {
+        self.inner.config()
+    }
+
+    /// The underlying approximate-attention operator (exposes the rich
+    /// [`crate::approx::ApproxAttentionOutput`] with candidate/selection sets).
+    pub fn inner(&self) -> &ApproximateAttention {
+        &self.inner
+    }
+
+    fn sorted<'m>(
+        &self,
+        memory: &'m PreparedMemory,
+    ) -> Result<&'m SortedKeyColumns, AttentionError> {
+        memory.sorted().ok_or(AttentionError::InvalidParameter {
+            name: "memory",
+            constraint: "memory was not prepared by an approximate backend",
+        })
+    }
+}
+
+impl ComputeBackend for ApproximateBackend {
+    fn name(&self) -> String {
+        let m = match self.config().m {
+            crate::approx::MSpec::Disabled => "off".to_owned(),
+            crate::approx::MSpec::Absolute(m) => format!("{m}"),
+            crate::approx::MSpec::FractionOfN(f) => format!("{f}n"),
+        };
+        let t = match self.config().threshold() {
+            Some(t) => format!("{t}%"),
+            None => "off".to_owned(),
+        };
+        format!("approx(M={m},T={t})")
+    }
+
+    fn prepare(&self, keys: &Matrix, values: &Matrix) -> Result<PreparedMemory, AttentionError> {
+        validate_memory(keys, values)?;
+        let sorted = SortedKeyColumns::preprocess(keys);
+        let ops = sorted.preprocess_comparisons();
+        PreparedMemory::new(keys, values, ops, PreparedState::Sorted(sorted))
+    }
+
+    fn attend_prepared(
+        &self,
+        memory: &PreparedMemory,
+        query: &[f32],
+    ) -> Result<AttentionResult, AttentionError> {
+        let sorted = self.sorted(memory)?;
+        Ok(self
+            .inner
+            .attend_prepared(sorted, memory.keys(), memory.values(), query)?
+            .result)
+    }
+
+    fn profile(
+        &self,
+        memory: &PreparedMemory,
+        query: &[f32],
+    ) -> Result<Option<WorkProfile>, AttentionError> {
+        let sorted = self.sorted(memory)?;
+        let out = self
+            .inner
+            .attend_prepared(sorted, memory.keys(), memory.values(), query)?;
+        Ok(Some(WorkProfile {
+            m: out.stats.m_used,
+            candidates: out.stats.num_candidates,
+            selected: out.stats.num_selected,
+            n: out.stats.n,
+        }))
+    }
+
+    fn attend(
+        &self,
+        keys: &Matrix,
+        values: &Matrix,
+        query: &[f32],
+    ) -> Result<AttentionResult, AttentionError> {
+        // One-shot: sort on the fly without cloning the matrices into a
+        // PreparedMemory (bit-identical to the prepared path).
+        Ok(self.inner.attend(keys, values, query)?.result)
+    }
+}
+
+/// The fixed-point/LUT base-pipeline datapath (paper Sections III-A/III-B), served as
+/// a first-class backend: preparation quantizes the key and value matrices once and
+/// builds the per-stage formats and exponent lookup tables, so per-query work is pure
+/// fixed-point arithmetic — exactly the split the hardware realises with its on-chip
+/// quantized SRAM copies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuantizedBackend {
+    input_format: QFormat,
+}
+
+impl QuantizedBackend {
+    /// Creates a quantized backend with the given input format.
+    pub fn new(input_format: QFormat) -> Self {
+        Self { input_format }
+    }
+
+    /// The paper's `Q4.4` input quantization.
+    pub fn paper() -> Self {
+        Self::new(a3_fixed::paper_input_format())
+    }
+
+    /// The input quantization format.
+    pub fn input_format(&self) -> QFormat {
+        self.input_format
+    }
+
+    fn quantized<'m>(
+        &self,
+        memory: &'m PreparedMemory,
+    ) -> Result<&'m QuantizedMemory, AttentionError> {
+        memory.quantized().ok_or(AttentionError::InvalidParameter {
+            name: "memory",
+            constraint: "memory was not prepared by a quantized backend",
+        })
+    }
+}
+
+impl ComputeBackend for QuantizedBackend {
+    fn name(&self) -> String {
+        format!("quantized({})", self.input_format)
+    }
+
+    fn prepare(&self, keys: &Matrix, values: &Matrix) -> Result<PreparedMemory, AttentionError> {
+        let quantized = QuantizedMemory::prepare(self.input_format, keys, values)?;
+        let ops = quantized.preprocess_ops();
+        PreparedMemory::new(keys, values, ops, PreparedState::Quantized(quantized))
+    }
+
+    fn attend_prepared(
+        &self,
+        memory: &PreparedMemory,
+        query: &[f32],
+    ) -> Result<AttentionResult, AttentionError> {
+        memory.validate_query(query)?;
+        let quantized = self.quantized(memory)?;
+        QuantizedAttention::new(self.input_format).attend_memory(quantized, query)
+    }
+
+    fn attend(
+        &self,
+        keys: &Matrix,
+        values: &Matrix,
+        query: &[f32],
+    ) -> Result<AttentionResult, AttentionError> {
+        // One-shot: quantize on the fly without cloning the float matrices into a
+        // PreparedMemory (bit-identical to the prepared path).
+        QuantizedAttention::new(self.input_format).attend(keys, values, query)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{ApproximateKernel, AttentionKernel, ExactKernel, QuantizedKernel};
+
+    fn case(n: usize, d: usize) -> (Matrix, Matrix, Vec<f32>) {
+        let rows: Vec<Vec<f32>> = (0..n)
+            .map(|i| {
+                (0..d)
+                    .map(|j| (((i * 13 + j * 7) % 29) as f32 - 14.0) / 14.0)
+                    .collect()
+            })
+            .collect();
+        let keys = Matrix::from_rows(rows.clone()).unwrap();
+        let values = Matrix::from_rows(rows).unwrap();
+        let query: Vec<f32> = (0..d).map(|j| ((j % 5) as f32 - 2.0) / 2.0).collect();
+        (keys, values, query)
+    }
+
+    fn backends() -> Vec<Box<dyn ComputeBackend>> {
+        vec![
+            Box::new(ExactBackend),
+            Box::new(ApproximateBackend::conservative()),
+            Box::new(ApproximateBackend::aggressive()),
+            Box::new(QuantizedBackend::paper()),
+        ]
+    }
+
+    #[test]
+    fn prepared_equals_one_shot_for_every_backend() {
+        let (keys, values, query) = case(24, 8);
+        for backend in backends() {
+            let memory = backend.prepare(&keys, &values).unwrap();
+            let prepared = backend.attend_prepared(&memory, &query).unwrap();
+            let one_shot = backend.attend(&keys, &values, &query).unwrap();
+            assert_eq!(prepared, one_shot, "{}", backend.name());
+        }
+    }
+
+    #[test]
+    fn batch_prepared_is_bit_identical_and_ordered() {
+        let (keys, values, query) = case(20, 6);
+        let q2: Vec<f32> = query.iter().map(|x| -x).collect();
+        let queries = [query.as_slice(), q2.as_slice()];
+        for backend in backends() {
+            let memory = backend.prepare(&keys, &values).unwrap();
+            let batch = backend.attend_batch_prepared(&memory, &queries).unwrap();
+            assert_eq!(batch.len(), 2);
+            for (q, out) in queries.iter().zip(&batch) {
+                assert_eq!(out, &backend.attend_prepared(&memory, q).unwrap());
+            }
+            assert!(backend
+                .attend_batch_prepared(&memory, &[])
+                .unwrap()
+                .is_empty());
+        }
+    }
+
+    #[test]
+    fn backends_match_their_kernel_adapters() {
+        let (keys, values, query) = case(16, 8);
+        let pairs: Vec<(Box<dyn ComputeBackend>, Box<dyn AttentionKernel>)> = vec![
+            (Box::new(ExactBackend), Box::new(ExactKernel)),
+            (
+                Box::new(ApproximateBackend::conservative()),
+                Box::new(ApproximateKernel::conservative()),
+            ),
+            (
+                Box::new(QuantizedBackend::paper()),
+                Box::new(QuantizedKernel::paper()),
+            ),
+        ];
+        for (backend, kernel) in &pairs {
+            let a = backend.attend(&keys, &values, &query).unwrap();
+            let b = kernel.attend(&keys, &values, &query).unwrap();
+            assert_eq!(a, b, "{}", backend.name());
+            assert_eq!(backend.name(), kernel.name());
+        }
+    }
+
+    #[test]
+    fn fingerprint_changes_when_memory_mutates() {
+        let (keys, values, _) = case(8, 4);
+        let base = memory_fingerprint(&keys, &values);
+        let mut mutated = keys.clone();
+        mutated.row_mut(3)[1] += 0.25;
+        assert_ne!(base, memory_fingerprint(&mutated, &values));
+        assert_eq!(base, memory_fingerprint(&keys, &values));
+    }
+
+    #[test]
+    fn mismatched_prepared_state_is_rejected() {
+        let (keys, values, query) = case(8, 4);
+        let exact_memory = ExactBackend.prepare(&keys, &values).unwrap();
+        assert!(ApproximateBackend::conservative()
+            .attend_prepared(&exact_memory, &query)
+            .is_err());
+        assert!(QuantizedBackend::paper()
+            .attend_prepared(&exact_memory, &query)
+            .is_err());
+    }
+
+    #[test]
+    fn shape_errors_propagate() {
+        let (keys, values, _) = case(8, 4);
+        let short = vec![0.0f32; 3];
+        for backend in backends() {
+            let memory = backend.prepare(&keys, &values).unwrap();
+            assert!(matches!(
+                backend.attend_prepared(&memory, &short),
+                Err(AttentionError::DimensionMismatch { .. })
+            ));
+        }
+        let bad_values = Matrix::zeros(3, 4);
+        assert!(ExactBackend.prepare(&keys, &bad_values).is_err());
+    }
+
+    #[test]
+    fn profile_reports_approximate_work_only() {
+        let (keys, values, query) = case(32, 8);
+        let approx = ApproximateBackend::conservative();
+        let memory = approx.prepare(&keys, &values).unwrap();
+        let profile = approx.profile(&memory, &query).unwrap().unwrap();
+        assert_eq!(profile.n, 32);
+        assert!(profile.candidates >= 1);
+        assert!(profile.selected <= profile.candidates);
+
+        let exact_memory = ExactBackend.prepare(&keys, &values).unwrap();
+        assert!(ExactBackend
+            .profile(&exact_memory, &query)
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn preprocess_ops_reflect_backend_work() {
+        let (keys, values, _) = case(32, 8);
+        let exact = ExactBackend.prepare(&keys, &values).unwrap();
+        assert_eq!(exact.preprocess_ops(), 0);
+        let sorted = ApproximateBackend::conservative()
+            .prepare(&keys, &values)
+            .unwrap();
+        assert!(sorted.preprocess_ops() > 0);
+        let quantized = QuantizedBackend::paper().prepare(&keys, &values).unwrap();
+        assert!(quantized.preprocess_ops() >= 2 * 32 * 8);
+    }
+}

@@ -1,14 +1,17 @@
-//! Pluggable attention kernels.
+//! Pluggable attention kernels — thin single-call adapters over the compute backends.
 //!
-//! A [`AttentionKernel`] computes one attention operation (one query against one
-//! key/value memory). The workloads in `a3-workloads` are written against this trait so
-//! that the exact, approximate and quantized computations can be swapped without
-//! touching the model code — exactly how the accuracy study in Section VI-B of the paper
-//! swaps the attention implementation inside otherwise unchanged models.
+//! An [`AttentionKernel`] computes one attention operation (one query against one
+//! key/value memory). It is the legacy one-shot surface of the serving layer: every
+//! kernel delegates to the corresponding [`ComputeBackend`](crate::backend::ComputeBackend)
+//! and is bit-identical to it. Code that serves many queries against one memory should
+//! use the backends (and a [`MemoryCache`](crate::backend::MemoryCache)) directly so
+//! the per-memory preprocessing is amortized — exactly how the accuracy study in
+//! Section VI-B of the paper swaps the attention implementation inside otherwise
+//! unchanged models.
 
-use crate::approx::{ApproxConfig, ApproximateAttention};
-use crate::attention::{attention_batch, attention_with_scores, AttentionResult};
-use crate::quantized::QuantizedAttention;
+use crate::approx::ApproxConfig;
+use crate::attention::AttentionResult;
+use crate::backend::{ApproximateBackend, ComputeBackend, ExactBackend, QuantizedBackend};
 use crate::{AttentionError, Matrix};
 use a3_fixed::QFormat;
 
@@ -31,10 +34,10 @@ pub trait AttentionKernel {
     /// Computes attention for every row of `queries` against the same (`keys`,
     /// `values`) memory — the self-attention pattern of BERT/Transformer models.
     ///
-    /// The default implementation simply loops over [`AttentionKernel::attend`];
-    /// kernels with per-key-matrix preprocessing (the approximate kernel sorts the key
-    /// columns) override it so the preprocessing is amortized over all queries, exactly
-    /// as Section IV-C of the paper describes for self-attention models.
+    /// The default implementation simply loops over [`AttentionKernel::attend`]; the
+    /// provided kernels override it to route through their backend's prepared batch
+    /// path, so the per-key-matrix preprocessing is amortized over all queries,
+    /// exactly as Section IV-C of the paper describes for self-attention models.
     ///
     /// # Errors
     ///
@@ -55,7 +58,8 @@ pub trait AttentionKernel {
     fn name(&self) -> String;
 }
 
-/// The exact floating-point attention of Figure 1 / Figure 5.
+/// The exact floating-point attention of Figure 1 / Figure 5 — an adapter over
+/// [`ExactBackend`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ExactKernel;
 
@@ -66,7 +70,7 @@ impl AttentionKernel for ExactKernel {
         values: &Matrix,
         query: &[f32],
     ) -> Result<AttentionResult, AttentionError> {
-        attention_with_scores(keys, values, query)
+        ExactBackend.attend(keys, values, query)
     }
 
     fn attend_batch(
@@ -75,28 +79,29 @@ impl AttentionKernel for ExactKernel {
         values: &Matrix,
         queries: &Matrix,
     ) -> Result<Vec<AttentionResult>, AttentionError> {
-        // Exact attention has no shared preprocessing, but the queries are independent,
-        // so the batch still parallelises across worker threads.
-        let query_rows: Vec<Vec<f32>> = queries.iter_rows().map(<[f32]>::to_vec).collect();
-        attention_batch(keys, values, &query_rows)
+        // Exact attention has no shared preprocessing, but the backend batch path
+        // still parallelises across worker threads and borrows the query rows
+        // zero-copy.
+        ExactBackend.attend_batch(keys, values, queries)
     }
 
     fn name(&self) -> String {
-        "exact".to_owned()
+        ExactBackend.name()
     }
 }
 
-/// The A3 approximate attention (candidate selection + post-scoring selection).
+/// The A3 approximate attention (candidate selection + post-scoring selection) — an
+/// adapter over [`ApproximateBackend`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct ApproximateKernel {
-    inner: ApproximateAttention,
+    backend: ApproximateBackend,
 }
 
 impl ApproximateKernel {
     /// Creates an approximate kernel with the given configuration.
     pub fn new(config: ApproxConfig) -> Self {
         Self {
-            inner: ApproximateAttention::new(config),
+            backend: ApproximateBackend::new(config),
         }
     }
 
@@ -112,7 +117,7 @@ impl ApproximateKernel {
 
     /// The configuration in use.
     pub fn config(&self) -> &ApproxConfig {
-        self.inner.config()
+        self.backend.config()
     }
 }
 
@@ -123,7 +128,7 @@ impl AttentionKernel for ApproximateKernel {
         values: &Matrix,
         query: &[f32],
     ) -> Result<AttentionResult, AttentionError> {
-        Ok(self.inner.attend(keys, values, query)?.result)
+        self.backend.attend(keys, values, query)
     }
 
     fn attend_batch(
@@ -133,40 +138,28 @@ impl AttentionKernel for ApproximateKernel {
         queries: &Matrix,
     ) -> Result<Vec<AttentionResult>, AttentionError> {
         // Preprocess (column-sort) the key matrix once, reuse it for every query, and
-        // parallelise across queries (see `ApproximateAttention::attend_batch`).
-        let query_rows: Vec<Vec<f32>> = queries.iter_rows().map(<[f32]>::to_vec).collect();
-        Ok(self
-            .inner
-            .attend_batch(keys, values, &query_rows)?
-            .into_iter()
-            .map(|out| out.result)
-            .collect())
+        // parallelise across queries.
+        self.backend.attend_batch(keys, values, queries)
     }
 
     fn name(&self) -> String {
-        let m = match self.config().m {
-            crate::approx::MSpec::Disabled => "off".to_owned(),
-            crate::approx::MSpec::Absolute(m) => format!("{m}"),
-            crate::approx::MSpec::FractionOfN(f) => format!("{f}n"),
-        };
-        let t = match self.config().threshold() {
-            Some(t) => format!("{t}%"),
-            None => "off".to_owned(),
-        };
-        format!("approx(M={m},T={t})")
+        self.backend.name()
     }
 }
 
-/// The fixed-point (quantized) base-pipeline attention.
+/// The fixed-point (quantized) base-pipeline attention — an adapter over
+/// [`QuantizedBackend`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct QuantizedKernel {
-    input_format: QFormat,
+    backend: QuantizedBackend,
 }
 
 impl QuantizedKernel {
     /// Creates a quantized kernel with the given input format.
     pub fn new(input_format: QFormat) -> Self {
-        Self { input_format }
+        Self {
+            backend: QuantizedBackend::new(input_format),
+        }
     }
 
     /// The paper's `Q4.4` input quantization.
@@ -182,17 +175,29 @@ impl AttentionKernel for QuantizedKernel {
         values: &Matrix,
         query: &[f32],
     ) -> Result<AttentionResult, AttentionError> {
-        QuantizedAttention::new(self.input_format).attend(keys, values, query)
+        self.backend.attend(keys, values, query)
+    }
+
+    fn attend_batch(
+        &self,
+        keys: &Matrix,
+        values: &Matrix,
+        queries: &Matrix,
+    ) -> Result<Vec<AttentionResult>, AttentionError> {
+        // Quantize the memory and build the LUT tables once for the whole batch — the
+        // fixed-point datapath's first batched serving path.
+        self.backend.attend_batch(keys, values, queries)
     }
 
     fn name(&self) -> String {
-        format!("quantized({})", self.input_format)
+        self.backend.name()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::attention::attention_with_scores;
 
     fn case() -> (Matrix, Matrix, Vec<f32>) {
         let keys = Matrix::from_rows(vec![
@@ -230,6 +235,30 @@ mod tests {
             let result = kernel.attend(&k, &v, &q).unwrap();
             assert_eq!(result.output.len(), 3);
             assert!(!kernel.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn kernel_batch_matches_kernel_attend() {
+        let (k, v, q) = case();
+        let flipped: Vec<f32> = q.iter().map(|x| -x).collect();
+        let queries = Matrix::from_rows(vec![q.clone(), flipped]).unwrap();
+        let kernels: Vec<Box<dyn AttentionKernel>> = vec![
+            Box::new(ExactKernel),
+            Box::new(ApproximateKernel::conservative()),
+            Box::new(QuantizedKernel::paper()),
+        ];
+        for kernel in &kernels {
+            let batch = kernel.attend_batch(&k, &v, &queries).unwrap();
+            assert_eq!(batch.len(), 2, "{}", kernel.name());
+            for (query, out) in queries.iter_rows().zip(&batch) {
+                assert_eq!(
+                    out,
+                    &kernel.attend(&k, &v, query).unwrap(),
+                    "{}",
+                    kernel.name()
+                );
+            }
         }
     }
 

@@ -14,7 +14,12 @@
 //! * the end-to-end approximate attention pipeline combining the two with configurable
 //!   `(M, T)` knobs, in [`approx`];
 //! * a bit-accurate fixed-point (quantized) model of the base pipeline built on
-//!   [`a3_fixed`], in [`quantized`].
+//!   [`a3_fixed`], in [`quantized`];
+//! * the serving layer unifying the three datapaths, in [`backend`]: every datapath is
+//!   a [`backend::ComputeBackend`] with a query-independent
+//!   [`backend::ComputeBackend::prepare`] phase producing a [`backend::PreparedMemory`],
+//!   and a [`backend::MemoryCache`] keyed by memory fingerprint lets repeated batches
+//!   against one memory skip the preprocessing entirely (paper Section IV-C).
 //!
 //! # Quick start
 //!
@@ -45,6 +50,7 @@
 
 pub mod approx;
 pub mod attention;
+pub mod backend;
 mod error;
 pub mod kernel;
 mod matrix;

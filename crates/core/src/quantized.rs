@@ -6,11 +6,119 @@
 //! two-half lookup table, scores and weights are `Q0.2f` fractions, and the output
 //! accumulator carries `i + log2(n)` integer and `3f` fraction bits. The only deviation
 //! from real silicon is that we do not model clock cycles here — that is `a3-sim`'s job.
+//!
+//! The computation is split into the same two phases the hardware has:
+//! [`QuantizedMemory::prepare`] quantizes the key/value matrices and builds the
+//! per-stage formats and exponent lookup tables (the state the accelerator keeps in its
+//! on-chip SRAMs, loaded once per memory), and [`QuantizedAttention::attend_memory`]
+//! runs the pure fixed-point per-query pipeline against that prepared state. The
+//! one-shot [`QuantizedAttention::attend`] chains the two and is bit-identical.
 
 use a3_fixed::{ExpLut, Fixed, PipelineFormats, QFormat};
 
 use crate::attention::AttentionResult;
 use crate::{AttentionError, Matrix};
+
+/// A key/value memory quantized for the fixed-point base pipeline: the per-stage
+/// formats, the exponent lookup tables, and the key/value matrices already converted
+/// to the input fixed-point format.
+///
+/// This is the quantized backend's query-independent preprocessing product — the
+/// software analogue of the accelerator's quantized key/value SRAM contents.
+#[derive(Debug, Clone)]
+pub struct QuantizedMemory {
+    input_format: QFormat,
+    formats: PipelineFormats,
+    exp_lut: ExpLut,
+    keys_q: Vec<Fixed>,
+    values_q: Vec<Fixed>,
+    n: usize,
+    d: usize,
+}
+
+impl QuantizedMemory {
+    /// Quantizes a key/value memory and derives the pipeline formats and exponent
+    /// lookup tables for its `n x d` shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the memory is empty or the key/value shapes disagree.
+    pub fn prepare(
+        input_format: QFormat,
+        keys: &Matrix,
+        values: &Matrix,
+    ) -> Result<Self, AttentionError> {
+        if keys.is_empty() {
+            return Err(AttentionError::EmptyMemory);
+        }
+        if keys.rows() != values.rows() {
+            return Err(AttentionError::RowCountMismatch {
+                keys: keys.rows(),
+                values: values.rows(),
+            });
+        }
+        if keys.dim() != values.dim() {
+            return Err(AttentionError::DimensionMismatch {
+                expected: keys.dim(),
+                actual: values.dim(),
+            });
+        }
+        let n = keys.rows();
+        let d = keys.dim();
+        let formats = PipelineFormats::new(input_format, n, d);
+        let exp_lut = ExpLut::two_half(formats.shifted_dot_product(), formats.score());
+        let quantize_all = |m: &Matrix| -> Vec<Fixed> {
+            m.as_slice()
+                .iter()
+                .map(|&x| Fixed::quantize(x as f64, formats.input()))
+                .collect()
+        };
+        Ok(Self {
+            input_format,
+            formats,
+            exp_lut,
+            keys_q: quantize_all(keys),
+            values_q: quantize_all(values),
+            n,
+            d,
+        })
+    }
+
+    /// The input quantization format this memory was prepared with.
+    pub fn input_format(&self) -> QFormat {
+        self.input_format
+    }
+
+    /// The per-stage pipeline formats for this memory's shape.
+    pub fn formats(&self) -> &PipelineFormats {
+        &self.formats
+    }
+
+    /// Number of memory rows (`n`).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Embedding dimension (`d`).
+    pub fn d(&self) -> usize {
+        self.d
+    }
+
+    /// Number of element-level preprocessing operations performed: one quantization
+    /// per key and value element plus the exponent-table fill.
+    pub fn preprocess_ops(&self) -> u64 {
+        let (lo, hi) = self.exp_lut.table_entries();
+        (2 * self.n * self.d) as u64 + lo + hi
+    }
+
+    fn key_row(&self, r: usize) -> &[Fixed] {
+        &self.keys_q[r * self.d..(r + 1) * self.d]
+    }
+
+    fn value_row(&self, r: usize) -> &[Fixed] {
+        &self.values_q[r * self.d..(r + 1) * self.d]
+    }
+}
 
 /// Fixed-point model of the base (non-approximate) A3 attention pipeline.
 ///
@@ -23,6 +131,11 @@ use crate::{AttentionError, Matrix};
 /// let qa = QuantizedAttention::new(paper_input_format());
 /// let result = qa.attend(&keys, &values, &[1.0, 0.5]).unwrap();
 /// assert_eq!(result.output.len(), 2);
+///
+/// // Two-phase serving: prepare once, attend many times — bit-identical.
+/// let memory = qa.prepare(&keys, &values).unwrap();
+/// let served = qa.attend_memory(&memory, &[1.0, 0.5]).unwrap();
+/// assert_eq!(served, result);
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct QuantizedAttention {
@@ -50,8 +163,24 @@ impl QuantizedAttention {
         PipelineFormats::new(self.input_format, n, d)
     }
 
+    /// Quantizes a key/value memory for this model's input format (the
+    /// query-independent half of the pipeline).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the memory is empty or the key/value shapes disagree.
+    pub fn prepare(
+        &self,
+        keys: &Matrix,
+        values: &Matrix,
+    ) -> Result<QuantizedMemory, AttentionError> {
+        QuantizedMemory::prepare(self.input_format, keys, values)
+    }
+
     /// Runs the fixed-point pipeline over the whole memory and returns scores, weights
-    /// and the output in `f32` (dequantized).
+    /// and the output in `f32` (dequantized). Quantizes the memory on the fly; for
+    /// multi-query serving prefer [`QuantizedAttention::prepare`] +
+    /// [`QuantizedAttention::attend_memory`], which are bit-identical.
     ///
     /// # Errors
     ///
@@ -62,8 +191,9 @@ impl QuantizedAttention {
         values: &Matrix,
         query: &[f32],
     ) -> Result<AttentionResult, AttentionError> {
-        let rows: Vec<usize> = (0..keys.rows()).collect();
-        self.attend_rows(keys, values, query, &rows)
+        keys.validate_attention(values, query)?;
+        let memory = self.prepare(keys, values)?;
+        self.attend_memory(&memory, query)
     }
 
     /// Runs the fixed-point pipeline over a subset of rows (the candidate set produced
@@ -81,22 +211,68 @@ impl QuantizedAttention {
         rows: &[usize],
     ) -> Result<AttentionResult, AttentionError> {
         keys.validate_attention(values, query)?;
+        let memory = self.prepare(keys, values)?;
+        self.attend_memory_rows(&memory, query, rows)
+    }
+
+    /// Runs the per-query fixed-point pipeline against a prepared memory, over the
+    /// whole memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the query dimension does not match the memory or the
+    /// memory was prepared with a different input format.
+    pub fn attend_memory(
+        &self,
+        memory: &QuantizedMemory,
+        query: &[f32],
+    ) -> Result<AttentionResult, AttentionError> {
+        let rows: Vec<usize> = (0..memory.n()).collect();
+        self.attend_memory_rows(memory, query, &rows)
+    }
+
+    /// Runs the per-query fixed-point pipeline against a prepared memory, over a
+    /// subset of rows. Rows not listed get score and weight zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the query dimension does not match the memory, the memory
+    /// was prepared with a different input format, `rows` is empty, or an index is out
+    /// of bounds.
+    pub fn attend_memory_rows(
+        &self,
+        memory: &QuantizedMemory,
+        query: &[f32],
+        rows: &[usize],
+    ) -> Result<AttentionResult, AttentionError> {
+        if memory.input_format() != self.input_format {
+            return Err(AttentionError::InvalidParameter {
+                name: "memory",
+                constraint: "memory was prepared with a different input format",
+            });
+        }
+        if query.len() != memory.d() {
+            return Err(AttentionError::DimensionMismatch {
+                expected: memory.d(),
+                actual: query.len(),
+            });
+        }
         if rows.is_empty() {
             return Err(AttentionError::InvalidParameter {
                 name: "rows",
                 constraint: "at least one row must be selected",
             });
         }
-        if rows.iter().any(|&r| r >= keys.rows()) {
+        if rows.iter().any(|&r| r >= memory.n()) {
             return Err(AttentionError::InvalidParameter {
                 name: "rows",
                 constraint: "row indices must be within the key matrix",
             });
         }
-        let n = keys.rows();
-        let d = keys.dim();
-        let formats = self.formats(n, d);
-        let exp_lut = ExpLut::two_half(formats.shifted_dot_product(), formats.score());
+        let n = memory.n();
+        let d = memory.d();
+        let formats = memory.formats();
+        let exp_lut = &memory.exp_lut;
 
         // Quantize the query once (it is reused by every row).
         let q_fixed: Vec<Fixed> = query
@@ -108,11 +284,11 @@ impl QuantizedAttention {
         let mut dot_products: Vec<Fixed> = Vec::with_capacity(rows.len());
         let mut max_dot = Fixed::min(formats.dot_product());
         for &r in rows {
-            let key_row = keys.row(r);
-            let products = key_row
+            let products = memory
+                .key_row(r)
                 .iter()
                 .zip(&q_fixed)
-                .map(|(&k, q)| Fixed::quantize(k as f64, formats.input()).mul_full(*q));
+                .map(|(k, q)| k.mul_full(*q));
             let dot = Fixed::accumulate(products, formats.product(), d);
             debug_assert_eq!(dot.format(), formats.dot_product());
             if dot > max_dot {
@@ -147,11 +323,9 @@ impl QuantizedAttention {
                 score.div_weight(exp_sum)
             };
             weights_fixed.push(weight);
-            let value_row = values.row(r);
-            for (acc, &v) in output_acc.iter_mut().zip(value_row) {
-                let v_fixed = Fixed::quantize(v as f64, formats.input());
+            for (acc, v_fixed) in output_acc.iter_mut().zip(memory.value_row(r)) {
                 // weight (Q0.2f) * value (Qi.f) = Q(i).(3f), then accumulate.
-                let term = weight.mul_full(v_fixed).round_to(formats.output());
+                let term = weight.mul_full(*v_fixed).round_to(formats.output());
                 *acc = acc.saturating_add(term);
             }
         }
@@ -217,6 +391,47 @@ mod tests {
             .unwrap()
             .0;
         assert_eq!(exact_top, quant_top);
+    }
+
+    #[test]
+    fn prepared_memory_is_bit_identical_to_one_shot() {
+        let (keys, values, query) = case(20, 8);
+        let qa = QuantizedAttention::paper();
+        let memory = qa.prepare(&keys, &values).unwrap();
+        let one_shot = qa.attend(&keys, &values, &query).unwrap();
+        let served = qa.attend_memory(&memory, &query).unwrap();
+        assert_eq!(one_shot, served);
+        let subset_one_shot = qa.attend_rows(&keys, &values, &query, &[1, 4, 7]).unwrap();
+        let subset_served = qa.attend_memory_rows(&memory, &query, &[1, 4, 7]).unwrap();
+        assert_eq!(subset_one_shot, subset_served);
+    }
+
+    #[test]
+    fn mismatched_input_format_rejected() {
+        let (keys, values, query) = case(8, 4);
+        let memory = QuantizedMemory::prepare(QFormat::new(4, 2), &keys, &values).unwrap();
+        assert!(QuantizedAttention::paper()
+            .attend_memory(&memory, &query)
+            .is_err());
+    }
+
+    #[test]
+    fn prepare_validates_memory_shapes() {
+        let (keys, _, _) = case(8, 4);
+        let bad_values = Matrix::zeros(3, 4);
+        assert!(QuantizedMemory::prepare(QFormat::new(4, 4), &keys, &bad_values).is_err());
+        let narrow_values = Matrix::zeros(8, 2);
+        assert!(QuantizedMemory::prepare(QFormat::new(4, 4), &keys, &narrow_values).is_err());
+    }
+
+    #[test]
+    fn prepared_memory_reports_shape_and_work() {
+        let (keys, values, _) = case(10, 8);
+        let memory = QuantizedAttention::paper().prepare(&keys, &values).unwrap();
+        assert_eq!(memory.n(), 10);
+        assert_eq!(memory.d(), 8);
+        assert_eq!(memory.input_format(), a3_fixed::paper_input_format());
+        assert!(memory.preprocess_ops() >= 2 * 10 * 8);
     }
 
     #[test]

@@ -1,12 +1,26 @@
 //! Property-based tests for the attention and approximation algorithms.
 
 use a3_core::approx::{
-    post_scoring_select, select_candidates, select_candidates_naive, ApproxConfig,
-    ApproximateAttention, SortedKeyColumns,
+    post_scoring_select, preprocess_count, select_candidates, select_candidates_naive,
+    ApproxConfig, ApproximateAttention, SortedKeyColumns,
 };
 use a3_core::attention::{attention_batch, attention_with_scores, stable_softmax};
+use a3_core::backend::{
+    ApproximateBackend, ComputeBackend, ExactBackend, MemoryCache, QuantizedBackend,
+};
 use a3_core::Matrix;
 use proptest::prelude::*;
+
+/// The full backend line-up served through the unified `ComputeBackend` trait.
+fn all_backends() -> Vec<Box<dyn ComputeBackend>> {
+    vec![
+        Box::new(ExactBackend),
+        Box::new(ApproximateBackend::new(ApproxConfig::none())),
+        Box::new(ApproximateBackend::conservative()),
+        Box::new(ApproximateBackend::aggressive()),
+        Box::new(QuantizedBackend::paper()),
+    ]
+}
 
 /// Strategy producing a random (keys, values, query) triple with `n` in 2..40 and
 /// `d` in 1..16.
@@ -183,5 +197,49 @@ proptest! {
             .attend(&keys, &values, &query)
             .unwrap();
         prop_assert!(aggr.stats.num_candidates <= cons.stats.num_candidates + 1);
+    }
+
+    /// For every backend, attending through a prepared memory is bit-identical to the
+    /// one-shot `attend`, and the prepared batch path is bit-identical to a sequential
+    /// loop — the central contract of the `ComputeBackend` serving layer.
+    #[test]
+    fn attend_prepared_is_bit_identical_to_attend_for_every_backend(
+        (keys, values, query) in attention_case()
+    ) {
+        for backend in all_backends() {
+            let memory = backend.prepare(&keys, &values).unwrap();
+            let one_shot = backend.attend(&keys, &values, &query).unwrap();
+            let prepared = backend.attend_prepared(&memory, &query).unwrap();
+            prop_assert_eq!(&one_shot, &prepared);
+            let negated: Vec<f32> = query.iter().map(|x| -x).collect();
+            let rows = [query.as_slice(), negated.as_slice()];
+            let batch = backend.attend_batch_prepared(&memory, &rows).unwrap();
+            prop_assert_eq!(batch.len(), 2);
+            prop_assert_eq!(&batch[0], &prepared);
+            prop_assert_eq!(&batch[1], &backend.attend_prepared(&memory, &negated).unwrap());
+        }
+    }
+
+    /// Cache identity follows memory content: the same memory hits, a mutated memory
+    /// misses, and a warm lookup never re-runs the key-column sort.
+    #[test]
+    fn cache_hits_same_memory_and_misses_mutated_memory(
+        (keys, values, _query) in attention_case(),
+        row_bump in 0.5f32..2.0,
+    ) {
+        for backend in all_backends() {
+            let mut cache = MemoryCache::new(4);
+            let (_, hit) = cache.get_or_prepare(backend.as_ref(), &keys, &values).unwrap();
+            prop_assert!(!hit, "first lookup must miss ({})", backend.name());
+            let sorts_before = preprocess_count();
+            let (_, hit) = cache.get_or_prepare(backend.as_ref(), &keys, &values).unwrap();
+            prop_assert!(hit, "second lookup must hit ({})", backend.name());
+            prop_assert_eq!(preprocess_count(), sorts_before);
+            let mut mutated = keys.clone();
+            mutated.row_mut(0)[0] += row_bump;
+            let (_, hit) = cache.get_or_prepare(backend.as_ref(), &mutated, &values).unwrap();
+            prop_assert!(!hit, "mutated memory must miss ({})", backend.name());
+            prop_assert_eq!((cache.hits(), cache.misses()), (1, 2));
+        }
     }
 }

@@ -7,8 +7,8 @@
 //! ```
 //!
 //! where each `experiment` is one of `fig3`, `fig11`, `fig12`, `fig13`, `quant`,
-//! `fig14`, `fig15`, `table1`, `latency`, `ablation`, or `all` (the default).
-//! `--fast` uses reduced example counts (useful in debug builds).
+//! `fig14`, `fig15`, `table1`, `latency`, `ablation`, `backends`, or `all` (the
+//! default). `--fast` uses reduced example counts (useful in debug builds).
 
 use std::process::ExitCode;
 
@@ -17,6 +17,7 @@ use a3_eval::{EvalSettings, Table};
 
 const EXPERIMENTS: &[&str] = &[
     "fig3", "fig11", "fig12", "fig13", "quant", "fig14", "fig15", "table1", "latency", "ablation",
+    "backends",
 ];
 
 fn print_tables(tables: Vec<Table>) {
@@ -37,6 +38,7 @@ fn run(name: &str, settings: &EvalSettings) -> bool {
         "table1" => print_tables(experiments::table1()),
         "latency" => print_tables(vec![experiments::latency_model(settings)]),
         "ablation" => print_tables(experiments::ablation(settings)),
+        "backends" => print_tables(experiments::backend_comparison(settings)),
         other => {
             eprintln!("unknown experiment `{other}`; available: {EXPERIMENTS:?} or `all`");
             return false;

@@ -3,7 +3,7 @@
 
 use a3_core::approx::{ApproxConfig, ApproximateAttention};
 use a3_core::attention::attention_with_scores;
-use a3_core::kernel::{ApproximateKernel, ExactKernel, QuantizedKernel};
+use a3_core::backend::{ApproximateBackend, ExactBackend, QuantizedBackend};
 use a3_fixed::QFormat;
 use a3_workloads::metrics::top_k_recall;
 use a3_workloads::Workload;
@@ -30,15 +30,15 @@ pub fn fig11(settings: &EvalSettings) -> Vec<Table> {
     let mut row = vec!["No Approximation".to_owned()];
     for w in &workloads {
         row.push(fmt3(
-            w.evaluate(&ExactKernel, settings.examples_for(w.kind())),
+            w.evaluate(&ExactBackend, settings.examples_for(w.kind())),
         ));
     }
     accuracy.push_row(row);
     for frac in FIG11_M_FRACTIONS {
-        let kernel = ApproximateKernel::new(ApproxConfig::candidate_only(frac));
+        let backend = ApproximateBackend::new(ApproxConfig::candidate_only(frac));
         let mut row = vec![format!("M = {}n", frac)];
         for w in &workloads {
-            row.push(fmt3(w.evaluate(&kernel, settings.examples_for(w.kind()))));
+            row.push(fmt3(w.evaluate(&backend, settings.examples_for(w.kind()))));
         }
         accuracy.push_row(row);
     }
@@ -70,15 +70,15 @@ pub fn fig12(settings: &EvalSettings) -> Vec<Table> {
     let mut row = vec!["No Approximation".to_owned()];
     for w in &workloads {
         row.push(fmt3(
-            w.evaluate(&ExactKernel, settings.examples_for(w.kind())),
+            w.evaluate(&ExactBackend, settings.examples_for(w.kind())),
         ));
     }
     accuracy.push_row(row);
     for t in FIG12_THRESHOLDS {
-        let kernel = ApproximateKernel::new(ApproxConfig::post_scoring_only(t));
+        let backend = ApproximateBackend::new(ApproxConfig::post_scoring_only(t));
         let mut row = vec![format!("T = {t}%")];
         for w in &workloads {
-            row.push(fmt3(w.evaluate(&kernel, settings.examples_for(w.kind()))));
+            row.push(fmt3(w.evaluate(&backend, settings.examples_for(w.kind()))));
         }
         accuracy.push_row(row);
     }
@@ -123,8 +123,8 @@ pub fn fig13(settings: &EvalSettings) -> Vec<Table> {
         for w in &workloads {
             let count = settings.examples_for(w.kind());
             let value = match config {
-                None => w.evaluate(&ExactKernel, count),
-                Some(c) => w.evaluate(&ApproximateKernel::new(*c), count),
+                None => w.evaluate(&ExactBackend, count),
+                Some(c) => w.evaluate(&ApproximateBackend::new(*c), count),
             };
             row.push(fmt3(value));
         }
@@ -161,15 +161,15 @@ pub fn quantization(settings: &EvalSettings) -> Table {
     let mut row = vec!["float32".to_owned()];
     for w in &workloads {
         row.push(fmt3(
-            w.evaluate(&ExactKernel, settings.examples_for(w.kind())),
+            w.evaluate(&ExactBackend, settings.examples_for(w.kind())),
         ));
     }
     table.push_row(row);
     for f in [2u32, 4, 6] {
-        let kernel = QuantizedKernel::new(QFormat::new(4, f));
+        let backend = QuantizedBackend::new(QFormat::new(4, f));
         let mut row = vec![format!("Q4.{f}")];
         for w in &workloads {
-            row.push(fmt3(w.evaluate(&kernel, settings.examples_for(w.kind()))));
+            row.push(fmt3(w.evaluate(&backend, settings.examples_for(w.kind()))));
         }
         table.push_row(row);
     }

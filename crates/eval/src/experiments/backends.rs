@@ -1,0 +1,133 @@
+//! Backend comparison: the same workloads served by every compute backend.
+//!
+//! The serving layer introduced with [`a3_core::backend`] makes the exact,
+//! approximate and quantized/LUT datapaths interchangeable behind one trait. This
+//! experiment runs each paper workload against each backend and reports (a) the task
+//! metric and (b) the cycle-level cost of serving the workload's attention batch,
+//! including what the preprocessing cache buys: the first batch against a memory pays
+//! the preprocessing cycles, a repeated (warm) batch pays zero.
+
+use a3_core::backend::{ApproximateBackend, ComputeBackend, ExactBackend, QuantizedBackend};
+use a3_sim::{A3Config, MemoryCache, PipelineModel};
+
+use crate::experiments::paper_workloads;
+use crate::report::{fmt3, Table};
+use crate::settings::EvalSettings;
+
+/// The backend line-up: display name, backend, and the accelerator configuration that
+/// realises it (exact and quantized run on the base pipeline; the approximate
+/// backends run on the five-module approximate pipeline).
+fn lineup() -> Vec<(&'static str, Box<dyn ComputeBackend>, A3Config)> {
+    vec![
+        (
+            "Exact (float)",
+            Box::new(ExactBackend),
+            A3Config::paper_base(),
+        ),
+        (
+            "Quantized (Q4.4 LUT)",
+            Box::new(QuantizedBackend::paper()),
+            A3Config::paper_base(),
+        ),
+        (
+            "Approximate (conservative)",
+            Box::new(ApproximateBackend::conservative()),
+            A3Config::paper_conservative(),
+        ),
+        (
+            "Approximate (aggressive)",
+            Box::new(ApproximateBackend::aggressive()),
+            A3Config::paper_aggressive(),
+        ),
+    ]
+}
+
+/// Runs every workload through every backend: task accuracy plus serving cost
+/// (cold-batch vs warm-batch cycles through the preprocessing cache).
+pub fn backend_comparison(settings: &EvalSettings) -> Vec<Table> {
+    let workloads = paper_workloads(settings);
+
+    let mut accuracy = Table::new(
+        "Backend comparison: task metric per compute backend",
+        &["Backend", "MemN2N", "KV-MemN2N", "BERT"],
+    );
+    for (name, backend, _) in &lineup() {
+        let mut row = vec![(*name).to_owned()];
+        for w in &workloads {
+            row.push(fmt3(
+                w.evaluate(backend.as_ref(), settings.examples_for(w.kind())),
+            ));
+        }
+        accuracy.push_row(row);
+    }
+
+    let mut cycles = Table::new(
+        "Backend comparison: serving cost for one batch of queries per workload memory",
+        &[
+            "Backend",
+            "Workload",
+            "Avg latency (cyc)",
+            "p95 latency (cyc)",
+            "Throughput (cyc/query)",
+            "Cold batch (cyc)",
+            "Warm batch (cyc)",
+        ],
+    );
+    for (name, backend, config) in &lineup() {
+        for w in &workloads {
+            // One shared memory, one batch of queries against it (the multi-query
+            // serving pattern the prepare/attend split amortises).
+            let cases = w.attention_cases(settings.cases_per_workload.max(2));
+            let memory = &cases[0];
+            let queries: Vec<Vec<f32>> = cases.iter().map(|c| c.query.clone()).collect();
+            let model = PipelineModel::new(*config);
+            let mut cache = MemoryCache::new(4);
+            let cold = model.run_batch_with(
+                backend.as_ref(),
+                &mut cache,
+                &memory.keys,
+                &memory.values,
+                &queries,
+            );
+            let warm = model.run_batch_with(
+                backend.as_ref(),
+                &mut cache,
+                &memory.keys,
+                &memory.values,
+                &queries,
+            );
+            cycles.push_row(vec![
+                (*name).to_owned(),
+                w.name(),
+                format!("{:.1}", cold.avg_latency_cycles),
+                format!("{}", cold.p95_latency_cycles),
+                format!("{:.1}", cold.avg_throughput_cycles),
+                format!("{}", cold.end_to_end_cycles()),
+                format!("{}", warm.end_to_end_cycles()),
+            ]);
+        }
+    }
+
+    vec![accuracy, cycles]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_comparison_covers_every_backend_and_workload() {
+        let tables = backend_comparison(&EvalSettings::fast());
+        assert_eq!(tables.len(), 2);
+        let accuracy = &tables[0];
+        assert_eq!(accuracy.len(), 4, "one row per backend");
+        let cycles = &tables[1];
+        assert_eq!(cycles.len(), 4 * 3, "one row per backend per workload");
+        // Warm batches must never cost more than cold batches (the cache win).
+        for row in 0..cycles.len() {
+            let cold: u64 = cycles.cell(row, 5).unwrap().parse().unwrap();
+            let warm: u64 = cycles.cell(row, 6).unwrap().parse().unwrap();
+            assert!(warm <= cold, "warm batch costs more than cold at row {row}");
+        }
+    }
+}

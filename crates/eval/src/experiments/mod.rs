@@ -2,12 +2,14 @@
 
 pub mod ablation;
 pub mod accuracy;
+pub mod backends;
 pub mod fig3;
 pub mod latency;
 pub mod performance;
 pub mod table1;
 
 pub use ablation::ablation;
+pub use backends::backend_comparison;
 pub use fig3::fig3;
 pub use latency::latency_model;
 pub use table1::table1;

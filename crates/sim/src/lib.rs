@@ -30,3 +30,7 @@ pub use energy::{EnergyBreakdown, EnergyModel, ModuleCharacteristics, TableI};
 pub use multi_unit::MultiUnit;
 pub use pipeline::{ApproxQueryTrace, PipelineModel, QueryCost, SimReport};
 pub use sram::SramConfig;
+
+// Re-exported so simulator callers can drive the cached serving entry points without
+// depending on `a3_core::backend` directly.
+pub use a3_core::backend::{ComputeBackend, MemoryCache};

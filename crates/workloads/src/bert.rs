@@ -15,7 +15,7 @@
 //! hurts, pruning near-zero rows does not.
 
 use a3_core::attention::self_attention;
-use a3_core::kernel::AttentionKernel;
+use a3_core::backend::ComputeBackend;
 use a3_core::Matrix;
 
 use crate::embedding::EmbeddingSpace;
@@ -81,15 +81,15 @@ impl BertLite {
             .collect()
     }
 
-    /// Encodes an example into final token states using `kernel` for every attention
-    /// operation.
-    pub fn encode(&self, kernel: &dyn AttentionKernel, example: &SquadExample) -> Matrix {
+    /// Encodes an example into final token states using `backend` for every attention
+    /// operation; each layer prepares its key matrix once for all `n` queries.
+    pub fn encode(&self, backend: &dyn ComputeBackend, example: &SquadExample) -> Matrix {
         let tokens = self.tokens(example);
         let mut states = self.embedding.embed_sequence(&tokens);
         for _ in 0..self.num_layers {
             // Self-attention over the token states (queries = keys = values = states,
             // the paper's n x d self-attention shape), followed by a residual mix.
-            let attended = self_attention(kernel, &states, &states, &states)
+            let attended = self_attention(backend, &states, &states, &states)
                 .expect("workload-generated shapes are consistent")
                 .outputs;
             let mixed: Vec<Vec<f32>> = states
@@ -114,10 +114,10 @@ impl BertLite {
     /// start, biasing every prediction a couple of tokens early.
     pub fn predict_span(
         &self,
-        kernel: &dyn AttentionKernel,
+        backend: &dyn ComputeBackend,
         example: &SquadExample,
     ) -> (usize, usize) {
-        let states = self.encode(kernel, example);
+        let states = self.encode(backend, example);
         let plen = example.passage.len();
         let d = states.dim();
         // Question summary vector: mean of the question-token states.
@@ -194,11 +194,11 @@ impl Workload for BertLite {
             .collect()
     }
 
-    fn evaluate(&self, kernel: &dyn AttentionKernel, count: usize) -> f64 {
+    fn evaluate(&self, backend: &dyn ComputeBackend, count: usize) -> f64 {
         let examples = self.generator.generate_many(count);
         let pairs: Vec<((usize, usize), (usize, usize))> = examples
             .iter()
-            .map(|ex| (self.predict_span(kernel, ex), ex.answer_span))
+            .map(|ex| (self.predict_span(backend, ex), ex.answer_span))
             .collect();
         mean_span_f1(&pairs)
     }
@@ -207,7 +207,7 @@ impl Workload for BertLite {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use a3_core::kernel::{ApproximateKernel, ExactKernel};
+    use a3_core::backend::{ApproximateBackend, ExactBackend};
 
     #[test]
     fn paper_configuration_shapes() {
@@ -221,15 +221,15 @@ mod tests {
     #[test]
     fn small_model_exact_f1_is_high() {
         let model = BertLite::small(3);
-        let f1 = model.evaluate(&ExactKernel, 12);
+        let f1 = model.evaluate(&ExactBackend, 12);
         assert!(f1 > 0.6, "exact F1 {f1}");
     }
 
     #[test]
     fn approximation_does_not_collapse_f1() {
         let model = BertLite::small(3);
-        let exact = model.evaluate(&ExactKernel, 8);
-        let approx = model.evaluate(&ApproximateKernel::conservative(), 8);
+        let exact = model.evaluate(&ExactBackend, 8);
+        let approx = model.evaluate(&ApproximateBackend::conservative(), 8);
         assert!(approx >= exact - 0.3, "approx F1 {approx} vs exact {exact}");
     }
 
@@ -237,7 +237,7 @@ mod tests {
     fn predicted_span_is_within_passage() {
         let model = BertLite::small(5);
         let ex = SquadGenerator::with_lengths(5, 48, 6).generate(0);
-        let (s, e) = model.predict_span(&ExactKernel, &ex);
+        let (s, e) = model.predict_span(&ExactBackend, &ex);
         assert!(s <= e);
         assert!(e < ex.passage.len());
     }
@@ -256,8 +256,8 @@ mod tests {
     fn encode_is_deterministic() {
         let model = BertLite::small(9);
         let ex = SquadGenerator::with_lengths(9, 48, 6).generate(1);
-        let a = model.encode(&ExactKernel, &ex);
-        let b = model.encode(&ExactKernel, &ex);
+        let a = model.encode(&ExactBackend, &ex);
+        let b = model.encode(&ExactBackend, &ex);
         assert_eq!(a, b);
     }
 

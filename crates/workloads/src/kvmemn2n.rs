@@ -7,7 +7,7 @@
 //! ranked by similarity between that retrieved vector and each candidate entity
 //! embedding. The paper reports Mean Average Precision for this workload.
 
-use a3_core::kernel::AttentionKernel;
+use a3_core::backend::ComputeBackend;
 use a3_core::Matrix;
 
 use crate::embedding::EmbeddingSpace;
@@ -97,13 +97,13 @@ impl KvMemN2N {
     /// Answers one question: returns the ranked candidate entities (best first).
     pub fn rank_answers(
         &self,
-        kernel: &dyn AttentionKernel,
+        backend: &dyn ComputeBackend,
         keys: &Matrix,
         values: &Matrix,
         question: &MovieQuestion,
     ) -> Vec<String> {
         let query = self.query(question);
-        let result = kernel
+        let result = backend
             .attend(keys, values, &query)
             .expect("workload-generated shapes are consistent");
         let candidates = WikiMoviesKb::candidate_entities();
@@ -147,7 +147,7 @@ impl Workload for KvMemN2N {
         cases
     }
 
-    fn evaluate(&self, kernel: &dyn AttentionKernel, count: usize) -> f64 {
+    fn evaluate(&self, backend: &dyn ComputeBackend, count: usize) -> f64 {
         let mut cases: Vec<(Vec<String>, Vec<String>)> = Vec::with_capacity(count);
         let mut kb_index = 0usize;
         while cases.len() < count {
@@ -157,7 +157,7 @@ impl Workload for KvMemN2N {
                 if cases.len() >= count {
                     break;
                 }
-                let ranked = self.rank_answers(kernel, &keys, &values, question);
+                let ranked = self.rank_answers(backend, &keys, &values, question);
                 cases.push((ranked, question.answers.clone()));
             }
             kb_index += 1;
@@ -169,7 +169,7 @@ impl Workload for KvMemN2N {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use a3_core::kernel::{ApproximateKernel, ExactKernel};
+    use a3_core::backend::{ApproximateBackend, ExactBackend};
 
     fn small_model() -> KvMemN2N {
         KvMemN2N::with_config(32, WikiMoviesGenerator::with_size(4, 8, 2), 4)
@@ -191,7 +191,7 @@ mod tests {
         let cases = m.attention_cases(12);
         let mut hits = 0;
         for case in &cases {
-            let result = ExactKernel
+            let result = ExactBackend
                 .attend(&case.keys, &case.values, &case.query)
                 .unwrap();
             let top = result.top_k(5);
@@ -208,15 +208,15 @@ mod tests {
     #[test]
     fn exact_map_is_reasonable() {
         let m = small_model();
-        let map = m.evaluate(&ExactKernel, 16);
+        let map = m.evaluate(&ExactBackend, 16);
         assert!(map > 0.3, "exact MAP {map}");
     }
 
     #[test]
     fn conservative_approximation_close_to_exact() {
         let m = small_model();
-        let exact = m.evaluate(&ExactKernel, 12);
-        let approx = m.evaluate(&ApproximateKernel::conservative(), 12);
+        let exact = m.evaluate(&ExactBackend, 12);
+        let approx = m.evaluate(&ApproximateBackend::conservative(), 12);
         assert!(
             approx >= exact - 0.2,
             "approx MAP {approx} vs exact {exact}"
@@ -228,7 +228,7 @@ mod tests {
         let m = small_model();
         let kb = WikiMoviesGenerator::with_size(4, 8, 2).generate(0);
         let (keys, values) = m.memory(&kb);
-        let ranked = m.rank_answers(&ExactKernel, &keys, &values, &kb.questions[0]);
+        let ranked = m.rank_answers(&ExactBackend, &keys, &values, &kb.questions[0]);
         assert_eq!(ranked.len(), 10);
         let mut dedup = ranked.clone();
         dedup.sort();

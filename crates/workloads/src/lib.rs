@@ -13,9 +13,9 @@
 //! deterministic generator produces tasks with the same structure (a few relevant
 //! memory rows among many distractors, the paper's `n` and `d`), a light-weight model
 //! embeds them with [`embedding::EmbeddingSpace`], and the model's attention operations
-//! go through the pluggable [`a3_core::kernel::AttentionKernel`] so that exact,
-//! approximate and quantized attention can be compared — which is exactly the
-//! experimental setup of the paper's Section VI-B accuracy study.
+//! go through the pluggable [`a3_core::backend::ComputeBackend`] serving layer so that
+//! the exact, approximate and quantized/LUT datapaths can be compared — which is
+//! exactly the experimental setup of the paper's Section VI-B accuracy study.
 //!
 //! Every workload also implements [`workload::Workload`], the interface the evaluation
 //! harness (`a3-eval`) and the benchmark harness (`a3-bench`) consume.

@@ -7,7 +7,7 @@
 //! by nearest-neighbour search over the location embeddings. Multiple hops update the
 //! query with the retrieved output, as in the original MemN2N.
 
-use a3_core::kernel::AttentionKernel;
+use a3_core::backend::ComputeBackend;
 use a3_core::Matrix;
 
 use crate::babi::{BabiGenerator, BabiStory};
@@ -130,14 +130,14 @@ impl MemN2N {
         }
     }
 
-    /// Answers one story with the given attention kernel, returning
+    /// Answers one story with the given compute backend, returning
     /// `(predicted_location, correct_location)`.
-    pub fn predict(&self, kernel: &dyn AttentionKernel, story: &BabiStory) -> (String, String) {
+    pub fn predict(&self, backend: &dyn ComputeBackend, story: &BabiStory) -> (String, String) {
         let case = self.attention_case(story);
         let mut query = case.query.clone();
         let mut output = vec![0.0f32; self.embedding.dim()];
         for _ in 0..self.hops {
-            let result = kernel
+            let result = backend
                 .attend(&case.keys, &case.values, &query)
                 .expect("workload-generated shapes are consistent");
             output = result.output;
@@ -173,10 +173,10 @@ impl Workload for MemN2N {
             .collect()
     }
 
-    fn evaluate(&self, kernel: &dyn AttentionKernel, count: usize) -> f64 {
+    fn evaluate(&self, backend: &dyn ComputeBackend, count: usize) -> f64 {
         let stories = self.generator.generate_many(count);
         let pairs: Vec<(String, String)> =
-            stories.iter().map(|s| self.predict(kernel, s)).collect();
+            stories.iter().map(|s| self.predict(backend, s)).collect();
         accuracy(&pairs)
     }
 }
@@ -185,7 +185,7 @@ impl Workload for MemN2N {
 mod tests {
     use super::*;
     use a3_core::approx::ApproxConfig;
-    use a3_core::kernel::{ApproximateKernel, ExactKernel};
+    use a3_core::backend::{ApproximateBackend, ExactBackend};
 
     fn model() -> MemN2N {
         MemN2N::with_config(32, 2, BabiGenerator::with_story_length(3, 8, 20), 3)
@@ -210,7 +210,7 @@ mod tests {
         let cases = m.attention_cases(40);
         let mut hits = 0;
         for case in &cases {
-            let result = ExactKernel
+            let result = ExactBackend
                 .attend(&case.keys, &case.values, &case.query)
                 .unwrap();
             if result.top_k(2).contains(&case.relevant_rows[0]) {
@@ -226,15 +226,15 @@ mod tests {
     #[test]
     fn exact_accuracy_is_high_on_synthetic_task() {
         let m = model();
-        let acc = m.evaluate(&ExactKernel, 60);
+        let acc = m.evaluate(&ExactBackend, 60);
         assert!(acc > 0.7, "exact accuracy {acc}");
     }
 
     #[test]
     fn conservative_approximation_loses_little_accuracy() {
         let m = model();
-        let exact = m.evaluate(&ExactKernel, 40);
-        let approx = m.evaluate(&ApproximateKernel::new(ApproxConfig::conservative()), 40);
+        let exact = m.evaluate(&ExactBackend, 40);
+        let approx = m.evaluate(&ApproximateBackend::new(ApproxConfig::conservative()), 40);
         assert!(
             approx >= exact - 0.15,
             "conservative approx accuracy {approx} vs exact {exact}"
@@ -244,7 +244,7 @@ mod tests {
     #[test]
     fn evaluation_is_deterministic() {
         let m = model();
-        assert_eq!(m.evaluate(&ExactKernel, 20), m.evaluate(&ExactKernel, 20));
+        assert_eq!(m.evaluate(&ExactBackend, 20), m.evaluate(&ExactBackend, 20));
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The common interface every workload exposes to the evaluation and benchmark
 //! harnesses.
 
-use a3_core::kernel::AttentionKernel;
+use a3_core::backend::ComputeBackend;
 use a3_core::Matrix;
 
 /// One concrete attention operation extracted from a workload: a key matrix, a value
@@ -120,10 +120,10 @@ pub trait Workload {
     /// with ground-truth relevant rows).
     fn attention_cases(&self, count: usize) -> Vec<AttentionCase>;
 
-    /// Runs the task end-to-end on `count` examples using `kernel` for every attention
+    /// Runs the task end-to-end on `count` examples using `backend` for every attention
     /// operation and returns the task metric (accuracy / MAP / F1, per
     /// [`WorkloadKind::metric_name`]).
-    fn evaluate(&self, kernel: &dyn AttentionKernel, count: usize) -> f64;
+    fn evaluate(&self, backend: &dyn ComputeBackend, count: usize) -> f64;
 }
 
 #[cfg(test)]

@@ -4,7 +4,7 @@
 //! Run with: `cargo run --release --example babi_qa`
 
 use a3::core::approx::ApproxConfig;
-use a3::core::kernel::{ApproximateKernel, AttentionKernel, ExactKernel};
+use a3::core::backend::{ApproximateBackend, ComputeBackend, ExactBackend};
 use a3::workloads::babi::BabiGenerator;
 use a3::workloads::memn2n::MemN2N;
 use a3::workloads::Workload;
@@ -23,19 +23,19 @@ fn main() {
     println!("answer  : {}", story.answer_location);
     println!("supporting statement: {}", story.supporting_statement);
 
-    let kernels: Vec<(&str, Box<dyn AttentionKernel>)> = vec![
-        ("exact", Box::new(ExactKernel)),
+    let backends: Vec<(&str, Box<dyn ComputeBackend>)> = vec![
+        ("exact", Box::new(ExactBackend)),
         (
             "approx (conservative)",
-            Box::new(ApproximateKernel::new(ApproxConfig::conservative())),
+            Box::new(ApproximateBackend::new(ApproxConfig::conservative())),
         ),
         (
             "approx (aggressive)",
-            Box::new(ApproximateKernel::new(ApproxConfig::aggressive())),
+            Box::new(ApproximateBackend::new(ApproxConfig::aggressive())),
         ),
     ];
-    for (name, kernel) in &kernels {
-        let (predicted, expected) = model.predict(kernel.as_ref(), &story);
+    for (name, backend) in &backends {
+        let (predicted, expected) = model.predict(backend.as_ref(), &story);
         println!(
             "{name:<22} predicted: {predicted:<10} ({})",
             if predicted == expected {
@@ -48,8 +48,8 @@ fn main() {
 
     // Accuracy over a larger evaluation set (Figure 13a's MemN2N column).
     println!("\n--- accuracy over 200 stories ---");
-    for (name, kernel) in &kernels {
-        let accuracy = model.evaluate(kernel.as_ref(), 200);
+    for (name, backend) in &backends {
+        let accuracy = model.evaluate(backend.as_ref(), 200);
         println!("{name:<22} accuracy: {accuracy:.3}");
     }
 }

@@ -5,7 +5,7 @@
 //! Run with: `cargo run --release --example bert_self_attention`
 
 use a3::baselines::{Device, TitanV, XeonGold6128};
-use a3::core::kernel::{ApproximateKernel, AttentionKernel, ExactKernel};
+use a3::core::backend::{ApproximateBackend, ComputeBackend, ExactBackend};
 use a3::sim::{A3Config, MultiUnit, PipelineModel};
 use a3::workloads::bert::BertLite;
 use a3::workloads::squad::SquadGenerator;
@@ -24,22 +24,22 @@ fn main() {
     );
 
     // Task quality with exact vs approximate attention.
-    for (name, kernel) in [
-        ("exact", Box::new(ExactKernel) as Box<dyn AttentionKernel>),
+    for (name, backend) in [
+        ("exact", Box::new(ExactBackend) as Box<dyn ComputeBackend>),
         (
             "approx (conservative)",
-            Box::new(ApproximateKernel::conservative()),
+            Box::new(ApproximateBackend::conservative()),
         ),
         (
             "approx (aggressive)",
-            Box::new(ApproximateKernel::aggressive()),
+            Box::new(ApproximateBackend::aggressive()),
         ),
     ] {
-        let span = model.predict_span(kernel.as_ref(), &example);
+        let span = model.predict_span(backend.as_ref(), &example);
         let f1 = a3::workloads::metrics::span_f1(span, example.answer_span);
         println!("{name:<22} predicted span {span:?}  F1 {f1:.3}");
     }
-    let exact_f1 = model.evaluate(&ExactKernel, 8);
+    let exact_f1 = model.evaluate(&ExactBackend, 8);
     println!("\nmean F1 over 8 passages (exact attention): {exact_f1:.3}");
 
     // Throughput: one self-attention layer issues n = 320 queries against the same

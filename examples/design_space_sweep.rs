@@ -5,7 +5,7 @@
 //! Run with: `cargo run --release --example design_space_sweep`
 
 use a3::core::approx::ApproxConfig;
-use a3::core::kernel::{ApproximateKernel, ExactKernel};
+use a3::core::backend::{ApproximateBackend, ExactBackend};
 use a3::sim::{A3Config, EnergyModel, PipelineModel};
 use a3::workloads::memn2n::MemN2N;
 use a3::workloads::Workload;
@@ -13,7 +13,7 @@ use a3::workloads::Workload;
 fn main() {
     let workload = MemN2N::new(31);
     let examples = 150;
-    let exact_accuracy = workload.evaluate(&ExactKernel, examples);
+    let exact_accuracy = workload.evaluate(&ExactBackend, examples);
     println!("exact accuracy: {exact_accuracy:.3}\n");
     println!(
         "{:<10} {:<8} {:<10} {:<14} {:<14} {:<12}",
@@ -31,7 +31,7 @@ fn main() {
     for m_fraction in [1.0, 0.5, 0.25, 0.125] {
         for threshold in [2.5, 5.0, 10.0, 20.0] {
             let approx = ApproxConfig::with_m_and_t(m_fraction, threshold);
-            let accuracy = workload.evaluate(&ApproximateKernel::new(approx), examples);
+            let accuracy = workload.evaluate(&ApproximateBackend::new(approx), examples);
             let config = A3Config::paper_base().with_approx(approx);
             let model = PipelineModel::new(config);
             let costs: Vec<_> = cases

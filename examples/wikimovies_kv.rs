@@ -3,7 +3,7 @@
 //!
 //! Run with: `cargo run --release --example wikimovies_kv`
 
-use a3::core::kernel::{ApproximateKernel, AttentionKernel, ExactKernel};
+use a3::core::backend::{ApproximateBackend, ComputeBackend, ExactBackend};
 use a3::sim::{A3Config, EnergyModel, PipelineModel};
 use a3::workloads::kvmemn2n::KvMemN2N;
 use a3::workloads::wikimovies::WikiMoviesGenerator;
@@ -24,32 +24,32 @@ fn main() {
     for question in kb.questions.iter().take(3) {
         println!("\nQ: {:?} of {}?", question.relation, question.movie);
         println!("   gold answers: {:?}", question.answers);
-        for (name, kernel) in [
-            ("exact", Box::new(ExactKernel) as Box<dyn AttentionKernel>),
+        for (name, backend) in [
+            ("exact", Box::new(ExactBackend) as Box<dyn ComputeBackend>),
             (
                 "approx (conservative)",
-                Box::new(ApproximateKernel::conservative()),
+                Box::new(ApproximateBackend::conservative()),
             ),
         ] {
-            let ranked = model.rank_answers(kernel.as_ref(), &keys, &values, question);
+            let ranked = model.rank_answers(backend.as_ref(), &keys, &values, question);
             println!("   {name:<22} top-3: {:?}", &ranked[..3]);
         }
     }
 
     // Task-level MAP, the paper's metric for this workload.
     println!("\n--- mean average precision over 54 questions ---");
-    for (name, kernel) in [
-        ("exact", Box::new(ExactKernel) as Box<dyn AttentionKernel>),
+    for (name, backend) in [
+        ("exact", Box::new(ExactBackend) as Box<dyn ComputeBackend>),
         (
             "approx (conservative)",
-            Box::new(ApproximateKernel::conservative()),
+            Box::new(ApproximateBackend::conservative()),
         ),
         (
             "approx (aggressive)",
-            Box::new(ApproximateKernel::aggressive()),
+            Box::new(ApproximateBackend::aggressive()),
         ),
     ] {
-        let map = model.evaluate(kernel.as_ref(), 54);
+        let map = model.evaluate(backend.as_ref(), 54);
         println!("{name:<22} MAP: {map:.3}");
     }
 

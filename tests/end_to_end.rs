@@ -2,7 +2,7 @@
 
 use a3::core::approx::{ApproxConfig, ApproximateAttention};
 use a3::core::attention::attention_with_scores;
-use a3::core::kernel::{ApproximateKernel, ExactKernel, QuantizedKernel};
+use a3::core::backend::{ApproximateBackend, ExactBackend, QuantizedBackend};
 use a3::sim::{A3Config, EnergyModel, MultiUnit, PipelineModel};
 use a3::workloads::bert::BertLite;
 use a3::workloads::kvmemn2n::KvMemN2N;
@@ -78,9 +78,9 @@ fn task_accuracy_degrades_gracefully_with_approximation() {
     // accuracy; the aggressive scheme loses more but does not collapse.
     let counts = [40usize, 12, 3];
     for (w, count) in workloads().into_iter().zip(counts) {
-        let exact = w.evaluate(&ExactKernel, count);
-        let conservative = w.evaluate(&ApproximateKernel::conservative(), count);
-        let aggressive = w.evaluate(&ApproximateKernel::aggressive(), count);
+        let exact = w.evaluate(&ExactBackend, count);
+        let conservative = w.evaluate(&ApproximateBackend::conservative(), count);
+        let aggressive = w.evaluate(&ApproximateBackend::aggressive(), count);
         assert!(exact > 0.4, "{}: exact metric {exact}", w.name());
         assert!(
             conservative >= exact - 0.25,
@@ -98,8 +98,8 @@ fn task_accuracy_degrades_gracefully_with_approximation() {
 #[test]
 fn quantized_pipeline_tracks_float_accuracy_on_memn2n() {
     let w = MemN2N::new(5);
-    let float = w.evaluate(&ExactKernel, 30);
-    let quant = w.evaluate(&QuantizedKernel::paper(), 30);
+    let float = w.evaluate(&ExactBackend, 30);
+    let quant = w.evaluate(&QuantizedBackend::paper(), 30);
     assert!(
         (float - quant).abs() < 0.15,
         "float {float} vs quantized {quant}"
@@ -173,8 +173,9 @@ fn batched_front_end_matches_sequential_across_workloads() {
             assert_eq!(out, &sequential, "{}", w.name());
         }
         // Empty batches are legal and empty.
+        let empty: &[Vec<f32>] = &[];
         assert!(approx
-            .attend_batch(&case.keys, &case.values, &[])
+            .attend_batch(&case.keys, &case.values, empty)
             .unwrap()
             .is_empty());
         // Simulator batch report: one preprocessing pass, same aggregate numbers.

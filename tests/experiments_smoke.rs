@@ -1,7 +1,9 @@
 //! Smoke tests for the experiment drivers: every figure/table driver must run and
 //! produce non-empty, well-formed tables with reduced settings.
 
-use a3::eval::experiments::{ablation, accuracy, fig3, latency_model, performance, table1};
+use a3::eval::experiments::{
+    ablation, accuracy, backend_comparison, fig3, latency_model, performance, table1,
+};
 use a3::eval::EvalSettings;
 
 fn tiny() -> EvalSettings {
@@ -27,7 +29,8 @@ fn every_experiment_driver_produces_tables() {
     all_tables.extend(table1());
     all_tables.push(latency_model(&settings));
     all_tables.extend(ablation(&settings));
-    assert!(all_tables.len() >= 14);
+    all_tables.extend(backend_comparison(&settings));
+    assert!(all_tables.len() >= 16);
     for table in &all_tables {
         assert!(!table.is_empty(), "{} is empty", table.title);
         let rendered = table.render();
