@@ -52,11 +52,15 @@ pub struct MemoryCache {
 }
 
 impl MemoryCache {
-    /// Creates a cache holding at most `capacity` prepared memories (clamped to at
-    /// least 1).
+    /// Creates a cache holding at most `capacity` prepared memories.
+    ///
+    /// A capacity of 0 is a **pass-through cache**: every lookup runs the backend's
+    /// preprocessing, nothing is ever stored, and the hit counter stays at zero. The
+    /// simulator uses this to model per-request (uncached) serving with the same code
+    /// path as cached serving.
     pub fn new(capacity: usize) -> Self {
         Self {
-            capacity: capacity.max(1),
+            capacity,
             entries: HashMap::new(),
             clock: 0,
             hits: 0,
@@ -87,6 +91,10 @@ impl MemoryCache {
         }
         let memory = Arc::new(backend.prepare(keys, values)?);
         self.misses += 1;
+        if self.capacity == 0 {
+            // Pass-through: serve the preparation without retaining it.
+            return Ok((memory, false));
+        }
         if self.entries.len() >= self.capacity {
             self.evict_lru();
         }
@@ -211,6 +219,86 @@ mod tests {
         assert!(hit, "recently used entry must survive eviction");
         let (_, hit) = cache.get_or_prepare(&backend, &k1, &v1).unwrap();
         assert!(!hit, "least recently used entry must have been evicted");
+    }
+
+    #[test]
+    fn capacity_zero_is_a_pass_through_cache() {
+        let (keys, values) = memory(0.0);
+        let mut cache = MemoryCache::new(0);
+        assert_eq!(cache.capacity(), 0);
+        for _ in 0..3 {
+            let (prepared, hit) = cache.get_or_prepare(&ExactBackend, &keys, &values).unwrap();
+            assert!(!hit, "a pass-through cache never hits");
+            assert_eq!(prepared.n(), keys.rows());
+        }
+        assert!(cache.is_empty(), "a pass-through cache never stores");
+        assert_eq!((cache.hits(), cache.misses()), (0, 3));
+    }
+
+    #[test]
+    fn capacity_one_keeps_exactly_the_latest_memory() {
+        let backend = ExactBackend;
+        let mut cache = MemoryCache::new(1);
+        let (k0, v0) = memory(0.0);
+        let (k1, v1) = memory(1.0);
+        cache.get_or_prepare(&backend, &k0, &v0).unwrap();
+        let (_, hit) = cache.get_or_prepare(&backend, &k0, &v0).unwrap();
+        assert!(hit, "capacity 1 must still cache one memory");
+        cache.get_or_prepare(&backend, &k1, &v1).unwrap();
+        assert_eq!(cache.len(), 1);
+        let (_, hit) = cache.get_or_prepare(&backend, &k1, &v1).unwrap();
+        assert!(hit, "the newest memory must be the resident one");
+        let (_, hit) = cache.get_or_prepare(&backend, &k0, &v0).unwrap();
+        assert!(!hit, "the displaced memory must have been evicted");
+    }
+
+    #[test]
+    fn a_hit_refreshes_lru_position() {
+        let backend = ExactBackend;
+        let mut cache = MemoryCache::new(2);
+        let (k0, v0) = memory(0.0);
+        let (k1, v1) = memory(1.0);
+        let (k2, v2) = memory(2.0);
+        cache.get_or_prepare(&backend, &k0, &v0).unwrap();
+        cache.get_or_prepare(&backend, &k1, &v1).unwrap();
+        // Hitting k0 must make k1 the eviction victim, even though k1 was
+        // inserted later.
+        let (_, hit) = cache.get_or_prepare(&backend, &k0, &v0).unwrap();
+        assert!(hit);
+        cache.get_or_prepare(&backend, &k2, &v2).unwrap();
+        let (_, hit) = cache.get_or_prepare(&backend, &k0, &v0).unwrap();
+        assert!(hit, "the refreshed entry must survive");
+        let (_, hit) = cache.get_or_prepare(&backend, &k1, &v1).unwrap();
+        assert!(!hit, "the stale entry must have been evicted");
+    }
+
+    #[test]
+    fn fingerprint_is_stable_across_allocations_of_identical_matrices() {
+        use crate::backend::memory_fingerprint;
+        let (keys, values) = memory(0.5);
+        // Rebuild byte-identical matrices through a different construction path
+        // (fresh allocations, row-by-row then flat).
+        let rebuilt_keys =
+            Matrix::from_rows(keys.iter_rows().map(<[f32]>::to_vec).collect::<Vec<_>>()).unwrap();
+        let rebuilt_values =
+            Matrix::from_flat(values.as_slice().to_vec(), values.rows(), values.dim()).unwrap();
+        assert_eq!(
+            memory_fingerprint(&keys, &values),
+            memory_fingerprint(&rebuilt_keys, &rebuilt_values),
+            "fingerprint must depend on content, not allocation"
+        );
+        let mut cache = MemoryCache::new(4);
+        cache
+            .get_or_prepare(&ApproximateBackend::conservative(), &keys, &values)
+            .unwrap();
+        let (_, hit) = cache
+            .get_or_prepare(
+                &ApproximateBackend::conservative(),
+                &rebuilt_keys,
+                &rebuilt_values,
+            )
+            .unwrap();
+        assert!(hit, "an identical memory in a fresh allocation must hit");
     }
 
     #[test]

@@ -420,9 +420,9 @@ impl ApproximateBackend {
         &self,
         memory: &'m PreparedMemory,
     ) -> Result<&'m SortedKeyColumns, AttentionError> {
-        memory.sorted().ok_or(AttentionError::InvalidParameter {
-            name: "memory",
-            constraint: "memory was not prepared by an approximate backend",
+        memory.sorted().ok_or(AttentionError::BackendMismatch {
+            expected: "sorted",
+            actual: memory.state().label(),
         })
     }
 }
@@ -519,9 +519,9 @@ impl QuantizedBackend {
         &self,
         memory: &'m PreparedMemory,
     ) -> Result<&'m QuantizedMemory, AttentionError> {
-        memory.quantized().ok_or(AttentionError::InvalidParameter {
-            name: "memory",
-            constraint: "memory was not prepared by a quantized backend",
+        memory.quantized().ok_or(AttentionError::BackendMismatch {
+            expected: "quantized",
+            actual: memory.state().label(),
         })
     }
 }
@@ -653,12 +653,24 @@ mod tests {
     fn mismatched_prepared_state_is_rejected() {
         let (keys, values, query) = case(8, 4);
         let exact_memory = ExactBackend.prepare(&keys, &values).unwrap();
-        assert!(ApproximateBackend::conservative()
-            .attend_prepared(&exact_memory, &query)
-            .is_err());
-        assert!(QuantizedBackend::paper()
-            .attend_prepared(&exact_memory, &query)
-            .is_err());
+        assert_eq!(
+            ApproximateBackend::conservative()
+                .attend_prepared(&exact_memory, &query)
+                .unwrap_err(),
+            AttentionError::BackendMismatch {
+                expected: "sorted",
+                actual: "exact",
+            }
+        );
+        assert_eq!(
+            QuantizedBackend::paper()
+                .attend_prepared(&exact_memory, &query)
+                .unwrap_err(),
+            AttentionError::BackendMismatch {
+                expected: "quantized",
+                actual: "exact",
+            }
+        );
     }
 
     #[test]

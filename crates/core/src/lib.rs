@@ -19,7 +19,11 @@
 //!   a [`backend::ComputeBackend`] with a query-independent
 //!   [`backend::ComputeBackend::prepare`] phase producing a [`backend::PreparedMemory`],
 //!   and a [`backend::MemoryCache`] keyed by memory fingerprint lets repeated batches
-//!   against one memory skip the preprocessing entirely (paper Section IV-C).
+//!   against one memory skip the preprocessing entirely (paper Section IV-C);
+//! * the request-oriented serving front-end, in [`serve`]: an [`serve::AttentionServer`]
+//!   owns registered memories as sessions, accepts single-query deadline-tagged
+//!   [`serve::Request`]s, and a dynamic-batching [`serve::Scheduler`] decides which
+//!   requests run together — bit-identical to direct per-query calls.
 //!
 //! # Quick start
 //!
@@ -55,8 +59,9 @@ mod error;
 pub mod kernel;
 mod matrix;
 pub mod quantized;
+pub mod serve;
 
-pub use error::AttentionError;
+pub use error::{AttentionError, ServeError};
 pub use matrix::Matrix;
 
 /// The embedding dimension used for every workload in the paper's evaluation.

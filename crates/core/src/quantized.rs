@@ -305,9 +305,9 @@ impl QuantizedAttention {
             let shifted = dot
                 .extend_to(shifted_format)
                 .saturating_sub(max_dot.extend_to(shifted_format));
-            let score = exp_lut
-                .eval(shifted)
-                .expect("shifted dot product is non-positive by construction");
+            // Non-positive by construction, so eval only fails on a format
+            // mismatch — propagated as `AttentionError::Fixed` rather than a panic.
+            let score = exp_lut.eval(shifted)?;
             exp_sum = exp_sum.saturating_add(score.extend_to(formats.exp_sum()));
             scores.push(score);
         }

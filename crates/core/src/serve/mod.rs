@@ -1,0 +1,687 @@
+//! Request-oriented serving front-end: sessions, dynamic batching, deadline-aware
+//! scheduling.
+//!
+//! The [`backend`](crate::backend) layer amortizes A3's query-independent
+//! preprocessing across *pre-assembled* batches — but production attention serving is
+//! request-driven: queries arrive one at a time, for many memories, and the system
+//! must form the batches itself (the regime where approximation accelerators pay off,
+//! paper Section IV-C). This module redesigns the public serving surface around that
+//! reality:
+//!
+//! * [`AttentionServer::register_memory`] runs a backend's preprocessing over a
+//!   key/value memory (through a [`MemoryCache`], so re-registering a known memory is
+//!   free) and issues a [`SessionId`]; the resulting [`SessionHandle`] owns the
+//!   [`PreparedMemory`] for the session's lifetime, like the accelerator's resident
+//!   SRAM copies.
+//! * [`AttentionServer::submit`] accepts single-query [`Request`]s tagged with a
+//!   session, an arrival tick and an optional deadline.
+//! * A [`Scheduler`] forms dynamic batches per session — flushing when a batch fills
+//!   ([`BatchPolicy::max_batch`]), when the batch window expires
+//!   ([`BatchPolicy::batch_window`]), or when a request's deadline would otherwise be
+//!   missed, whichever comes first.
+//! * [`AttentionServer::poll`] executes every due batch through the server's
+//!   [`ComputeBackend`] via the prepared batch path. Results are **bit-identical** to
+//!   calling [`ComputeBackend::attend_prepared`] once per query: batching is a pure
+//!   scheduling decision, never a numerics decision.
+//!
+//! Time is a logical [`Tick`] counter supplied by the caller, which makes every
+//! schedule deterministic and lets `a3-sim`'s discrete-event model replay the same
+//! scheduler with ticks interpreted as accelerator clock cycles.
+//!
+//! ```
+//! use a3_core::backend::ApproximateBackend;
+//! use a3_core::serve::{AttentionServer, BatchPolicy, Request};
+//! use a3_core::Matrix;
+//!
+//! let keys = Matrix::from_rows(vec![vec![1.0, 0.0], vec![-1.0, 0.5], vec![0.9, 0.1]]).unwrap();
+//! let mut server = AttentionServer::new(
+//!     Box::new(ApproximateBackend::conservative()),
+//!     BatchPolicy::new(2, 100).unwrap(),
+//! );
+//! let session = server.register_memory(&keys, &keys).unwrap();
+//!
+//! // Two requests fill a batch; the second submission makes it due immediately.
+//! server.submit(Request::new(session, vec![1.0, 0.0], 10)).unwrap();
+//! server.submit(Request::new(session, vec![0.5, 0.5], 30).with_deadline(500)).unwrap();
+//! let completed = server.poll(30).unwrap();
+//! assert_eq!(completed.len(), 1);
+//! assert_eq!(completed[0].responses.len(), 2);
+//! assert!(!completed[0].responses[1].missed_deadline());
+//! ```
+
+mod scheduler;
+
+pub use scheduler::{BatchPolicy, FlushReason, FormedBatch, QueuedRequest, Scheduler};
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::attention::AttentionResult;
+use crate::backend::{ComputeBackend, MemoryCache, PreparedMemory};
+use crate::{AttentionError, Matrix, ServeError};
+
+/// Logical time unit of the serving layer. The server never reads a wall clock: the
+/// caller supplies ticks (the simulator interprets them as accelerator cycles).
+pub type Tick = u64;
+
+/// Identifies one registered key/value memory (one serving session).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SessionId(u64);
+
+impl SessionId {
+    /// Builds a session id from its raw value. Intended for trace tooling and the
+    /// simulator; within one server, only ids issued by
+    /// [`AttentionServer::register_memory`] resolve.
+    pub fn from_raw(raw: u64) -> Self {
+        Self(raw)
+    }
+
+    /// The raw id value.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for SessionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Identifies one submitted request within a server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RequestId(u64);
+
+impl RequestId {
+    /// Builds a request id from its raw value (trace tooling / simulator use).
+    pub fn from_raw(raw: u64) -> Self {
+        Self(raw)
+    }
+
+    /// The raw id value.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for RequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// One single-query attention request against a registered session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// The session (registered memory) to attend over.
+    pub session: SessionId,
+    /// The query vector (must match the session memory's dimension).
+    pub query: Vec<f32>,
+    /// Tick at which the request enters the system.
+    pub arrival: Tick,
+    /// Optional absolute completion deadline. The scheduler flushes a batch early
+    /// rather than let a queued deadline lapse, and responses record whether they
+    /// still completed late.
+    pub deadline: Option<Tick>,
+}
+
+impl Request {
+    /// Creates a request with no deadline.
+    pub fn new(session: SessionId, query: Vec<f32>, arrival: Tick) -> Self {
+        Self {
+            session,
+            query,
+            arrival,
+            deadline: None,
+        }
+    }
+
+    /// Attaches an absolute deadline tick.
+    pub fn with_deadline(mut self, deadline: Tick) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+/// A registered memory: the session id plus the backend's preprocessing of the
+/// key/value matrices, held for the session's lifetime.
+#[derive(Debug, Clone)]
+pub struct SessionHandle {
+    id: SessionId,
+    memory: Arc<PreparedMemory>,
+    fingerprint: u64,
+    reused_preparation: bool,
+}
+
+impl SessionHandle {
+    /// The session id.
+    pub fn id(&self) -> SessionId {
+        self.id
+    }
+
+    /// The prepared memory serving this session.
+    pub fn memory(&self) -> &PreparedMemory {
+        &self.memory
+    }
+
+    /// A shared handle to the prepared memory (for callers that outlive the server).
+    pub fn memory_arc(&self) -> Arc<PreparedMemory> {
+        Arc::clone(&self.memory)
+    }
+
+    /// Content fingerprint of the registered (keys, values) memory.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// True when registration hit the server's [`MemoryCache`] and therefore ran no
+    /// preprocessing.
+    pub fn reused_preparation(&self) -> bool {
+        self.reused_preparation
+    }
+}
+
+/// One completed request: the attention result plus its scheduling history.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// The id issued by [`AttentionServer::submit`].
+    pub request: RequestId,
+    /// The session the request ran against.
+    pub session: SessionId,
+    /// Tick at which the request entered the system.
+    pub arrival: Tick,
+    /// The request's deadline, if it carried one.
+    pub deadline: Option<Tick>,
+    /// Tick at which the result became available (the poll/flush tick).
+    pub completed_at: Tick,
+    /// The attention output — bit-identical to a direct
+    /// [`ComputeBackend::attend_prepared`] call with the same query.
+    pub result: AttentionResult,
+}
+
+impl Response {
+    /// Ticks the request spent in the system (batching wait included).
+    pub fn waited(&self) -> Tick {
+        self.completed_at.saturating_sub(self.arrival)
+    }
+
+    /// True when the request carried a deadline and completed after it.
+    pub fn missed_deadline(&self) -> bool {
+        self.deadline.is_some_and(|d| self.completed_at > d)
+    }
+}
+
+/// One executed batch: which session ran, why it flushed, and every response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompletedBatch {
+    /// The session the batch ran against.
+    pub session: SessionId,
+    /// Tick at which the scheduler declared the batch due.
+    pub formed_at: Tick,
+    /// The trigger that flushed it.
+    pub reason: FlushReason,
+    /// Responses in request-arrival order.
+    pub responses: Vec<Response>,
+}
+
+/// Lifetime counters of one [`AttentionServer`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Requests accepted by [`AttentionServer::submit`].
+    pub submitted: u64,
+    /// Requests completed (responses returned).
+    pub completed: u64,
+    /// Batches executed.
+    pub batches: u64,
+    /// Completed requests that missed their deadline.
+    pub deadline_misses: u64,
+    /// Largest per-session queue depth ever observed.
+    pub max_queue_depth: usize,
+}
+
+impl ServerStats {
+    /// Mean number of requests per executed batch (0 before the first batch).
+    pub fn avg_batch_fill(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.completed as f64 / self.batches as f64
+        }
+    }
+}
+
+/// A request-oriented attention server: registered memories, a dynamic-batching
+/// [`Scheduler`], and one [`ComputeBackend`] executing the batches it forms.
+///
+/// See the [module documentation](self) for the full request flow.
+pub struct AttentionServer {
+    backend: Box<dyn ComputeBackend>,
+    cache: MemoryCache,
+    sessions: BTreeMap<SessionId, SessionHandle>,
+    scheduler: Scheduler,
+    next_session: u64,
+    next_request: u64,
+    stats: ServerStats,
+}
+
+impl fmt::Debug for AttentionServer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AttentionServer")
+            .field("backend", &self.backend.name())
+            .field("policy", &self.scheduler.policy())
+            .field("sessions", &self.sessions.len())
+            .field("pending", &self.scheduler.pending())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl AttentionServer {
+    /// Creates a server with a default-capacity [`MemoryCache`].
+    pub fn new(backend: Box<dyn ComputeBackend>, policy: BatchPolicy) -> Self {
+        Self::with_cache_capacity(backend, policy, MemoryCache::default().capacity())
+    }
+
+    /// Creates a server whose preprocessing cache holds at most `cache_capacity`
+    /// prepared memories (0 disables reuse across re-registrations).
+    pub fn with_cache_capacity(
+        backend: Box<dyn ComputeBackend>,
+        policy: BatchPolicy,
+        cache_capacity: usize,
+    ) -> Self {
+        Self {
+            backend,
+            cache: MemoryCache::new(cache_capacity),
+            sessions: BTreeMap::new(),
+            scheduler: Scheduler::new(policy),
+            next_session: 0,
+            next_request: 0,
+            stats: ServerStats::default(),
+        }
+    }
+
+    /// The backend executing this server's batches.
+    pub fn backend(&self) -> &dyn ComputeBackend {
+        self.backend.as_ref()
+    }
+
+    /// The batching policy in force.
+    pub fn policy(&self) -> BatchPolicy {
+        self.scheduler.policy()
+    }
+
+    /// The preprocessing cache (hit/miss counters included).
+    pub fn cache(&self) -> &MemoryCache {
+        &self.cache
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> ServerStats {
+        self.stats
+    }
+
+    /// Runs the backend's query-independent preprocessing over (`keys`, `values`)
+    /// — through the server's [`MemoryCache`], so a memory with a known fingerprint
+    /// reuses its preparation — and opens a session serving it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Attention`] if the key/value shapes are inconsistent.
+    pub fn register_memory(
+        &mut self,
+        keys: &Matrix,
+        values: &Matrix,
+    ) -> Result<SessionId, ServeError> {
+        let fingerprint = crate::backend::memory_fingerprint(keys, values);
+        let (memory, hit) = self
+            .cache
+            .get_or_prepare(self.backend.as_ref(), keys, values)?;
+        let id = SessionId(self.next_session);
+        self.next_session += 1;
+        self.sessions.insert(
+            id,
+            SessionHandle {
+                id,
+                memory,
+                fingerprint,
+                reused_preparation: hit,
+            },
+        );
+        Ok(id)
+    }
+
+    /// The handle of a registered session.
+    pub fn session(&self, id: SessionId) -> Option<&SessionHandle> {
+        self.sessions.get(&id)
+    }
+
+    /// Iterates over every registered session, in id order.
+    pub fn sessions(&self) -> impl Iterator<Item = &SessionHandle> {
+        self.sessions.values()
+    }
+
+    /// Accepts a request into its session's queue and returns the id its response
+    /// will carry. The request is *not* executed yet — call [`AttentionServer::poll`]
+    /// with the current tick to run due batches.
+    ///
+    /// # Errors
+    ///
+    /// * [`ServeError::UnknownSession`] if the session was never registered.
+    /// * [`ServeError::Attention`] if the query dimension does not match the
+    ///   session's memory (rejected at submission, before it can poison a batch).
+    pub fn submit(&mut self, request: Request) -> Result<RequestId, ServeError> {
+        let session = self
+            .sessions
+            .get(&request.session)
+            .ok_or(ServeError::UnknownSession {
+                session: request.session.raw(),
+            })?;
+        if request.query.len() != session.memory.d() {
+            return Err(ServeError::Attention(AttentionError::DimensionMismatch {
+                expected: session.memory.d(),
+                actual: request.query.len(),
+            }));
+        }
+        let id = RequestId(self.next_request);
+        self.next_request += 1;
+        self.scheduler.enqueue(QueuedRequest {
+            id,
+            session: request.session,
+            query: request.query,
+            arrival: request.arrival,
+            deadline: request.deadline,
+        });
+        self.stats.submitted += 1;
+        let depth = self.scheduler.queue_depth(request.session);
+        self.stats.max_queue_depth = self.stats.max_queue_depth.max(depth);
+        Ok(id)
+    }
+
+    /// Total number of queued (unexecuted) requests.
+    pub fn pending(&self) -> usize {
+        self.scheduler.pending()
+    }
+
+    /// Number of queued requests for one session.
+    pub fn queue_depth(&self, session: SessionId) -> usize {
+        self.scheduler.queue_depth(session)
+    }
+
+    /// The earliest tick at which a queued batch becomes due, or `None` when idle.
+    pub fn next_due(&self) -> Option<Tick> {
+        self.scheduler.next_due()
+    }
+
+    /// Executes every batch that is due at or before `now` and returns the completed
+    /// batches in (session id, arrival) order. An idle server returns an empty
+    /// vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Attention`] if the backend rejects a batch (cannot
+    /// happen for requests validated by [`AttentionServer::submit`] against a live
+    /// session).
+    pub fn poll(&mut self, now: Tick) -> Result<Vec<CompletedBatch>, ServeError> {
+        let batches = self.scheduler.pop_due(now);
+        self.execute(batches, now)
+    }
+
+    /// Force-flushes every queued request regardless of due times (e.g. at
+    /// shutdown). The empty-batch flush is legal: an idle server returns an empty
+    /// vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Attention`] if the backend rejects a batch.
+    pub fn flush_all(&mut self, now: Tick) -> Result<Vec<CompletedBatch>, ServeError> {
+        let batches = self.scheduler.pop_all(now);
+        self.execute(batches, now)
+    }
+
+    /// Runs formed batches through the backend's prepared batch path. Results are
+    /// bit-identical to per-query [`ComputeBackend::attend_prepared`] calls in
+    /// arrival order (the backend contract).
+    fn execute(
+        &mut self,
+        batches: Vec<FormedBatch>,
+        now: Tick,
+    ) -> Result<Vec<CompletedBatch>, ServeError> {
+        let mut completed = Vec::with_capacity(batches.len());
+        for batch in batches {
+            let session = self
+                .sessions
+                .get(&batch.session)
+                .ok_or(ServeError::UnknownSession {
+                    session: batch.session.raw(),
+                })?;
+            let queries: Vec<&[f32]> = batch.requests.iter().map(|r| r.query.as_slice()).collect();
+            let results = self
+                .backend
+                .attend_batch_prepared(&session.memory, &queries)?;
+            let responses: Vec<Response> = batch
+                .requests
+                .iter()
+                .zip(results)
+                .map(|(request, result)| Response {
+                    request: request.id,
+                    session: request.session,
+                    arrival: request.arrival,
+                    deadline: request.deadline,
+                    completed_at: now,
+                    result,
+                })
+                .collect();
+            self.stats.batches += 1;
+            self.stats.completed += responses.len() as u64;
+            self.stats.deadline_misses +=
+                responses.iter().filter(|r| r.missed_deadline()).count() as u64;
+            completed.push(CompletedBatch {
+                session: batch.session,
+                formed_at: batch.formed_at,
+                reason: batch.reason,
+                responses,
+            });
+        }
+        Ok(completed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{ApproximateBackend, ExactBackend, QuantizedBackend};
+
+    fn memory(tag: f32, n: usize, d: usize) -> (Matrix, Matrix) {
+        let rows: Vec<Vec<f32>> = (0..n)
+            .map(|i| {
+                (0..d)
+                    .map(|j| tag + (((i * 13 + j * 7) % 29) as f32 - 14.0) / 14.0)
+                    .collect()
+            })
+            .collect();
+        let keys = Matrix::from_rows(rows).unwrap();
+        let values = keys.clone();
+        (keys, values)
+    }
+
+    fn query(d: usize, salt: f32) -> Vec<f32> {
+        (0..d)
+            .map(|j| salt + ((j % 5) as f32 - 2.0) / 2.0)
+            .collect()
+    }
+
+    fn all_backends() -> Vec<Box<dyn ComputeBackend>> {
+        vec![
+            Box::new(ExactBackend),
+            Box::new(ApproximateBackend::conservative()),
+            Box::new(QuantizedBackend::paper()),
+        ]
+    }
+
+    #[test]
+    fn server_results_are_bit_identical_to_direct_prepared_calls() {
+        for backend in all_backends() {
+            let name = backend.name();
+            let (keys, values) = memory(0.0, 12, 6);
+            let reference = backend.prepare(&keys, &values).unwrap();
+            let mut server = AttentionServer::new(backend, BatchPolicy::new(3, 50).unwrap());
+            let session = server.register_memory(&keys, &values).unwrap();
+            let queries: Vec<Vec<f32>> = (0..5).map(|i| query(6, 0.1 * i as f32)).collect();
+            for (i, q) in queries.iter().enumerate() {
+                server
+                    .submit(Request::new(session, q.clone(), i as Tick * 10))
+                    .unwrap();
+            }
+            let mut responses: Vec<Response> = Vec::new();
+            for batch in server.poll(100).unwrap() {
+                responses.extend(batch.responses);
+            }
+            for batch in server.flush_all(200).unwrap() {
+                responses.extend(batch.responses);
+            }
+            assert_eq!(responses.len(), queries.len(), "{name}");
+            responses.sort_by_key(|r| r.request);
+            for (q, response) in queries.iter().zip(&responses) {
+                let direct = server.backend().attend_prepared(&reference, q).unwrap();
+                assert_eq!(response.result, direct, "{name}");
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_session_and_bad_dimension_are_rejected_at_submit() {
+        let (keys, values) = memory(0.0, 8, 4);
+        let mut server = AttentionServer::new(Box::new(ExactBackend), BatchPolicy::default());
+        let session = server.register_memory(&keys, &values).unwrap();
+        assert!(matches!(
+            server.submit(Request::new(SessionId::from_raw(99), vec![0.0; 4], 0)),
+            Err(ServeError::UnknownSession { session: 99 })
+        ));
+        assert!(matches!(
+            server.submit(Request::new(session, vec![0.0; 3], 0)),
+            Err(ServeError::Attention(
+                AttentionError::DimensionMismatch { .. }
+            ))
+        ));
+        assert_eq!(server.pending(), 0, "rejected requests must not queue");
+    }
+
+    #[test]
+    fn batches_flush_on_fill_window_and_deadline() {
+        let (keys, values) = memory(0.0, 10, 4);
+        let mut server = AttentionServer::new(
+            Box::new(ApproximateBackend::conservative()),
+            BatchPolicy::new(2, 100).unwrap(),
+        );
+        let session = server.register_memory(&keys, &values).unwrap();
+
+        // Fill: two requests at t=0 and t=5 are due at t=5.
+        server
+            .submit(Request::new(session, query(4, 0.0), 0))
+            .unwrap();
+        server
+            .submit(Request::new(session, query(4, 0.1), 5))
+            .unwrap();
+        let full = server.poll(5).unwrap();
+        assert_eq!(full.len(), 1);
+        assert_eq!(full[0].reason, FlushReason::Full);
+
+        // Window: a lone request flushes 100 ticks after arrival.
+        server
+            .submit(Request::new(session, query(4, 0.2), 10))
+            .unwrap();
+        assert!(server.poll(109).unwrap().is_empty());
+        let windowed = server.poll(110).unwrap();
+        assert_eq!(windowed[0].reason, FlushReason::Window);
+        assert_eq!(windowed[0].formed_at, 110);
+
+        // Deadline: a request due at t=230 forces a partial flush before the window.
+        server
+            .submit(Request::new(session, query(4, 0.3), 200).with_deadline(230))
+            .unwrap();
+        let dead = server.poll(230).unwrap();
+        assert_eq!(dead[0].reason, FlushReason::Deadline);
+        assert!(!dead[0].responses[0].missed_deadline());
+
+        // A late poll marks the deadline as missed.
+        server
+            .submit(Request::new(session, query(4, 0.4), 300).with_deadline(310))
+            .unwrap();
+        let late = server.poll(400).unwrap();
+        assert!(late[0].responses[0].missed_deadline());
+        assert_eq!(late[0].responses[0].waited(), 100);
+        assert_eq!(server.stats().deadline_misses, 1);
+    }
+
+    #[test]
+    fn sessions_do_not_share_batches() {
+        let (k0, v0) = memory(0.0, 8, 4);
+        let (k1, v1) = memory(1.0, 8, 4);
+        let mut server =
+            AttentionServer::new(Box::new(ExactBackend), BatchPolicy::new(4, 10).unwrap());
+        let s0 = server.register_memory(&k0, &v0).unwrap();
+        let s1 = server.register_memory(&k1, &v1).unwrap();
+        assert_ne!(s0, s1);
+        server.submit(Request::new(s0, query(4, 0.0), 0)).unwrap();
+        server.submit(Request::new(s1, query(4, 0.1), 0)).unwrap();
+        let batches = server.poll(50).unwrap();
+        assert_eq!(batches.len(), 2, "one batch per session");
+        assert_eq!(batches[0].session, s0);
+        assert_eq!(batches[1].session, s1);
+    }
+
+    #[test]
+    fn reregistering_a_memory_reuses_its_preparation() {
+        let (keys, values) = memory(0.0, 16, 8);
+        let mut server = AttentionServer::new(
+            Box::new(ApproximateBackend::conservative()),
+            BatchPolicy::default(),
+        );
+        let first = server.register_memory(&keys, &values).unwrap();
+        let second = server.register_memory(&keys, &values).unwrap();
+        assert_ne!(first, second, "sessions are distinct even for one memory");
+        assert!(!server.session(first).unwrap().reused_preparation());
+        assert!(server.session(second).unwrap().reused_preparation());
+        assert_eq!(
+            server.session(first).unwrap().fingerprint(),
+            server.session(second).unwrap().fingerprint()
+        );
+        assert_eq!((server.cache().hits(), server.cache().misses()), (1, 1));
+    }
+
+    #[test]
+    fn stats_track_batches_and_fill() {
+        let (keys, values) = memory(0.0, 8, 4);
+        let mut server =
+            AttentionServer::new(Box::new(ExactBackend), BatchPolicy::new(2, 1000).unwrap());
+        let session = server.register_memory(&keys, &values).unwrap();
+        for i in 0..4 {
+            server
+                .submit(Request::new(session, query(4, 0.1 * i as f32), i))
+                .unwrap();
+        }
+        server.poll(10).unwrap();
+        let stats = server.stats();
+        assert_eq!(stats.submitted, 4);
+        assert_eq!(stats.completed, 4);
+        assert_eq!(stats.batches, 2);
+        assert!((stats.avg_batch_fill() - 2.0).abs() < 1e-12);
+        // No poll ran between submissions, so the queue grew to all four requests.
+        assert_eq!(stats.max_queue_depth, 4);
+        assert_eq!(ServerStats::default().avg_batch_fill(), 0.0);
+    }
+
+    #[test]
+    fn empty_flush_is_legal_and_ids_render() {
+        let mut server = AttentionServer::new(Box::new(ExactBackend), BatchPolicy::default());
+        assert!(server.poll(0).unwrap().is_empty());
+        assert!(server.flush_all(0).unwrap().is_empty());
+        assert_eq!(server.next_due(), None);
+        assert_eq!(SessionId::from_raw(3).to_string(), "s3");
+        assert_eq!(RequestId::from_raw(7).to_string(), "r7");
+        assert_eq!(SessionId::from_raw(3).raw(), 3);
+        let debug = format!("{server:?}");
+        assert!(debug.contains("AttentionServer"));
+    }
+}

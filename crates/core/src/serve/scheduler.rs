@@ -1,0 +1,399 @@
+//! Dynamic-batching scheduler: per-session request queues with deadline-aware flushes.
+//!
+//! The scheduler is a pure batching policy — it decides *which requests run together
+//! and when*, and nothing else. [`super::AttentionServer`] pairs it with a
+//! [`crate::backend::ComputeBackend`] to actually execute batches; `a3-sim`'s
+//! discrete-event server model pairs the same scheduler with the cycle model, so the
+//! software and the simulator form identical batches from identical traces.
+//!
+//! A session's queue flushes at the earliest of three triggers:
+//!
+//! 1. **Full** — the queue reaches [`BatchPolicy::max_batch`] requests; the batch is
+//!    due at the arrival tick of the request that filled it.
+//! 2. **Deadline** — a queued request's deadline arrives before the batch window
+//!    expires; waiting any longer would guarantee a miss, so the batch flushes early
+//!    (possibly partial).
+//! 3. **Window** — the oldest queued request has waited [`BatchPolicy::batch_window`]
+//!    ticks.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use crate::ServeError;
+
+use super::{RequestId, SessionId, Tick};
+
+/// When and how large to flush dynamic batches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Flush a session's queue as soon as it holds this many requests.
+    pub max_batch: usize,
+    /// Flush a session's queue once its oldest request has waited this many ticks,
+    /// even if the batch is not full. `0` removes the batching wait: a queue flushes
+    /// at its oldest request's arrival tick (same-tick arrivals can still share a
+    /// batch; combine with `max_batch == 1` — [`BatchPolicy::per_request`] — for
+    /// strictly one request per batch).
+    pub batch_window: Tick,
+}
+
+impl BatchPolicy {
+    /// Creates a policy, validating that `max_batch` is at least 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidPolicy`] if `max_batch` is zero.
+    pub fn new(max_batch: usize, batch_window: Tick) -> Result<Self, ServeError> {
+        if max_batch == 0 {
+            return Err(ServeError::InvalidPolicy {
+                name: "max_batch",
+                constraint: "must be at least 1",
+            });
+        }
+        Ok(Self {
+            max_batch,
+            batch_window,
+        })
+    }
+
+    /// The degenerate policy that never batches: every request is its own batch
+    /// (`max_batch` 1), flushed at its arrival tick. This is the per-request serving
+    /// baseline the dynamic-batching experiments compare against.
+    pub fn per_request() -> Self {
+        Self {
+            max_batch: 1,
+            batch_window: 0,
+        }
+    }
+}
+
+impl Default for BatchPolicy {
+    /// A serving-oriented default: batches of up to 16 requests, flushed after a
+    /// 1024-tick window.
+    fn default() -> Self {
+        Self {
+            max_batch: 16,
+            batch_window: 1024,
+        }
+    }
+}
+
+/// Why a batch left the queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlushReason {
+    /// The queue reached [`BatchPolicy::max_batch`] requests.
+    Full,
+    /// A queued request's deadline arrived before the batch window expired.
+    Deadline,
+    /// The oldest queued request waited out the batch window.
+    Window,
+    /// The caller force-flushed ([`Scheduler::pop_all`]), e.g. at shutdown.
+    Forced,
+}
+
+/// A request sitting in (or popped from) a session queue.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueuedRequest {
+    /// Server-issued request id.
+    pub id: RequestId,
+    /// The session (registered memory) this request targets.
+    pub session: SessionId,
+    /// The query vector.
+    pub query: Vec<f32>,
+    /// Tick at which the request entered the system.
+    pub arrival: Tick,
+    /// Optional completion deadline (absolute tick).
+    pub deadline: Option<Tick>,
+}
+
+/// A batch the scheduler decided to run: requests of one session, in arrival order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FormedBatch {
+    /// The session every request in this batch targets.
+    pub session: SessionId,
+    /// Tick at which the batch became due (full/deadline/window trigger tick, or the
+    /// force-flush tick).
+    pub formed_at: Tick,
+    /// Which trigger flushed it.
+    pub reason: FlushReason,
+    /// The batched requests, oldest first.
+    pub requests: Vec<QueuedRequest>,
+}
+
+impl FormedBatch {
+    /// Number of requests in the batch.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// True when the batch holds no requests (never produced by the scheduler; a
+    /// flush of an idle server yields no batches at all).
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+}
+
+/// The tick at which a queue becomes due, and the trigger that makes it so.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct DueAt {
+    tick: Tick,
+    reason: FlushReason,
+}
+
+/// Per-session dynamic-batching queues under one [`BatchPolicy`].
+///
+/// Deterministic: queues are keyed by [`SessionId`] in a `BTreeMap`, so
+/// [`Scheduler::pop_due`] and [`Scheduler::pop_all`] return batches in stable
+/// (session id, arrival) order for identical request sequences.
+#[derive(Debug, Clone)]
+pub struct Scheduler {
+    policy: BatchPolicy,
+    queues: BTreeMap<SessionId, VecDeque<QueuedRequest>>,
+}
+
+impl Scheduler {
+    /// Creates an empty scheduler with the given policy.
+    pub fn new(policy: BatchPolicy) -> Self {
+        Self {
+            policy,
+            queues: BTreeMap::new(),
+        }
+    }
+
+    /// The batching policy in force.
+    pub fn policy(&self) -> BatchPolicy {
+        self.policy
+    }
+
+    /// Adds a request to its session's queue. The caller is responsible for popping
+    /// due batches afterwards (a full queue is due immediately).
+    pub fn enqueue(&mut self, request: QueuedRequest) {
+        self.queues
+            .entry(request.session)
+            .or_default()
+            .push_back(request);
+    }
+
+    /// Total number of queued requests across all sessions.
+    pub fn pending(&self) -> usize {
+        self.queues.values().map(VecDeque::len).sum()
+    }
+
+    /// Number of queued requests for one session.
+    pub fn queue_depth(&self, session: SessionId) -> usize {
+        self.queues.get(&session).map_or(0, VecDeque::len)
+    }
+
+    /// When (and why) a queue becomes due. `None` for an empty queue.
+    fn due_at(&self, queue: &VecDeque<QueuedRequest>) -> Option<DueAt> {
+        let oldest = queue.front()?;
+        if queue.len() >= self.policy.max_batch {
+            // Due the moment the max_batch-th request arrived.
+            let filled = &queue[self.policy.max_batch - 1];
+            return Some(DueAt {
+                tick: filled.arrival,
+                reason: FlushReason::Full,
+            });
+        }
+        let window_expiry = oldest.arrival.saturating_add(self.policy.batch_window);
+        let earliest_deadline = queue.iter().filter_map(|r| r.deadline).min();
+        match earliest_deadline {
+            Some(d) if d < window_expiry => Some(DueAt {
+                tick: d,
+                reason: FlushReason::Deadline,
+            }),
+            _ => Some(DueAt {
+                tick: window_expiry,
+                reason: FlushReason::Window,
+            }),
+        }
+    }
+
+    /// The earliest tick at which any session's queue becomes due, or `None` when
+    /// nothing is queued. Event-driven callers (the discrete-event simulator) advance
+    /// their clock to this tick when no earlier arrival exists.
+    pub fn next_due(&self) -> Option<Tick> {
+        self.queues
+            .values()
+            .filter_map(|q| self.due_at(q))
+            .map(|d| d.tick)
+            .min()
+    }
+
+    /// Pops every batch that is due at or before `now`, in (session id, arrival)
+    /// order. A queue holding more than `max_batch` requests yields multiple full
+    /// batches; a deadline- or window-triggered flush takes the whole (partial)
+    /// queue.
+    pub fn pop_due(&mut self, now: Tick) -> Vec<FormedBatch> {
+        let mut batches = Vec::new();
+        let sessions: Vec<SessionId> = self.queues.keys().copied().collect();
+        for session in sessions {
+            loop {
+                let due = match self.queues.get(&session).and_then(|q| self.due_at(q)) {
+                    Some(due) if due.tick <= now => due,
+                    _ => break,
+                };
+                let (requests, emptied) = {
+                    let queue = self.queues.get_mut(&session).expect("queue exists");
+                    let take = match due.reason {
+                        FlushReason::Full => self.policy.max_batch,
+                        _ => queue.len(),
+                    };
+                    let requests: Vec<QueuedRequest> = queue.drain(..take).collect();
+                    (requests, queue.is_empty())
+                };
+                batches.push(FormedBatch {
+                    session,
+                    formed_at: due.tick,
+                    reason: due.reason,
+                    requests,
+                });
+                if emptied {
+                    self.queues.remove(&session);
+                    break;
+                }
+            }
+        }
+        batches
+    }
+
+    /// Pops everything regardless of due times (reason [`FlushReason::Forced`],
+    /// formed at `now`). An idle scheduler yields an empty vector — the legal
+    /// "empty-batch flush".
+    pub fn pop_all(&mut self, now: Tick) -> Vec<FormedBatch> {
+        let mut batches = Vec::new();
+        let queues = std::mem::take(&mut self.queues);
+        for (session, queue) in queues {
+            let mut requests: Vec<QueuedRequest> = queue.into_iter().collect();
+            while !requests.is_empty() {
+                let take = requests.len().min(self.policy.max_batch);
+                let rest = requests.split_off(take);
+                batches.push(FormedBatch {
+                    session,
+                    formed_at: now,
+                    reason: FlushReason::Forced,
+                    requests,
+                });
+                requests = rest;
+            }
+        }
+        batches
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(id: u64, session: u64, arrival: Tick, deadline: Option<Tick>) -> QueuedRequest {
+        QueuedRequest {
+            id: RequestId::from_raw(id),
+            session: SessionId::from_raw(session),
+            query: vec![0.0; 2],
+            arrival,
+            deadline,
+        }
+    }
+
+    fn window_policy(max_batch: usize, window: Tick) -> Scheduler {
+        Scheduler::new(BatchPolicy::new(max_batch, window).unwrap())
+    }
+
+    #[test]
+    fn policy_rejects_zero_max_batch() {
+        assert!(matches!(
+            BatchPolicy::new(0, 10),
+            Err(ServeError::InvalidPolicy { .. })
+        ));
+        assert_eq!(BatchPolicy::per_request().max_batch, 1);
+        assert_eq!(BatchPolicy::default().max_batch, 16);
+    }
+
+    #[test]
+    fn full_queue_flushes_at_fill_tick() {
+        let mut s = window_policy(2, 1000);
+        s.enqueue(req(0, 1, 10, None));
+        s.enqueue(req(1, 1, 25, None));
+        assert_eq!(s.next_due(), Some(25));
+        let batches = s.pop_due(25);
+        assert_eq!(batches.len(), 1);
+        assert_eq!(batches[0].reason, FlushReason::Full);
+        assert_eq!(batches[0].formed_at, 25);
+        assert_eq!(batches[0].len(), 2);
+        assert_eq!(s.pending(), 0);
+    }
+
+    #[test]
+    fn window_expiry_flushes_partial_batch() {
+        let mut s = window_policy(8, 100);
+        s.enqueue(req(0, 1, 10, None));
+        s.enqueue(req(1, 1, 40, None));
+        assert_eq!(s.next_due(), Some(110));
+        assert!(s.pop_due(109).is_empty());
+        let batches = s.pop_due(110);
+        assert_eq!(batches.len(), 1);
+        assert_eq!(batches[0].reason, FlushReason::Window);
+        assert_eq!(batches[0].len(), 2);
+    }
+
+    #[test]
+    fn deadline_preempts_window() {
+        let mut s = window_policy(8, 1000);
+        s.enqueue(req(0, 1, 10, None));
+        s.enqueue(req(1, 1, 20, Some(50)));
+        // The window would expire at 1010, but request 1's deadline is 50.
+        assert_eq!(s.next_due(), Some(50));
+        let batches = s.pop_due(50);
+        assert_eq!(batches.len(), 1);
+        assert_eq!(batches[0].reason, FlushReason::Deadline);
+        assert_eq!(batches[0].formed_at, 50);
+        assert_eq!(batches[0].len(), 2);
+    }
+
+    #[test]
+    fn oversize_queue_yields_multiple_full_batches() {
+        let mut s = window_policy(2, 1000);
+        for i in 0..5 {
+            s.enqueue(req(i, 1, i, None));
+        }
+        let batches = s.pop_due(4);
+        assert_eq!(batches.len(), 2, "two full batches, one leftover");
+        assert!(batches.iter().all(|b| b.reason == FlushReason::Full));
+        assert_eq!(s.pending(), 1);
+    }
+
+    #[test]
+    fn sessions_flush_independently_in_id_order() {
+        let mut s = window_policy(4, 10);
+        s.enqueue(req(0, 2, 0, None));
+        s.enqueue(req(1, 1, 5, None));
+        let batches = s.pop_due(100);
+        assert_eq!(batches.len(), 2);
+        assert_eq!(batches[0].session, SessionId::from_raw(1));
+        assert_eq!(batches[1].session, SessionId::from_raw(2));
+    }
+
+    #[test]
+    fn pop_all_force_flushes_and_empty_flush_is_legal() {
+        let mut s = window_policy(2, 1_000_000);
+        assert!(s.pop_all(0).is_empty(), "empty-batch flush yields nothing");
+        for i in 0..3 {
+            s.enqueue(req(i, 1, 0, None));
+        }
+        let batches = s.pop_all(7);
+        assert_eq!(batches.len(), 2);
+        assert!(batches.iter().all(|b| b.reason == FlushReason::Forced));
+        assert!(batches.iter().all(|b| b.formed_at == 7));
+        assert_eq!(batches.iter().map(FormedBatch::len).sum::<usize>(), 3);
+        assert_eq!(s.pending(), 0);
+    }
+
+    #[test]
+    fn zero_window_flushes_each_request_at_arrival() {
+        let mut s = Scheduler::new(BatchPolicy::per_request());
+        s.enqueue(req(0, 1, 3, None));
+        s.enqueue(req(1, 1, 9, None));
+        let batches = s.pop_due(3);
+        assert_eq!(batches.len(), 1);
+        assert_eq!(batches[0].formed_at, 3);
+        assert_eq!(s.queue_depth(SessionId::from_raw(1)), 1);
+    }
+}

@@ -8,6 +8,7 @@ use a3_core::attention::{attention_batch, attention_with_scores, stable_softmax}
 use a3_core::backend::{
     ApproximateBackend, ComputeBackend, ExactBackend, MemoryCache, QuantizedBackend,
 };
+use a3_core::serve::{AttentionServer, BatchPolicy, Request, Response};
 use a3_core::Matrix;
 use proptest::prelude::*;
 
@@ -58,6 +59,55 @@ fn batch_case() -> impl Strategy<Value = (Matrix, Matrix, Vec<Vec<f32>>)> {
                 )
             })
     })
+}
+
+/// One generated serving request: a query, the tick gap since the previous
+/// arrival, and an optional deadline slack after arrival (`has_deadline == 1`).
+type GeneratedRequest = (Vec<f32>, u64, u8, u64);
+
+/// Strategy producing a full serving scenario: one memory, a stream of 0 to 7
+/// deadline-tagged requests, and a dynamic-batching policy. Tight deadline slacks
+/// and small windows force partial deadline/window flushes; `max_batch` down to 1
+/// exercises per-request serving, and the empty request stream exercises the
+/// empty-batch flush.
+#[allow(clippy::type_complexity)]
+fn serving_scenario() -> impl Strategy<Value = (Matrix, Matrix, Vec<GeneratedRequest>, usize, u64)>
+{
+    (2usize..24, 1usize..10, 0usize..8).prop_flat_map(|(n, d, b)| {
+        (
+            prop::collection::vec(prop::collection::vec(-2.0f32..2.0, d..=d), n..=n),
+            prop::collection::vec(prop::collection::vec(-2.0f32..2.0, d..=d), n..=n),
+            prop::collection::vec(
+                (
+                    prop::collection::vec(-2.0f32..2.0, d..=d),
+                    0u64..40,
+                    0u8..2,
+                    0u64..50,
+                ),
+                b..=b,
+            ),
+            1usize..5,
+            0u64..120,
+        )
+            .prop_map(|(k, v, requests, max_batch, window)| {
+                (
+                    Matrix::from_rows(k).unwrap(),
+                    Matrix::from_rows(v).unwrap(),
+                    requests,
+                    max_batch,
+                    window,
+                )
+            })
+    })
+}
+
+/// The three backends the serving front-end must serve bit-identically.
+fn served_backends() -> Vec<Box<dyn ComputeBackend>> {
+    vec![
+        Box::new(ExactBackend),
+        Box::new(ApproximateBackend::conservative()),
+        Box::new(QuantizedBackend::paper()),
+    ]
 }
 
 proptest! {
@@ -240,6 +290,65 @@ proptest! {
             let (_, hit) = cache.get_or_prepare(backend.as_ref(), &mutated, &values).unwrap();
             prop_assert!(!hit, "mutated memory must miss ({})", backend.name());
             prop_assert_eq!((cache.hits(), cache.misses()), (1, 2));
+        }
+    }
+
+    /// The `AttentionServer` front-end is bit-identical to direct per-query
+    /// `attend_prepared` calls for every served backend — across full, window- and
+    /// deadline-forced partial batches, and including the legal empty-batch flush.
+    /// Batching is a scheduling decision, never a numerics decision.
+    #[test]
+    fn server_responses_are_bit_identical_to_direct_prepared_calls(
+        (keys, values, requests, max_batch, window) in serving_scenario()
+    ) {
+        for backend in served_backends() {
+            let name = backend.name();
+            let reference = backend.prepare(&keys, &values).unwrap();
+            let policy = BatchPolicy::new(max_batch, window).unwrap();
+            let mut server = AttentionServer::new(backend, policy);
+
+            // The empty-batch flush is legal before anything is registered.
+            prop_assert!(server.poll(0).unwrap().is_empty(), "{}", name);
+            prop_assert!(server.flush_all(0).unwrap().is_empty(), "{}", name);
+
+            let session = server.register_memory(&keys, &values).unwrap();
+            let mut queries = Vec::with_capacity(requests.len());
+            let mut responses: Vec<Response> = Vec::new();
+            let mut now = 0u64;
+            for (query, gap, has_deadline, slack) in &requests {
+                now += gap;
+                let mut request = Request::new(session, query.clone(), now);
+                if *has_deadline == 1 {
+                    // Tight slacks force deadline flushes of partial batches.
+                    request = request.with_deadline(now + slack);
+                }
+                server.submit(request).unwrap();
+                queries.push(query.clone());
+                // Polling at every arrival exercises fill- and deadline-triggered
+                // flushes while later requests are still arriving.
+                for batch in server.poll(now).unwrap() {
+                    responses.extend(batch.responses);
+                }
+            }
+            // Drain window-triggered batches at their exact due ticks, then
+            // force-flush whatever remains.
+            while let Some(due) = server.next_due() {
+                for batch in server.poll(due).unwrap() {
+                    responses.extend(batch.responses);
+                }
+            }
+            for batch in server.flush_all(now + 1).unwrap() {
+                responses.extend(batch.responses);
+            }
+
+            prop_assert_eq!(responses.len(), queries.len());
+            prop_assert_eq!(server.pending(), 0);
+            responses.sort_by_key(|r| r.request);
+            for (query, response) in queries.iter().zip(&responses) {
+                let direct = server.backend().attend_prepared(&reference, query).unwrap();
+                prop_assert_eq!(&response.result, &direct);
+                prop_assert!(response.completed_at >= response.arrival, "{}", name);
+            }
         }
     }
 }

@@ -6,12 +6,14 @@ pub mod backends;
 pub mod fig3;
 pub mod latency;
 pub mod performance;
+pub mod serving;
 pub mod table1;
 
 pub use ablation::ablation;
 pub use backends::backend_comparison;
 pub use fig3::fig3;
 pub use latency::latency_model;
+pub use serving::serving;
 pub use table1::table1;
 
 use a3_workloads::bert::BertLite;

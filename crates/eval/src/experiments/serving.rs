@@ -1,0 +1,233 @@
+//! Request-oriented serving: arrival rate × batch window × backend.
+//!
+//! The [`a3_core::serve`] front-end turns attention serving request-driven: queries
+//! arrive one at a time, tagged with a session and a deadline, and the scheduler
+//! forms the batches. This experiment replays deterministic open-loop request traces
+//! over each paper workload's memories through [`a3_sim::ServerSim`], sweeping the
+//! arrival rate and the batch window per backend, and reports what dynamic batching
+//! buys: batch fill, per-request latency (queueing and batching wait included),
+//! deadline-miss rates, and the end-to-end cycle win over per-request serving.
+
+use a3_core::backend::{ApproximateBackend, ComputeBackend, ExactBackend, QuantizedBackend};
+use a3_sim::{
+    poisson_arrival_cycles, A3Config, BatchPolicy, MemoryCache, PipelineModel, ServerSim,
+    TraceRequest,
+};
+use a3_workloads::Workload;
+
+use crate::experiments::paper_workloads;
+use crate::report::{fmt_ratio, Table};
+use crate::settings::EvalSettings;
+
+/// Deadline budget every request carries, in cycles after its arrival.
+const DEADLINE_BUDGET_CYCLES: u64 = 10_000;
+
+/// The serving line-up: display name, backend, and the accelerator configuration
+/// realising it.
+fn lineup() -> Vec<(&'static str, Box<dyn ComputeBackend>, A3Config)> {
+    vec![
+        (
+            "Exact (float)",
+            Box::new(ExactBackend),
+            A3Config::paper_base(),
+        ),
+        (
+            "Quantized (Q4.4 LUT)",
+            Box::new(QuantizedBackend::paper()),
+            A3Config::paper_base(),
+        ),
+        (
+            "Approximate (conservative)",
+            Box::new(ApproximateBackend::conservative()),
+            A3Config::paper_conservative(),
+        ),
+    ]
+}
+
+/// Builds a deterministic open-loop trace over a workload's first two memories:
+/// Poisson-ish arrivals with the given mean gap, queries drawn round-robin from the
+/// workload's attention cases, sessions alternating between the two memories.
+fn build_trace(
+    workload: &dyn Workload,
+    requests: usize,
+    mean_gap_cycles: f64,
+    seed: u64,
+) -> (Vec<(a3_core::Matrix, a3_core::Matrix)>, Vec<TraceRequest>) {
+    // Only the first two cases are served (one memory each); don't synthesize more.
+    let cases = workload.attention_cases(2);
+    let memories = vec![
+        (cases[0].keys.clone(), cases[0].values.clone()),
+        (cases[1].keys.clone(), cases[1].values.clone()),
+    ];
+    let arrivals = poisson_arrival_cycles(seed, requests, mean_gap_cycles);
+    let trace: Vec<TraceRequest> = arrivals
+        .into_iter()
+        .enumerate()
+        .map(|(i, arrival)| {
+            let session = i % memories.len();
+            // Queries attend the memory they target, so shapes always agree.
+            let query = cases[session]
+                .query
+                .iter()
+                .map(|x| x * (1.0 + 0.001 * i as f32))
+                .collect();
+            TraceRequest::new(session, query, arrival)
+                .with_deadline(arrival + DEADLINE_BUDGET_CYCLES)
+        })
+        .collect();
+    (memories, trace)
+}
+
+/// Replays one trace with a warm preprocessing cache and returns the report.
+fn replay_warm(
+    backend: &dyn ComputeBackend,
+    config: A3Config,
+    policy: BatchPolicy,
+    memories: &[(a3_core::Matrix, a3_core::Matrix)],
+    trace: &[TraceRequest],
+) -> a3_sim::SimReport {
+    let mut cache = MemoryCache::new(memories.len().max(1));
+    for (keys, values) in memories {
+        cache
+            .get_or_prepare(backend, keys, values)
+            .expect("valid shapes");
+    }
+    ServerSim::new(PipelineModel::new(config), policy).replay(backend, &mut cache, memories, trace)
+}
+
+/// Runs the serving sweep: arrival rate × batch window × backend over the paper
+/// workloads, plus a dynamic-batching vs per-request comparison table.
+pub fn serving(settings: &EvalSettings) -> Vec<Table> {
+    let workloads = paper_workloads(settings);
+    let requests = (settings.cases_per_workload * 4).max(8);
+    let mean_gaps: [f64; 2] = [100.0, 1000.0];
+    let windows: [u64; 3] = [0, 1024, 8192];
+
+    let mut sweep = Table::new(
+        "Serving: dynamic batching under open-loop request traces (warm cache)",
+        &[
+            "Workload",
+            "Backend",
+            "Mean gap (cyc)",
+            "Batch window (cyc)",
+            "Batches",
+            "Avg fill",
+            "Avg latency (cyc)",
+            "p95 latency (cyc)",
+            "Max queue",
+            "Miss rate",
+        ],
+    );
+    let mut comparison = Table::new(
+        "Serving: dynamic batching vs per-request serving, end-to-end cycles (warm cache)",
+        &[
+            "Workload",
+            "Backend",
+            "Per-request (cyc)",
+            "Batched (cyc)",
+            "Speedup",
+        ],
+    );
+
+    for w in &workloads {
+        for (name, backend, config) in &lineup() {
+            for &mean_gap in &mean_gaps {
+                let (memories, trace) = build_trace(w.as_ref(), requests, mean_gap, settings.seed);
+                for &window in &windows {
+                    let policy = if window == 0 {
+                        BatchPolicy::per_request()
+                    } else {
+                        BatchPolicy::new(16, window).expect("max_batch >= 1")
+                    };
+                    let report = replay_warm(backend.as_ref(), *config, policy, &memories, &trace);
+                    sweep.push_row(vec![
+                        w.name(),
+                        (*name).to_owned(),
+                        format!("{mean_gap:.0}"),
+                        format!("{window}"),
+                        format!("{}", report.batches),
+                        format!("{:.2}", report.avg_batch_fill),
+                        format!("{:.1}", report.avg_latency_cycles),
+                        format!("{}", report.p95_latency_cycles),
+                        format!("{}", report.max_queue_depth),
+                        format!("{:.3}", report.deadline_miss_rate),
+                    ]);
+                }
+            }
+
+            // Comparison under a saturating arrival rate: batching pays through
+            // pipelined drains; per-request serving pays full latency per query.
+            let (memories, trace) = build_trace(w.as_ref(), requests, 50.0, settings.seed);
+            let per_request = replay_warm(
+                backend.as_ref(),
+                *config,
+                BatchPolicy::per_request(),
+                &memories,
+                &trace,
+            );
+            let batched = replay_warm(
+                backend.as_ref(),
+                *config,
+                BatchPolicy::new(16, 8192).expect("max_batch >= 1"),
+                &memories,
+                &trace,
+            );
+            comparison.push_row(vec![
+                w.name(),
+                (*name).to_owned(),
+                format!("{}", per_request.end_to_end_cycles()),
+                format!("{}", batched.end_to_end_cycles()),
+                fmt_ratio(
+                    per_request.end_to_end_cycles() as f64 / batched.end_to_end_cycles() as f64,
+                ),
+            ]);
+        }
+    }
+
+    vec![sweep, comparison]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serving_sweep_covers_every_combination() {
+        let settings = EvalSettings::fast();
+        let tables = serving(&settings);
+        assert_eq!(tables.len(), 2);
+        let sweep = &tables[0];
+        // 3 workloads x 3 backends x 2 arrival rates x 3 windows.
+        assert_eq!(sweep.len(), 3 * 3 * 2 * 3);
+        let comparison = &tables[1];
+        assert_eq!(comparison.len(), 3 * 3);
+    }
+
+    #[test]
+    fn dynamic_batching_beats_per_request_serving_end_to_end() {
+        let tables = serving(&EvalSettings::fast());
+        let comparison = &tables[1];
+        for row in 0..comparison.len() {
+            let per_request: u64 = comparison.cell(row, 2).unwrap().parse().unwrap();
+            let batched: u64 = comparison.cell(row, 3).unwrap().parse().unwrap();
+            assert!(
+                batched < per_request,
+                "row {row}: batched {batched} must beat per-request {per_request}"
+            );
+        }
+    }
+
+    #[test]
+    fn wider_windows_never_reduce_batch_fill() {
+        let settings = EvalSettings::fast();
+        let tables = serving(&settings);
+        let sweep = &tables[0];
+        // Within one (workload, backend, gap) block the three window rows are
+        // adjacent; fill must be monotonically non-decreasing in the window.
+        for block in 0..(sweep.len() / 3) {
+            let fill = |i: usize| -> f64 { sweep.cell(block * 3 + i, 5).unwrap().parse().unwrap() };
+            assert!(fill(0) <= fill(1) + 1e-9, "block {block}");
+            assert!(fill(1) <= fill(2) + 1e-9, "block {block}");
+        }
+    }
+}

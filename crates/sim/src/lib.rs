@@ -14,7 +14,11 @@
 //! * [`energy`] — the per-module area and power characteristics of Table I and an
 //!   activity-based energy model that reproduces Figure 15;
 //! * [`multi_unit`] — throughput scaling across multiple A3 units (Section III-C and
-//!   the BERT discussion of Section VI-C).
+//!   the BERT discussion of Section VI-C);
+//! * [`server`] — a discrete-event queue model of the request-oriented serving
+//!   front-end: replays a request trace through the dynamic-batching scheduler of
+//!   [`a3_core::serve`] and charges batching wait, queueing delay,
+//!   preprocessing-on-miss and accelerator cycles into per-request latency.
 
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
@@ -23,14 +27,19 @@ pub mod config;
 pub mod energy;
 pub mod multi_unit;
 pub mod pipeline;
+pub mod server;
 pub mod sram;
 
 pub use config::A3Config;
 pub use energy::{EnergyBreakdown, EnergyModel, ModuleCharacteristics, TableI};
 pub use multi_unit::MultiUnit;
 pub use pipeline::{ApproxQueryTrace, PipelineModel, QueryCost, SimReport};
+pub use server::{poisson_arrival_cycles, RequestOutcome, ServerSim, TraceRequest};
 pub use sram::SramConfig;
 
 // Re-exported so simulator callers can drive the cached serving entry points without
 // depending on `a3_core::backend` directly.
 pub use a3_core::backend::{ComputeBackend, MemoryCache};
+// Re-exported so request-trace callers can build policies without depending on
+// `a3_core::serve` directly.
+pub use a3_core::serve::BatchPolicy;

@@ -134,6 +134,23 @@ pub struct SimReport {
     pub cache_hits: u64,
     /// Preprocessing-cache misses recorded while serving this batch.
     pub cache_misses: u64,
+    /// Batches executed. 1 for the direct pre-formed batch entry points; the
+    /// request-driven [`crate::server::ServerSim`] reports every dynamic batch the
+    /// scheduler flushed.
+    pub batches: u64,
+    /// Mean requests per executed batch.
+    pub avg_batch_fill: f64,
+    /// Largest number of requests ever waiting in the scheduler's queues (0 for
+    /// pre-formed batches, which never queue).
+    pub max_queue_depth: u64,
+    /// Mean number of waiting requests, sampled at every arrival event (0 for
+    /// pre-formed batches).
+    pub avg_queue_depth: f64,
+    /// Requests that completed after their deadline (always 0 for pre-formed
+    /// batches, which carry no deadlines).
+    pub deadline_misses: u64,
+    /// [`SimReport::deadline_misses`] over [`SimReport::queries`].
+    pub deadline_miss_rate: f64,
     /// Summed module activity (for the energy model).
     pub activity: ModuleActivity,
 }
@@ -147,7 +164,7 @@ impl SimReport {
 }
 
 /// Nearest-rank percentile (`pct` in 0..=100) of an ascending-sorted slice.
-fn percentile(sorted: &[u64], pct: u64) -> u64 {
+pub(crate) fn percentile(sorted: &[u64], pct: u64) -> u64 {
     debug_assert!(!sorted.is_empty());
     let rank = (pct * sorted.len() as u64).div_ceil(100).max(1) as usize;
     sorted[rank.min(sorted.len()) - 1]
@@ -255,6 +272,34 @@ impl PipelineModel {
         ops.div_ceil(PREPROCESS_OPS_PER_CYCLE)
     }
 
+    /// Per-query costs of one pre-formed batch against a prepared memory: the shared
+    /// cost core under [`PipelineModel::run_batch_with`] and the request-driven
+    /// [`crate::server::ServerSim`]. Work profiles are computed in parallel across
+    /// queries; the costs are identical to profiling the queries one at a time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any query is inconsistent with the memory.
+    pub(crate) fn batch_costs<Q: AsRef<[f32]> + Sync>(
+        &self,
+        backend: &dyn ComputeBackend,
+        memory: &a3_core::backend::PreparedMemory,
+        queries: &[Q],
+    ) -> Vec<QueryCost> {
+        let profiles: Vec<Option<WorkProfile>> = queries
+            .par_iter()
+            .map(|q| {
+                backend
+                    .profile(memory, q.as_ref())
+                    .expect("caller-provided shapes must be consistent")
+            })
+            .collect();
+        profiles
+            .into_iter()
+            .map(|p| self.profile_cost(memory.n(), p))
+            .collect()
+    }
+
     /// Per-query cost from a backend work profile (`None` means the query-independent
     /// base pipeline).
     fn profile_cost(&self, n: usize, profile: Option<WorkProfile>) -> QueryCost {
@@ -349,12 +394,17 @@ impl PipelineModel {
         self.run_batch_with(backend.as_ref(), cache, keys, values, queries)
     }
 
-    /// Runs a batch through an explicit [`ComputeBackend`] — exact, approximate or
-    /// quantized — with `cache` providing the prepared memory. The per-query cycle
-    /// costs come from the backend's own [`ComputeBackend::profile`]: data-dependent
-    /// `M/C/K` counts for the approximate datapath, the query-independent base-pipeline
-    /// formulas otherwise. Work profiles are computed in parallel across queries; the
-    /// report is identical to profiling the queries one at a time.
+    /// Runs a *pre-formed* batch through an explicit [`ComputeBackend`] — exact,
+    /// approximate or quantized — with `cache` providing the prepared memory.
+    ///
+    /// This is a thin adapter over the shared batch-cost core
+    /// ([`PipelineModel::batch_costs`]) that also powers the request-oriented
+    /// front-end: callers that receive queries one at a time should use
+    /// [`a3_core::serve::AttentionServer`] for execution and
+    /// [`crate::server::ServerSim`] for cycle modeling, and let the scheduler form
+    /// the batches. The per-query cycle costs come from the backend's own
+    /// [`ComputeBackend::profile`]: data-dependent `M/C/K` counts for the approximate
+    /// datapath, the query-independent base-pipeline formulas otherwise.
     ///
     /// # Panics
     ///
@@ -373,18 +423,7 @@ impl PipelineModel {
         let (memory, hit) = cache
             .get_or_prepare(backend, keys, values)
             .expect("caller-provided shapes must be consistent");
-        let profiles: Vec<Option<WorkProfile>> = queries
-            .par_iter()
-            .map(|q| {
-                backend
-                    .profile(&memory, q)
-                    .expect("caller-provided shapes must be consistent")
-            })
-            .collect();
-        let costs: Vec<QueryCost> = profiles
-            .into_iter()
-            .map(|p| self.profile_cost(keys.rows(), p))
-            .collect();
+        let costs = self.batch_costs(backend, &memory, queries);
         let mut report = self.aggregate(&costs);
         if hit {
             report.cache_hits = 1;
@@ -430,6 +469,12 @@ impl PipelineModel {
             preprocessing_cycles: 0,
             cache_hits: 0,
             cache_misses: 0,
+            batches: 1,
+            avg_batch_fill: costs.len() as f64,
+            max_queue_depth: 0,
+            avg_queue_depth: 0.0,
+            deadline_misses: 0,
+            deadline_miss_rate: 0.0,
             activity,
         }
     }

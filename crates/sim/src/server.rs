@@ -1,0 +1,603 @@
+//! Discrete-event queue model of the request-oriented serving front-end.
+//!
+//! [`ServerSim`] replays a trace of single-query requests through the *same*
+//! dynamic-batching [`Scheduler`] the software [`a3_core::serve::AttentionServer`]
+//! uses, interpreting ticks as accelerator clock cycles, and charges every component
+//! of per-request latency:
+//!
+//! * **batching wait** — the gap between a request's arrival and its batch's flush
+//!   (full / window / deadline trigger, exactly the software scheduler's decision);
+//! * **queueing delay** — time the flushed batch spends waiting for the single A3
+//!   unit to drain earlier batches;
+//! * **preprocessing on miss** — host-side sort/quantization cycles when the batch's
+//!   memory misses the [`MemoryCache`] (a warm memory pays zero);
+//! * **accelerator cycles** — pipelined batch drain from the cycle model
+//!   (`latency(first) + Σ throughput(rest)`), with per-request completion at its
+//!   drain position.
+//!
+//! The replay extends [`SimReport`] with queue-depth, batch-fill and deadline-miss
+//! statistics; per-request detail is available from [`ServerSim::replay_detailed`].
+
+use a3_core::backend::{ComputeBackend, MemoryCache};
+use a3_core::serve::{BatchPolicy, QueuedRequest, RequestId, Scheduler, SessionId};
+use a3_core::Matrix;
+use serde::{Deserialize, Serialize};
+
+use crate::pipeline::{percentile, ModuleActivity, PipelineModel, SimReport};
+
+/// One request of a replayable serving trace. `session` indexes the memory slice
+/// handed to [`ServerSim::replay`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceRequest {
+    /// Index of the key/value memory this request attends over.
+    pub session: usize,
+    /// The query vector.
+    pub query: Vec<f32>,
+    /// Arrival time in accelerator cycles.
+    pub arrival_cycle: u64,
+    /// Optional absolute completion deadline in cycles.
+    pub deadline_cycle: Option<u64>,
+}
+
+impl TraceRequest {
+    /// Creates a request with no deadline.
+    pub fn new(session: usize, query: Vec<f32>, arrival_cycle: u64) -> Self {
+        Self {
+            session,
+            query,
+            arrival_cycle,
+            deadline_cycle: None,
+        }
+    }
+
+    /// Attaches an absolute deadline cycle.
+    pub fn with_deadline(mut self, deadline_cycle: u64) -> Self {
+        self.deadline_cycle = Some(deadline_cycle);
+        self
+    }
+}
+
+/// Scheduling history of one replayed request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RequestOutcome {
+    /// Index of the request in the replayed trace.
+    pub trace_index: usize,
+    /// The memory it attended over.
+    pub session: usize,
+    /// Arrival cycle (from the trace).
+    pub arrival_cycle: u64,
+    /// Cycle at which its batch started executing (preprocessing included).
+    pub dispatched_cycle: u64,
+    /// Cycle at which its result drained out of the pipeline.
+    pub completion_cycle: u64,
+    /// The request's deadline, if it carried one.
+    pub deadline_cycle: Option<u64>,
+    /// Ordinal of the executed batch that served it.
+    pub batch: usize,
+}
+
+impl RequestOutcome {
+    /// End-to-end latency in cycles: batching wait + queueing + preprocessing +
+    /// accelerator drain.
+    pub fn latency_cycles(&self) -> u64 {
+        self.completion_cycle - self.arrival_cycle
+    }
+
+    /// True when the request carried a deadline and completed after it.
+    pub fn missed_deadline(&self) -> bool {
+        self.deadline_cycle
+            .is_some_and(|d| self.completion_cycle > d)
+    }
+}
+
+/// Discrete-event model of one A3 unit behind a dynamic-batching request queue.
+#[derive(Debug, Clone)]
+pub struct ServerSim {
+    model: PipelineModel,
+    policy: BatchPolicy,
+}
+
+impl ServerSim {
+    /// Creates a server model from a cycle model and a batching policy.
+    pub fn new(model: PipelineModel, policy: BatchPolicy) -> Self {
+        Self { model, policy }
+    }
+
+    /// The underlying cycle model.
+    pub fn model(&self) -> &PipelineModel {
+        &self.model
+    }
+
+    /// The batching policy in force.
+    pub fn policy(&self) -> BatchPolicy {
+        self.policy
+    }
+
+    /// Replays `trace` against `memories` through `backend`, forming batches with the
+    /// serve-layer scheduler, and aggregates the result. See
+    /// [`ServerSim::replay_detailed`] for per-request outcomes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a trace request references a session outside `memories`, a problem
+    /// does not fit the synthesized configuration, or shapes are inconsistent.
+    pub fn replay(
+        &self,
+        backend: &dyn ComputeBackend,
+        cache: &mut MemoryCache,
+        memories: &[(Matrix, Matrix)],
+        trace: &[TraceRequest],
+    ) -> SimReport {
+        self.replay_detailed(backend, cache, memories, trace).0
+    }
+
+    /// [`ServerSim::replay`], also returning one [`RequestOutcome`] per trace request
+    /// (in trace order).
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`ServerSim::replay`].
+    pub fn replay_detailed(
+        &self,
+        backend: &dyn ComputeBackend,
+        cache: &mut MemoryCache,
+        memories: &[(Matrix, Matrix)],
+        trace: &[TraceRequest],
+    ) -> (SimReport, Vec<RequestOutcome>) {
+        for request in trace {
+            assert!(
+                request.session < memories.len(),
+                "trace request references session {} but only {} memories are registered",
+                request.session,
+                memories.len()
+            );
+        }
+        for (keys, _) in memories {
+            self.model.config().assert_fits(keys.rows(), keys.dim());
+        }
+        if trace.is_empty() {
+            return (self.empty_report(), Vec::new());
+        }
+
+        // Arrival order (stable for equal cycles, so replays are deterministic).
+        let mut order: Vec<usize> = (0..trace.len()).collect();
+        order.sort_by_key(|&i| trace[i].arrival_cycle);
+
+        let mut scheduler = Scheduler::new(self.policy);
+        let mut outcomes: Vec<Option<RequestOutcome>> = vec![None; trace.len()];
+        let mut accel_free_at: u64 = 0;
+        let mut batches: u64 = 0;
+        let mut busy_cycles: u64 = 0;
+        let mut preprocessing_cycles: u64 = 0;
+        let mut cache_hits: u64 = 0;
+        let mut cache_misses: u64 = 0;
+        let mut activity = ModuleActivity::default();
+        let mut throughput_sum: f64 = 0.0;
+        let mut max_queue_depth: u64 = 0;
+        let mut depth_samples: u64 = 0;
+        let mut depth_sum: u64 = 0;
+
+        let mut next_arrival = 0usize;
+        loop {
+            // Advance to the next event: an arrival or a scheduler flush, whichever
+            // is earlier.
+            let arrival_at = order.get(next_arrival).map(|&i| trace[i].arrival_cycle);
+            let due_at = scheduler.next_due();
+            let now = match (arrival_at, due_at) {
+                (None, None) => break,
+                (Some(a), None) => a,
+                (None, Some(d)) => d,
+                (Some(a), Some(d)) => a.min(d),
+            };
+
+            // Enqueue every request arriving at this cycle (before popping, so a
+            // request arriving exactly at a flush tick rides the flushed batch).
+            while next_arrival < order.len() && trace[order[next_arrival]].arrival_cycle == now {
+                let index = order[next_arrival];
+                let request = &trace[index];
+                scheduler.enqueue(QueuedRequest {
+                    id: RequestId::from_raw(index as u64),
+                    session: SessionId::from_raw(request.session as u64),
+                    query: request.query.clone(),
+                    arrival: request.arrival_cycle,
+                    deadline: request.deadline_cycle,
+                });
+                next_arrival += 1;
+                let depth = scheduler.pending() as u64;
+                max_queue_depth = max_queue_depth.max(depth);
+                depth_samples += 1;
+                depth_sum += depth;
+            }
+
+            // Execute every batch the scheduler declares due, in session order,
+            // serialized on the single accelerator unit.
+            for batch in scheduler.pop_due(now) {
+                let session = batch.session.raw() as usize;
+                let (keys, values) = &memories[session];
+                let (memory, hit) = cache
+                    .get_or_prepare(backend, keys, values)
+                    .expect("caller-provided shapes must be consistent");
+                let prep = if hit {
+                    cache_hits += 1;
+                    0
+                } else {
+                    cache_misses += 1;
+                    self.model
+                        .preprocessing_cycles_for_ops(memory.preprocess_ops())
+                };
+                preprocessing_cycles += prep;
+
+                let queries: Vec<&[f32]> =
+                    batch.requests.iter().map(|r| r.query.as_slice()).collect();
+                let costs = self.model.batch_costs(backend, &memory, &queries);
+
+                // The batch cannot start before its requests exist, before the
+                // scheduler flushed it, or before the unit drains earlier batches.
+                let ready = batch
+                    .requests
+                    .iter()
+                    .map(|r| r.arrival)
+                    .max()
+                    .unwrap_or(batch.formed_at)
+                    .max(batch.formed_at);
+                let start = ready.max(accel_free_at);
+                let mut completion = start + prep;
+                for (cost, request) in costs.iter().zip(&batch.requests) {
+                    // Pipelined drain: the first query pays full latency, later
+                    // queries drain one initiation interval apart.
+                    completion += if completion == start + prep {
+                        cost.latency_cycles
+                    } else {
+                        cost.throughput_cycles
+                    };
+                    let index = request.id.raw() as usize;
+                    outcomes[index] = Some(RequestOutcome {
+                        trace_index: index,
+                        session,
+                        arrival_cycle: request.arrival,
+                        dispatched_cycle: start,
+                        completion_cycle: completion,
+                        deadline_cycle: request.deadline,
+                        batch: batches as usize,
+                    });
+                    activity = activity.add(&cost.activity);
+                    throughput_sum += cost.throughput_cycles as f64;
+                }
+                busy_cycles += completion - (start + prep);
+                accel_free_at = completion;
+                batches += 1;
+            }
+        }
+
+        let outcomes: Vec<RequestOutcome> = outcomes
+            .into_iter()
+            .map(|o| o.expect("every trace request completes: all queues flush"))
+            .collect();
+        let report = self.summarize(
+            &outcomes,
+            busy_cycles,
+            preprocessing_cycles,
+            cache_hits,
+            cache_misses,
+            batches,
+            throughput_sum,
+            max_queue_depth,
+            depth_sum,
+            depth_samples,
+            activity,
+        );
+        (report, outcomes)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn summarize(
+        &self,
+        outcomes: &[RequestOutcome],
+        busy_cycles: u64,
+        preprocessing_cycles: u64,
+        cache_hits: u64,
+        cache_misses: u64,
+        batches: u64,
+        throughput_sum: f64,
+        max_queue_depth: u64,
+        depth_sum: u64,
+        depth_samples: u64,
+        activity: ModuleActivity,
+    ) -> SimReport {
+        let queries = outcomes.len();
+        let mut latencies: Vec<u64> = outcomes
+            .iter()
+            .map(RequestOutcome::latency_cycles)
+            .collect();
+        latencies.sort_unstable();
+        let avg_latency_cycles = latencies.iter().map(|&l| l as f64).sum::<f64>() / queries as f64;
+        let deadline_misses = outcomes.iter().filter(|o| o.missed_deadline()).count() as u64;
+        let first_arrival = outcomes.iter().map(|o| o.arrival_cycle).min().unwrap_or(0);
+        let last_completion = outcomes
+            .iter()
+            .map(|o| o.completion_cycle)
+            .max()
+            .unwrap_or(0);
+        let makespan = (last_completion - first_arrival).max(1);
+        let config = self.model.config();
+        SimReport {
+            queries,
+            total_cycles: busy_cycles,
+            avg_latency_cycles,
+            p50_latency_cycles: percentile(&latencies, 50),
+            p95_latency_cycles: percentile(&latencies, 95),
+            p99_latency_cycles: percentile(&latencies, 99),
+            avg_throughput_cycles: throughput_sum / queries as f64,
+            throughput_ops_per_s: config.clock_hz * queries as f64 / makespan as f64,
+            avg_latency_s: avg_latency_cycles * config.clock_period_s(),
+            preprocessing_cycles,
+            cache_hits,
+            cache_misses,
+            batches,
+            avg_batch_fill: queries as f64 / batches as f64,
+            max_queue_depth,
+            avg_queue_depth: if depth_samples == 0 {
+                0.0
+            } else {
+                depth_sum as f64 / depth_samples as f64
+            },
+            deadline_misses,
+            deadline_miss_rate: deadline_misses as f64 / queries as f64,
+            activity,
+        }
+    }
+
+    /// The all-zero report of an empty trace.
+    fn empty_report(&self) -> SimReport {
+        SimReport {
+            queries: 0,
+            total_cycles: 0,
+            avg_latency_cycles: 0.0,
+            p50_latency_cycles: 0,
+            p95_latency_cycles: 0,
+            p99_latency_cycles: 0,
+            avg_throughput_cycles: 0.0,
+            throughput_ops_per_s: 0.0,
+            avg_latency_s: 0.0,
+            preprocessing_cycles: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            batches: 0,
+            avg_batch_fill: 0.0,
+            max_queue_depth: 0,
+            avg_queue_depth: 0.0,
+            deadline_misses: 0,
+            deadline_miss_rate: 0.0,
+            activity: ModuleActivity::default(),
+        }
+    }
+}
+
+/// Deterministic open-loop "Poisson-ish" arrival times: exponential inter-arrival
+/// gaps with the given mean, drawn from the seeded [`rand::rngs::StdRng`]. The same
+/// seed always yields the same trace, which keeps examples and experiments
+/// reproducible.
+pub fn poisson_arrival_cycles(seed: u64, count: usize, mean_interval_cycles: f64) -> Vec<u64> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    assert!(
+        mean_interval_cycles > 0.0,
+        "mean_interval_cycles must be positive"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = 0.0f64;
+    (0..count)
+        .map(|_| {
+            let u: f64 = rng.gen();
+            // Inverse-CDF exponential sample; clamp away from ln(0).
+            t += -mean_interval_cycles * (1.0 - u).max(1e-12).ln();
+            t as u64
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::A3Config;
+    use a3_core::backend::{ApproximateBackend, ExactBackend, QuantizedBackend};
+
+    fn memory(tag: f32, n: usize, d: usize) -> (Matrix, Matrix) {
+        let rows: Vec<Vec<f32>> = (0..n)
+            .map(|i| {
+                (0..d)
+                    .map(|j| {
+                        if i % 17 == 3 {
+                            0.8 + tag
+                        } else {
+                            tag - 0.1 + 0.02 * ((i * 7 + j * 3) % 9) as f32
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let keys = Matrix::from_rows(rows).unwrap();
+        let values = keys.clone();
+        (keys, values)
+    }
+
+    fn query(d: usize, salt: f32) -> Vec<f32> {
+        (0..d).map(|j| 0.3 + salt + 0.01 * (j % 7) as f32).collect()
+    }
+
+    fn sim(policy: BatchPolicy) -> ServerSim {
+        ServerSim::new(PipelineModel::new(A3Config::paper_conservative()), policy)
+    }
+
+    #[test]
+    fn every_request_completes_with_consistent_cycles() {
+        let memories = vec![memory(0.0, 64, 64), memory(1.0, 48, 64)];
+        let trace: Vec<TraceRequest> = (0..12)
+            .map(|i| {
+                TraceRequest::new(i % 2, query(64, 0.01 * i as f32), (i as u64) * 50)
+                    .with_deadline(i as u64 * 50 + 5_000)
+            })
+            .collect();
+        let server = sim(BatchPolicy::new(4, 200).unwrap());
+        let mut cache = MemoryCache::new(4);
+        let (report, outcomes) = server.replay_detailed(
+            &ApproximateBackend::conservative(),
+            &mut cache,
+            &memories,
+            &trace,
+        );
+        assert_eq!(report.queries, 12);
+        assert_eq!(outcomes.len(), 12);
+        for (i, outcome) in outcomes.iter().enumerate() {
+            assert_eq!(outcome.trace_index, i);
+            assert!(outcome.dispatched_cycle >= outcome.arrival_cycle);
+            assert!(outcome.completion_cycle > outcome.dispatched_cycle);
+            assert_eq!(outcome.session, i % 2);
+        }
+        assert!(report.batches >= 2, "two sessions cannot share a batch");
+        assert!(report.avg_batch_fill > 1.0, "batches must actually form");
+        assert_eq!(report.cache_misses, 2, "one preprocessing pass per memory");
+        assert!(report.preprocessing_cycles > 0);
+        assert!(report.max_queue_depth >= 1);
+        assert_eq!(report.deadline_misses, 0);
+        assert_eq!(report.deadline_miss_rate, 0.0);
+    }
+
+    #[test]
+    fn batching_beats_per_request_serving_in_busy_cycles() {
+        let memories = vec![memory(0.0, 96, 64)];
+        let trace: Vec<TraceRequest> = (0..16)
+            .map(|i| TraceRequest::new(0, query(64, 0.005 * i as f32), (i as u64) * 10))
+            .collect();
+        let model = PipelineModel::new(A3Config::paper_base());
+        let backend = QuantizedBackend::paper();
+
+        let mut warm_cache = MemoryCache::new(2);
+        warm_cache
+            .get_or_prepare(&backend, &memories[0].0, &memories[0].1)
+            .unwrap();
+        let batched = ServerSim::new(model.clone(), BatchPolicy::new(16, 1_000).unwrap()).replay(
+            &backend,
+            &mut warm_cache,
+            &memories,
+            &trace,
+        );
+
+        let mut warm_cache = MemoryCache::new(2);
+        warm_cache
+            .get_or_prepare(&backend, &memories[0].0, &memories[0].1)
+            .unwrap();
+        let per_request = ServerSim::new(model, BatchPolicy::per_request()).replay(
+            &backend,
+            &mut warm_cache,
+            &memories,
+            &trace,
+        );
+
+        assert_eq!(batched.batches, 1);
+        assert_eq!(per_request.batches, 16);
+        assert!(
+            batched.total_cycles < per_request.total_cycles,
+            "pipelined dynamic batch ({}) must beat per-request serving ({})",
+            batched.total_cycles,
+            per_request.total_cycles
+        );
+        assert!(batched.end_to_end_cycles() < per_request.end_to_end_cycles());
+    }
+
+    #[test]
+    fn deadline_misses_are_counted_under_overload() {
+        let memories = vec![memory(0.0, 320, 64)];
+        // Requests arrive every cycle with deadlines far tighter than one batch
+        // drain; almost everything must miss.
+        let trace: Vec<TraceRequest> = (0..8)
+            .map(|i| TraceRequest::new(0, query(64, 0.0), i as u64).with_deadline(i as u64 + 10))
+            .collect();
+        let server = sim(BatchPolicy::new(8, 100).unwrap());
+        let mut cache = MemoryCache::new(2);
+        let report = server.replay(
+            &ApproximateBackend::conservative(),
+            &mut cache,
+            &memories,
+            &trace,
+        );
+        assert!(report.deadline_misses > 0);
+        assert!(report.deadline_miss_rate > 0.0);
+        assert!(report.p99_latency_cycles >= report.p50_latency_cycles);
+    }
+
+    #[test]
+    fn queueing_delay_accumulates_when_the_unit_is_saturated() {
+        let memories = vec![memory(0.0, 320, 64)];
+        // Back-to-back single-request batches against a 320-row memory: each takes
+        // ~3n+27 cycles, arrivals come every 10 cycles, so later requests queue.
+        let trace: Vec<TraceRequest> = (0..6)
+            .map(|i| TraceRequest::new(0, query(64, 0.0), i as u64 * 10))
+            .collect();
+        let server = ServerSim::new(
+            PipelineModel::new(A3Config::paper_base()),
+            BatchPolicy::per_request(),
+        );
+        let mut cache = MemoryCache::new(2);
+        let (report, outcomes) =
+            server.replay_detailed(&QuantizedBackend::paper(), &mut cache, &memories, &trace);
+        let first = outcomes.first().unwrap();
+        let last = outcomes.last().unwrap();
+        assert!(
+            last.latency_cycles() > first.latency_cycles(),
+            "later requests must absorb queueing delay"
+        );
+        assert!(report.avg_latency_cycles > first.latency_cycles() as f64);
+    }
+
+    #[test]
+    fn warm_cache_replay_pays_zero_preprocessing() {
+        let memories = vec![memory(0.0, 64, 64)];
+        let trace: Vec<TraceRequest> = (0..4)
+            .map(|i| TraceRequest::new(0, query(64, 0.0), i as u64))
+            .collect();
+        let server = sim(BatchPolicy::new(4, 50).unwrap());
+        let backend = ApproximateBackend::conservative();
+        let mut cache = MemoryCache::new(2);
+        let cold = server.replay(&backend, &mut cache, &memories, &trace);
+        assert!(cold.preprocessing_cycles > 0);
+        assert_eq!(cold.cache_misses, 1);
+        let warm = server.replay(&backend, &mut cache, &memories, &trace);
+        assert_eq!(warm.preprocessing_cycles, 0);
+        assert_eq!(warm.cache_hits, 1);
+        assert!(warm.end_to_end_cycles() <= cold.end_to_end_cycles());
+    }
+
+    #[test]
+    fn empty_trace_yields_zero_report() {
+        let server = sim(BatchPolicy::default());
+        let mut cache = MemoryCache::new(2);
+        let (report, outcomes) =
+            server.replay_detailed(&ExactBackend, &mut cache, &[memory(0.0, 8, 64)], &[]);
+        assert_eq!(report.queries, 0);
+        assert_eq!(report.batches, 0);
+        assert_eq!(report.total_cycles, 0);
+        assert!(outcomes.is_empty());
+    }
+
+    #[test]
+    fn poisson_arrivals_are_deterministic_and_monotonic() {
+        let a = poisson_arrival_cycles(7, 32, 100.0);
+        let b = poisson_arrival_cycles(7, 32, 100.0);
+        assert_eq!(a, b, "same seed, same trace");
+        assert!(a.windows(2).all(|w| w[0] <= w[1]));
+        let c = poisson_arrival_cycles(8, 32, 100.0);
+        assert_ne!(a, c, "different seeds diverge");
+        let mean = *a.last().unwrap() as f64 / 32.0;
+        assert!(mean > 20.0 && mean < 500.0, "mean interval {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "references session")]
+    fn out_of_range_session_panics() {
+        let server = sim(BatchPolicy::default());
+        let mut cache = MemoryCache::new(2);
+        let trace = vec![TraceRequest::new(3, query(64, 0.0), 0)];
+        server.replay(&ExactBackend, &mut cache, &[memory(0.0, 8, 64)], &trace);
+    }
+}

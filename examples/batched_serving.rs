@@ -13,6 +13,8 @@ use std::time::Instant;
 
 use a3::core::approx::{ApproxConfig, ApproximateAttention};
 use a3::core::attention::attention_batch;
+use a3::core::backend::{ApproximateBackend, ComputeBackend};
+use a3::core::serve::{AttentionServer, BatchPolicy, Request};
 use a3::sim::{A3Config, MemoryCache, PipelineModel};
 use a3::workloads::kvmemn2n::KvMemN2N;
 use a3::workloads::Workload;
@@ -87,4 +89,44 @@ fn main() {
             cold.throughput_ops_per_s / 1e6
         );
     }
+
+    // The same queries served request-by-request through the request-oriented
+    // front-end (`a3_core::serve`): the scheduler forms the batch, and every
+    // response stays bit-identical to a direct per-query backend call. See
+    // examples/request_serving.rs for the full deadline/batch-window sweep.
+    let backend = ApproximateBackend::conservative();
+    let reference = backend
+        .prepare(&memory.keys, &memory.values)
+        .expect("valid shapes");
+    let mut server = AttentionServer::new(
+        Box::new(ApproximateBackend::conservative()),
+        BatchPolicy::new(queries.len().max(1), 1_000).expect("max_batch >= 1"),
+    );
+    let session = server
+        .register_memory(&memory.keys, &memory.values)
+        .expect("valid shapes");
+    for (i, query) in queries.iter().enumerate() {
+        server
+            .submit(Request::new(session, query.clone(), i as u64))
+            .expect("registered session");
+    }
+    let mut responses: Vec<_> = server
+        .flush_all(queries.len() as u64)
+        .expect("valid batches")
+        .into_iter()
+        .flat_map(|b| b.responses)
+        .collect();
+    responses.sort_by_key(|r| r.request);
+    assert_eq!(responses.len(), queries.len());
+    for (query, response) in queries.iter().zip(&responses) {
+        let direct = backend
+            .attend_prepared(&reference, query)
+            .expect("valid shapes");
+        assert_eq!(response.result, direct, "server output diverged");
+    }
+    println!(
+        "request front-end: {} responses through AttentionServer, bit-identical \
+         to direct per-query calls",
+        responses.len()
+    );
 }

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Runs the request-oriented serving demo end-to-end: builds the workspace and
+# replays the deterministic open-loop request trace of examples/request_serving.rs
+# (deadline-miss rate vs. batch window over two memories, plus the software
+# front-end bit-identity check).
+#
+# Usage: scripts/serve_demo.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cargo run --release --example request_serving "$@"

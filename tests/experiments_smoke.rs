@@ -2,7 +2,7 @@
 //! produce non-empty, well-formed tables with reduced settings.
 
 use a3::eval::experiments::{
-    ablation, accuracy, backend_comparison, fig3, latency_model, performance, table1,
+    ablation, accuracy, backend_comparison, fig3, latency_model, performance, serving, table1,
 };
 use a3::eval::EvalSettings;
 
@@ -30,7 +30,8 @@ fn every_experiment_driver_produces_tables() {
     all_tables.push(latency_model(&settings));
     all_tables.extend(ablation(&settings));
     all_tables.extend(backend_comparison(&settings));
-    assert!(all_tables.len() >= 16);
+    all_tables.extend(serving(&settings));
+    assert!(all_tables.len() >= 18);
     for table in &all_tables {
         assert!(!table.is_empty(), "{} is empty", table.title);
         let rendered = table.render();
