@@ -1,0 +1,132 @@
+//! Sharded-serving benchmark: shard count × {cold, warm} preprocessing cache.
+//!
+//! Measures sharded execution of one large logical memory: `prepare` splits the
+//! memory row-wise into K shards (each independently keyed in the `MemoryCache`) and
+//! `attend_batch_sharded` runs per-shard partials plus the cross-shard merge. The
+//! cold path re-prepares every shard on each iteration (pass-through cache); the warm
+//! path hits every shard's cache entry and measures pure sharded attention + merge.
+//!
+//! The setup also checks the cycle model's merge-stage scaling: on the warm path the
+//! total merge cycles must grow **sublinearly** in the shard count (doubling K must
+//! not double the merge bill), and sharding the 320-row memory must beat the
+//! single-unit end-to-end cycles — so the bench doubles as a regression check on the
+//! sharding acceptance criteria.
+
+use a3_bench::skewed_memory;
+use a3_core::backend::{ApproximateBackend, ComputeBackend, MemoryCache, ShardPlan, ShardedMemory};
+use a3_sim::{A3Config, MultiUnit};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+const N: usize = 320;
+const D: usize = 64;
+const QUERIES: usize = 16;
+
+fn bench_queries(query: &[f32]) -> Vec<Vec<f32>> {
+    (0..QUERIES)
+        .map(|i| {
+            let scale = 1.0 + 0.002 * i as f32;
+            query.iter().map(|x| x * scale).collect()
+        })
+        .collect()
+}
+
+/// Asserts the cycle-model acceptance criteria: warm-path merge cycles sublinear in
+/// K, and a shard count that beats single-unit end-to-end cycles.
+fn assert_sharding_wins(keys: &a3_core::Matrix, values: &a3_core::Matrix, queries: &[Vec<f32>]) {
+    let backend = ApproximateBackend::conservative();
+    let warm_run = |k: usize| {
+        let group = MultiUnit::new(k, A3Config::paper_conservative());
+        let mut cache = MemoryCache::new(2 * k);
+        group.run_sharded_batch(&backend, &mut cache, keys, values, queries);
+        let warm = group.run_sharded_batch(&backend, &mut cache, keys, values, queries);
+        assert_eq!(
+            warm.report.preprocessing_cycles, 0,
+            "warm path must pay zero preprocessing"
+        );
+        warm
+    };
+    let single = warm_run(1);
+    let mut merged_cycles = Vec::new();
+    for k in [2usize, 4, 8] {
+        let sharded = warm_run(k);
+        assert!(
+            sharded.end_to_end_cycles() < single.end_to_end_cycles(),
+            "{k} shards ({}) must beat the single unit ({}) on a {N}-row memory",
+            sharded.end_to_end_cycles(),
+            single.end_to_end_cycles()
+        );
+        merged_cycles.push(sharded.report.merge_cycles);
+    }
+    for pair in merged_cycles.windows(2) {
+        assert!(
+            pair[1] < 2 * pair[0],
+            "merge cycles must grow sublinearly in the shard count: {merged_cycles:?}"
+        );
+    }
+}
+
+fn bench_sharded_serving(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sharded_serving");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    group.sample_size(10);
+
+    let (keys, values, query) = skewed_memory(N, D, 17);
+    let queries = bench_queries(&query);
+    let query_rows: Vec<&[f32]> = queries.iter().map(Vec::as_slice).collect();
+    assert_sharding_wins(&keys, &values, &queries);
+
+    let backend = ApproximateBackend::conservative();
+    for shards in [1usize, 2, 4, 8] {
+        let plan = ShardPlan::new(shards).expect("shards >= 1");
+
+        // Cold: every iteration re-prepares all shards (pass-through cache).
+        group.bench_with_input(BenchmarkId::new("cold", shards), &plan, |b, &plan| {
+            b.iter(|| {
+                let mut cache = MemoryCache::new(0);
+                let (memory, stats) = ShardedMemory::prepare_cached(
+                    &backend,
+                    plan,
+                    &mut cache,
+                    black_box(&keys),
+                    black_box(&values),
+                )
+                .expect("valid shapes");
+                assert_eq!(stats.misses, shards as u64);
+                let out = backend
+                    .attend_batch_sharded(&memory, &query_rows)
+                    .expect("valid shapes");
+                black_box(out.len())
+            })
+        });
+
+        // Warm: shards prepared once; iterations hit every per-shard cache entry.
+        let mut cache = MemoryCache::new(2 * shards);
+        ShardedMemory::prepare_cached(&backend, plan, &mut cache, &keys, &values)
+            .expect("valid shapes");
+        group.bench_with_input(BenchmarkId::new("warm", shards), &plan, |b, &plan| {
+            b.iter(|| {
+                let (memory, stats) = ShardedMemory::prepare_cached(
+                    &backend,
+                    plan,
+                    &mut cache,
+                    black_box(&keys),
+                    black_box(&values),
+                )
+                .expect("valid shapes");
+                assert_eq!(stats.misses, 0, "warm path must not re-prepare");
+                let out = backend
+                    .attend_batch_sharded(&memory, &query_rows)
+                    .expect("valid shapes");
+                black_box(out.len())
+            })
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_sharded_serving);
+criterion_main!(benches);

@@ -82,7 +82,27 @@ impl MemoryCache {
         keys: &Matrix,
         values: &Matrix,
     ) -> Result<(Arc<PreparedMemory>, bool), AttentionError> {
-        let key = (backend.name(), memory_fingerprint(keys, values));
+        let fingerprint = memory_fingerprint(keys, values);
+        self.get_or_prepare_with_fingerprint(backend, keys, values, fingerprint)
+    }
+
+    /// [`MemoryCache::get_or_prepare`] with a `fingerprint` the caller already
+    /// computed over exactly (`keys`, `values`) — e.g. the per-shard fingerprints a
+    /// [`crate::backend::ShardedMemory`] keeps — so the lookup does not hash the
+    /// memory contents a second time.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any preparation error from the backend (nothing is inserted and no
+    /// counter moves in that case).
+    pub fn get_or_prepare_with_fingerprint(
+        &mut self,
+        backend: &dyn ComputeBackend,
+        keys: &Matrix,
+        values: &Matrix,
+        fingerprint: u64,
+    ) -> Result<(Arc<PreparedMemory>, bool), AttentionError> {
+        let key = (backend.name(), fingerprint);
         self.clock += 1;
         if let Some(entry) = self.entries.get_mut(&key) {
             entry.last_used = self.clock;

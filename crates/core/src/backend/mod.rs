@@ -21,6 +21,12 @@
 //! keys prepared memories by a fingerprint of the memory contents so the preprocessing
 //! runs only on the first batch (the multi-query serving pattern of Section IV-C).
 //!
+//! A memory too large (or too hot) for one unit can be split row-wise across shards:
+//! [`ShardedMemory`] prepares each shard independently (per-shard cache keys), and
+//! [`ComputeBackend::attend_sharded`] runs per-shard partials and merges them — a
+//! log-sum-exp rescale for the dense datapaths, a candidate-set union for the
+//! approximate one. See the [`shard`](self) module docs on [`ShardedMemory`].
+//!
 //! ```
 //! use a3_core::backend::{ApproximateBackend, ComputeBackend, MemoryCache};
 //! use a3_core::Matrix;
@@ -40,8 +46,10 @@
 //! ```
 
 mod cache;
+mod shard;
 
 pub use cache::MemoryCache;
+pub use shard::{merge_partial_softmax, MemoryShard, ShardPlan, ShardPrepareStats, ShardedMemory};
 
 use rayon::prelude::*;
 
@@ -286,6 +294,59 @@ pub trait ComputeBackend: Send + Sync {
         results.into_iter().collect()
     }
 
+    /// Computes attention of `query` over a row-sharded memory: every shard produces
+    /// a partial result in parallel (on hardware, one shard per unit) and a cross-shard
+    /// merge combines them.
+    ///
+    /// The default implementation performs the numerically stable log-sum-exp merge of
+    /// per-shard partial softmax outputs ([`merge_partial_softmax`]), which is correct
+    /// for datapaths that attend every row. Backends with data-dependent row selection
+    /// override it (the approximate backend unions per-shard candidate sets before
+    /// global post-scoring). With a single shard this delegates to
+    /// [`ComputeBackend::attend_prepared`] and is **bit-identical** to the unsharded
+    /// path.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the query dimension does not match the memory, or if any
+    /// shard was prepared by an incompatible backend.
+    fn attend_sharded(
+        &self,
+        memory: &ShardedMemory,
+        query: &[f32],
+    ) -> Result<AttentionResult, AttentionError> {
+        memory.validate_query(query)?;
+        if memory.is_single() {
+            return self.attend_prepared(memory.shards()[0].memory(), query);
+        }
+        let partials: Result<Vec<AttentionResult>, AttentionError> = memory
+            .shards()
+            .iter()
+            .map(|shard| self.attend_prepared(shard.memory(), query))
+            .collect();
+        Ok(merge_partial_softmax(memory, &partials?))
+    }
+
+    /// Computes sharded attention for every query, parallelised across queries.
+    /// Results are in query order and bit-identical to a sequential loop over
+    /// [`ComputeBackend::attend_sharded`]; an empty batch returns an empty vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first (in query order) error if any query is inconsistent with the
+    /// memory.
+    fn attend_batch_sharded(
+        &self,
+        memory: &ShardedMemory,
+        queries: &[&[f32]],
+    ) -> Result<Vec<AttentionResult>, AttentionError> {
+        let results: Vec<Result<AttentionResult, AttentionError>> = queries
+            .par_iter()
+            .map(|q| self.attend_sharded(memory, q))
+            .collect();
+        results.into_iter().collect()
+    }
+
     /// Reports the data-dependent work one query performs, or `None` when the
     /// backend's per-query work is query-independent (every row is processed).
     ///
@@ -458,6 +519,21 @@ impl ComputeBackend for ApproximateBackend {
             .inner
             .attend_prepared(sorted, memory.keys(), memory.values(), query)?
             .result)
+    }
+
+    fn attend_sharded(
+        &self,
+        memory: &ShardedMemory,
+        query: &[f32],
+    ) -> Result<AttentionResult, AttentionError> {
+        memory.validate_query(query)?;
+        if memory.is_single() {
+            return self.attend_prepared(memory.shards()[0].memory(), query);
+        }
+        // Candidate selection runs per shard; the merge unions the candidate sets
+        // before global post-scoring (kNN-style per-partition top-k + merge), instead
+        // of the dense log-sum-exp merge.
+        shard::attend_sharded_union(self, memory, query)
     }
 
     fn profile(

@@ -1,0 +1,763 @@
+//! Sharded memories: one logical key/value memory split row-wise across shards.
+//!
+//! The paper's Section III-C scales A3 out by giving every unit an *independent*
+//! attention operation. A [`ShardedMemory`] models the harder case: a key/value memory
+//! too large (or too hot) for one unit, split row-wise into `K` shards that are served
+//! in parallel and merged — the same per-partition/merge decomposition *kNN Attention
+//! Demystified* (Haris, 2024) uses for top-k attention.
+//!
+//! * [`ShardPlan`] describes the row-wise split: `K` contiguous, balanced row ranges.
+//! * [`ShardedMemory::prepare`] runs the backend's query-independent preprocessing on
+//!   every shard independently; [`ShardedMemory::prepare_cached`] keys each shard
+//!   separately in a [`MemoryCache`] via its own content fingerprint, so mutating one
+//!   shard's rows invalidates only that shard's entry — untouched shards re-prepare
+//!   for free.
+//! * [`ComputeBackend::attend_sharded`] runs per-shard partial attention and merges:
+//!   a numerically stable log-sum-exp rescale of per-shard partial softmax outputs for
+//!   the dense datapaths ([`merge_partial_softmax`]), and a per-shard
+//!   candidate-selection **union** ahead of global post-scoring for the approximate
+//!   datapath ([`attend_sharded_union`]).
+//!
+//! # Numerics contract
+//!
+//! With a single shard every backend delegates to
+//! [`ComputeBackend::attend_prepared`], so `K = 1` is **bit-identical** to the
+//! unsharded path. With `K > 1` the exact float merge differs from the unsharded
+//! result only in the order of float reductions (within ~1e-6 for workload value
+//! ranges). The fixed-point datapath additionally carries per-shard
+//! weight-quantization noise of order `2^-2f` per weight, because each shard
+//! normalizes and quantizes its partial softmax locally before the merge rescales it —
+//! the same error a real per-unit quantized pipeline would exhibit.
+
+use std::ops::Range;
+use std::sync::Arc;
+
+use crate::approx::{post_scoring_select, select_candidates};
+use crate::attention::{stable_softmax, AttentionResult};
+use crate::{AttentionError, Matrix};
+
+use super::{memory_fingerprint, validate_memory, ComputeBackend, MemoryCache, PreparedMemory};
+
+/// How to split one logical memory across shards (row-wise, contiguous, balanced).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardPlan {
+    shards: usize,
+}
+
+impl ShardPlan {
+    /// Creates a plan splitting a memory into `shards` row ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttentionError::InvalidParameter`] if `shards` is zero.
+    pub fn new(shards: usize) -> Result<Self, AttentionError> {
+        if shards == 0 {
+            return Err(AttentionError::InvalidParameter {
+                name: "shards",
+                constraint: "at least one shard is required",
+            });
+        }
+        Ok(Self { shards })
+    }
+
+    /// The trivial single-shard plan (the unsharded fast path).
+    pub fn single() -> Self {
+        Self { shards: 1 }
+    }
+
+    /// Requested shard count. A memory with fewer rows than shards yields one
+    /// single-row shard per row instead (see [`ShardPlan::ranges`]).
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Balanced contiguous row ranges for an `n`-row memory: `min(shards, n)`
+    /// non-empty ranges whose lengths differ by at most one row (the first `n % k`
+    /// ranges carry the extra row).
+    pub fn ranges(&self, n: usize) -> Vec<Range<usize>> {
+        let k = self.shards.min(n).max(1);
+        let base = n / k;
+        let extra = n % k;
+        let mut start = 0;
+        (0..k)
+            .map(|s| {
+                let len = base + usize::from(s < extra);
+                let range = start..start + len;
+                start += len;
+                range
+            })
+            .collect()
+    }
+}
+
+/// One shard of a [`ShardedMemory`]: a contiguous row range of the logical memory,
+/// prepared independently by the backend.
+#[derive(Debug, Clone)]
+pub struct MemoryShard {
+    start: usize,
+    fingerprint: u64,
+    memory: Arc<PreparedMemory>,
+}
+
+impl MemoryShard {
+    /// First logical row this shard covers.
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// One past the last logical row this shard covers.
+    pub fn end(&self) -> usize {
+        self.start + self.memory.n()
+    }
+
+    /// Number of rows in this shard.
+    pub fn rows(&self) -> usize {
+        self.memory.n()
+    }
+
+    /// Content fingerprint of this shard's (keys, values) rows — the shard's own
+    /// [`MemoryCache`] identity.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// The backend's preparation of this shard.
+    pub fn memory(&self) -> &PreparedMemory {
+        &self.memory
+    }
+
+    /// A shared handle to the shard's prepared memory.
+    pub fn memory_arc(&self) -> Arc<PreparedMemory> {
+        Arc::clone(&self.memory)
+    }
+}
+
+/// Cache outcome of one [`ShardedMemory::prepare_cached`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardPrepareStats {
+    /// Shards served from the cache (no preprocessing ran).
+    pub hits: u64,
+    /// Shards whose preprocessing actually ran.
+    pub misses: u64,
+    /// Element-level preprocessing operations the missed shards performed (zero on a
+    /// fully warm cache). The simulator converts this into host-side cycles.
+    pub missed_preprocess_ops: u64,
+}
+
+/// One logical key/value memory split row-wise into independently prepared shards.
+///
+/// ```
+/// use a3_core::backend::{ApproximateBackend, ComputeBackend, ShardPlan, ShardedMemory};
+/// use a3_core::Matrix;
+///
+/// let keys = Matrix::from_rows(
+///     (0..8).map(|i| vec![i as f32 * 0.1, 1.0 - i as f32 * 0.1]).collect::<Vec<_>>(),
+/// ).unwrap();
+/// let backend = ApproximateBackend::conservative();
+/// let sharded = ShardedMemory::prepare(&backend, ShardPlan::new(3).unwrap(), &keys, &keys).unwrap();
+/// assert_eq!(sharded.shard_count(), 3);
+/// assert_eq!(sharded.n(), 8);
+/// let out = backend.attend_sharded(&sharded, &[1.0, 0.2]).unwrap();
+/// assert_eq!(out.output.len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ShardedMemory {
+    n: usize,
+    d: usize,
+    shards: Vec<MemoryShard>,
+}
+
+/// Copies a contiguous row range of a matrix into its own matrix.
+fn submatrix(matrix: &Matrix, range: &Range<usize>) -> Matrix {
+    let d = matrix.dim();
+    Matrix::from_flat(
+        matrix.as_slice()[range.start * d..range.end * d].to_vec(),
+        range.len(),
+        d,
+    )
+    .expect("a contiguous row range of a valid matrix is a valid matrix")
+}
+
+impl ShardedMemory {
+    /// Splits (`keys`, `values`) according to `plan` and runs `backend`'s
+    /// preprocessing on every shard.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the key/value shapes are inconsistent or the memory is
+    /// empty.
+    pub fn prepare(
+        backend: &dyn ComputeBackend,
+        plan: ShardPlan,
+        keys: &Matrix,
+        values: &Matrix,
+    ) -> Result<Self, AttentionError> {
+        // A zero-capacity cache is pass-through: every shard is prepared, none stored.
+        Self::prepare_cached(backend, plan, &mut MemoryCache::new(0), keys, values)
+            .map(|(memory, _)| memory)
+    }
+
+    /// [`ShardedMemory::prepare`] through a [`MemoryCache`], keyed **per shard**: each
+    /// shard's rows fingerprint independently, so re-preparing a memory where only one
+    /// shard changed re-sorts/re-quantizes that shard alone.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the key/value shapes are inconsistent or the memory is
+    /// empty.
+    pub fn prepare_cached(
+        backend: &dyn ComputeBackend,
+        plan: ShardPlan,
+        cache: &mut MemoryCache,
+        keys: &Matrix,
+        values: &Matrix,
+    ) -> Result<(Self, ShardPrepareStats), AttentionError> {
+        validate_memory(keys, values)?;
+        let mut shards = Vec::new();
+        let mut stats = ShardPrepareStats::default();
+        for range in plan.ranges(keys.rows()) {
+            let shard_keys = submatrix(keys, &range);
+            let shard_values = submatrix(values, &range);
+            let fingerprint = memory_fingerprint(&shard_keys, &shard_values);
+            let (memory, hit) = cache.get_or_prepare_with_fingerprint(
+                backend,
+                &shard_keys,
+                &shard_values,
+                fingerprint,
+            )?;
+            if hit {
+                stats.hits += 1;
+            } else {
+                stats.misses += 1;
+                stats.missed_preprocess_ops += memory.preprocess_ops();
+            }
+            shards.push(MemoryShard {
+                start: range.start,
+                fingerprint,
+                memory,
+            });
+        }
+        Ok((
+            Self {
+                n: keys.rows(),
+                d: keys.dim(),
+                shards,
+            },
+            stats,
+        ))
+    }
+
+    /// Total number of logical rows (`n`).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Embedding dimension (`d`).
+    pub fn d(&self) -> usize {
+        self.d
+    }
+
+    /// Number of shards actually materialized (`min(plan shards, n)`).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// True when the memory holds exactly one shard (the unsharded fast path).
+    pub fn is_single(&self) -> bool {
+        self.shards.len() == 1
+    }
+
+    /// The shards, in row order.
+    pub fn shards(&self) -> &[MemoryShard] {
+        &self.shards
+    }
+
+    /// Total preprocessing operations across all shards (what a cold prepare costs).
+    pub fn preprocess_ops(&self) -> u64 {
+        self.shards.iter().map(|s| s.memory.preprocess_ops()).sum()
+    }
+
+    /// The shard owning a logical row, as `(shard index, local row)`.
+    pub fn locate(&self, row: usize) -> Option<(usize, usize)> {
+        if row >= self.n {
+            return None;
+        }
+        let index = self.shards.partition_point(|s| s.end() <= row);
+        Some((index, row - self.shards[index].start))
+    }
+
+    pub(crate) fn validate_query(&self, query: &[f32]) -> Result<(), AttentionError> {
+        if query.len() != self.d {
+            return Err(AttentionError::DimensionMismatch {
+                expected: self.d,
+                actual: query.len(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Numerically stable log-sum-exp merge of per-shard partial softmax results — the
+/// cross-shard merge stage for datapaths that attend every row (exact, quantized).
+///
+/// Shard `s` reports its local result over rows `start_s..end_s`: scores `sᵢ`,
+/// locally normalized weights `wᵢ = exp(sᵢ − maxₛ)/Zₛ` and partial output
+/// `oₛ = Σ wᵢ vᵢ`. With the global maximum `M = maxₛ maxₛ` and
+/// `Z = Σₛ Zₛ·e^{maxₛ−M}`, the globally normalized result is recovered by rescaling
+/// each shard with `cₛ = Zₛ·e^{maxₛ−M}/Z`: `wᵢ′ = wᵢ·cₛ` and `o = Σₛ cₛ·oₛ`. All
+/// reductions run in `f64`, so no shard's scores are ever exponentiated without a
+/// max subtraction.
+pub fn merge_partial_softmax(
+    memory: &ShardedMemory,
+    partials: &[AttentionResult],
+) -> AttentionResult {
+    assert_eq!(
+        memory.shard_count(),
+        partials.len(),
+        "one partial result per shard is required"
+    );
+    // Per-shard statistics the merge unit receives alongside each partial output.
+    let stats: Vec<(f64, f64)> = partials
+        .iter()
+        .map(|p| {
+            let max = p
+                .scores
+                .iter()
+                .fold(f64::NEG_INFINITY, |acc, &s| acc.max(f64::from(s)));
+            let z = p
+                .scores
+                .iter()
+                .map(|&s| (f64::from(s) - max).exp())
+                .sum::<f64>();
+            (max, z)
+        })
+        .collect();
+    let global_max = stats
+        .iter()
+        .fold(f64::NEG_INFINITY, |acc, &(max, _)| acc.max(max));
+    let denom: f64 = stats
+        .iter()
+        .map(|&(max, z)| z * (max - global_max).exp())
+        .sum();
+
+    let mut scores = Vec::with_capacity(memory.n());
+    let mut weights = Vec::with_capacity(memory.n());
+    let mut output = vec![0.0f64; memory.d()];
+    for (partial, &(max, z)) in partials.iter().zip(&stats) {
+        let scale = z * (max - global_max).exp() / denom;
+        scores.extend_from_slice(&partial.scores);
+        weights.extend(
+            partial
+                .weights
+                .iter()
+                .map(|&w| (f64::from(w) * scale) as f32),
+        );
+        for (o, &p) in output.iter_mut().zip(&partial.output) {
+            *o += scale * f64::from(p);
+        }
+    }
+    AttentionResult {
+        scores,
+        weights,
+        output: output.into_iter().map(|o| o as f32).collect(),
+    }
+}
+
+/// Sharded execution of the approximate datapath: per-shard greedy candidate
+/// selection over each shard's own sorted key columns, a **union** of the per-shard
+/// candidate sets at the merge, then global post-scoring selection, softmax and the
+/// weighted sum — stages 2–4 of the unsharded pipeline over the merged candidates.
+/// (The per-partition top-k + merge decomposition of kNN attention.)
+///
+/// `M` resolves against each shard's row count, so a `FractionOfN` budget splits the
+/// candidate-selection work across shards. A shard whose greedy selection comes back
+/// empty contributes its best greedy row, mirroring the unsharded fallback per unit.
+///
+/// Stages 2–4 must stay in lock-step with
+/// [`ApproximateAttention::attend_prepared`](crate::approx::ApproximateAttention::attend_prepared)
+/// (same threshold dispatch, same fallback, same scatter), only with rows addressed
+/// through [`ShardedMemory::locate`]; the K = 1 delegation in
+/// [`super::ApproximateBackend`]'s `attend_sharded` plus the sharded property tests
+/// pin that contract.
+pub(crate) fn attend_sharded_union(
+    backend: &super::ApproximateBackend,
+    memory: &ShardedMemory,
+    query: &[f32],
+) -> Result<AttentionResult, AttentionError> {
+    let config = backend.config();
+
+    // Stage 1, per shard (in parallel on hardware): candidate selection.
+    let mut candidates: Vec<usize> = Vec::new();
+    for shard in memory.shards() {
+        let sorted = shard
+            .memory()
+            .sorted()
+            .ok_or(AttentionError::BackendMismatch {
+                expected: "sorted",
+                actual: shard.memory().state().label(),
+            })?;
+        match config.resolve_m(shard.rows()) {
+            Some(m) => {
+                let selection = select_candidates(sorted, query, m);
+                if selection.candidates.is_empty() {
+                    candidates.push(shard.start() + selection.best_row);
+                } else {
+                    candidates.extend(selection.candidates.iter().map(|&r| shard.start() + r));
+                }
+            }
+            None => candidates.extend(shard.start()..shard.end()),
+        }
+    }
+    // Shards are visited in row order and report ascending local rows, so the union
+    // is already sorted ascending and duplicate-free (shards are disjoint).
+
+    // Stage 2: full dot products for the merged candidate set only.
+    let score_of = |global: usize| -> f32 {
+        let (s, local) = memory.locate(global).expect("candidate rows are in range");
+        memory.shards()[s].memory().keys().row_dot(local, query)
+    };
+    let candidate_scores: Vec<f32> = candidates.iter().map(|&r| score_of(r)).collect();
+
+    // Stage 3: post-scoring selection across the union.
+    let selected: Vec<usize> = match config.threshold() {
+        Some(t) => post_scoring_select(&candidates, &candidate_scores, t),
+        None => candidates.clone(),
+    };
+
+    // Stage 4: softmax + weighted sum over the surviving rows. `selected` is an
+    // (ascending) subset of the ascending `candidates`, so each survivor's score is
+    // read back from `candidate_scores` with one forward cursor instead of
+    // recomputing the dot product.
+    let selected_scores: Vec<f32> = {
+        let mut cursor = 0;
+        selected
+            .iter()
+            .map(|&r| {
+                while candidates[cursor] != r {
+                    cursor += 1;
+                }
+                candidate_scores[cursor]
+            })
+            .collect()
+    };
+    let selected_weights = stable_softmax(&selected_scores);
+    let mut scores = vec![0.0f32; memory.n()];
+    let mut weights = vec![0.0f32; memory.n()];
+    let mut output = vec![0.0f32; memory.d()];
+    for (&r, (&s, &w)) in selected
+        .iter()
+        .zip(selected_scores.iter().zip(&selected_weights))
+    {
+        scores[r] = s;
+        weights[r] = w;
+        let (sh, local) = memory.locate(r).expect("selected rows are in range");
+        for (o, v) in output
+            .iter_mut()
+            .zip(memory.shards()[sh].memory().values().row(local))
+        {
+            *o += w * v;
+        }
+    }
+    Ok(AttentionResult {
+        scores,
+        weights,
+        output,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx::preprocess_count;
+    use crate::backend::{ApproximateBackend, ExactBackend, QuantizedBackend};
+
+    fn memory_case(n: usize, d: usize) -> (Matrix, Matrix, Vec<f32>) {
+        let rows: Vec<Vec<f32>> = (0..n)
+            .map(|i| {
+                (0..d)
+                    .map(|j| (((i * 13 + j * 7) % 29) as f32 - 14.0) / 14.0)
+                    .collect()
+            })
+            .collect();
+        let keys = Matrix::from_rows(rows.clone()).unwrap();
+        let values = Matrix::from_rows(
+            rows.iter()
+                .map(|r| r.iter().map(|x| x * 0.5 + 0.1).collect())
+                .collect(),
+        )
+        .unwrap();
+        let query: Vec<f32> = (0..d).map(|j| ((j % 5) as f32 - 2.0) / 2.0).collect();
+        (keys, values, query)
+    }
+
+    fn backends() -> Vec<Box<dyn ComputeBackend>> {
+        vec![
+            Box::new(ExactBackend),
+            Box::new(ApproximateBackend::conservative()),
+            Box::new(QuantizedBackend::paper()),
+        ]
+    }
+
+    #[test]
+    fn plan_rejects_zero_and_balances_ranges() {
+        assert!(ShardPlan::new(0).is_err());
+        assert_eq!(ShardPlan::single().shards(), 1);
+        let ranges = ShardPlan::new(3).unwrap().ranges(10);
+        assert_eq!(ranges, vec![0..4, 4..7, 7..10]);
+        // More shards than rows: one row per shard.
+        let tiny = ShardPlan::new(8).unwrap().ranges(3);
+        assert_eq!(tiny, vec![0..1, 1..2, 2..3]);
+        // Exactly divisible.
+        let even = ShardPlan::new(4).unwrap().ranges(8);
+        assert!(even.iter().all(|r| r.len() == 2));
+    }
+
+    #[test]
+    fn sharded_prepare_covers_every_row_exactly_once() {
+        let (keys, values, _) = memory_case(11, 4);
+        for k in [1, 2, 3, 4, 11, 20] {
+            let sharded =
+                ShardedMemory::prepare(&ExactBackend, ShardPlan::new(k).unwrap(), &keys, &values)
+                    .unwrap();
+            assert_eq!(sharded.n(), 11);
+            assert_eq!(sharded.d(), 4);
+            assert_eq!(sharded.shard_count(), k.min(11));
+            let mut covered = 0;
+            for shard in sharded.shards() {
+                assert_eq!(shard.start(), covered);
+                covered = shard.end();
+                // Shard rows are the original rows.
+                for local in 0..shard.rows() {
+                    assert_eq!(
+                        shard.memory().keys().row(local),
+                        keys.row(shard.start() + local)
+                    );
+                }
+            }
+            assert_eq!(covered, 11);
+            for row in 0..11 {
+                let (s, local) = sharded.locate(row).unwrap();
+                assert_eq!(sharded.shards()[s].start() + local, row);
+            }
+            assert_eq!(sharded.locate(11), None);
+        }
+    }
+
+    #[test]
+    fn single_shard_attend_is_bit_identical_for_every_backend() {
+        let (keys, values, query) = memory_case(17, 6);
+        for backend in backends() {
+            let unsharded = backend.attend(&keys, &values, &query).unwrap();
+            let sharded =
+                ShardedMemory::prepare(backend.as_ref(), ShardPlan::single(), &keys, &values)
+                    .unwrap();
+            assert!(sharded.is_single());
+            let merged = backend.attend_sharded(&sharded, &query).unwrap();
+            assert_eq!(merged, unsharded, "{}", backend.name());
+        }
+    }
+
+    #[test]
+    fn exact_merge_is_within_tolerance_for_uneven_shard_counts() {
+        let (keys, values, query) = memory_case(23, 8);
+        let unsharded = ExactBackend.attend(&keys, &values, &query).unwrap();
+        for k in [2, 3, 5, 7, 23] {
+            let sharded =
+                ShardedMemory::prepare(&ExactBackend, ShardPlan::new(k).unwrap(), &keys, &values)
+                    .unwrap();
+            let merged = ExactBackend.attend_sharded(&sharded, &query).unwrap();
+            // Scores are the same dot products over the same rows: bit-identical.
+            assert_eq!(merged.scores, unsharded.scores, "k={k}");
+            for (a, b) in merged.output.iter().zip(&unsharded.output) {
+                assert!((a - b).abs() < 1e-5, "k={k}: {a} vs {b}");
+            }
+            for (a, b) in merged.weights.iter().zip(&unsharded.weights) {
+                assert!((a - b).abs() < 1e-5, "k={k}: {a} vs {b}");
+            }
+            let sum: f32 = merged.weights.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn quantized_merge_carries_only_weight_quantization_noise() {
+        let (keys, values, query) = memory_case(24, 8);
+        let backend = QuantizedBackend::paper();
+        let unsharded = backend.attend(&keys, &values, &query).unwrap();
+        for k in [2, 3, 4] {
+            let sharded =
+                ShardedMemory::prepare(&backend, ShardPlan::new(k).unwrap(), &keys, &values)
+                    .unwrap();
+            let merged = backend.attend_sharded(&sharded, &query).unwrap();
+            // Per-shard weight quantization (Q0.2f steps) is the only extra noise; for
+            // Q4.4 inputs the output deviation stays well under a few weight steps.
+            for (a, b) in merged.output.iter().zip(&unsharded.output) {
+                assert!((a - b).abs() < 0.05, "k={k}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn approximate_union_keeps_the_dominant_row_across_shards() {
+        // One strongly relevant row per shard-half; the union must retain both.
+        let n = 32;
+        let d = 8;
+        let rows: Vec<Vec<f32>> = (0..n)
+            .map(|i| {
+                (0..d)
+                    .map(|_| if i == 3 || i == 27 { 0.9 } else { -0.1 })
+                    .collect()
+            })
+            .collect();
+        let keys = Matrix::from_rows(rows).unwrap();
+        let values = keys.clone();
+        let query = vec![0.5; d];
+        let backend = ApproximateBackend::conservative();
+        let sharded =
+            ShardedMemory::prepare(&backend, ShardPlan::new(2).unwrap(), &keys, &values).unwrap();
+        let merged = backend.attend_sharded(&sharded, &query).unwrap();
+        assert!(merged.weights[3] > 0.0, "shard-0 dominant row must survive");
+        assert!(
+            merged.weights[27] > 0.0,
+            "shard-1 dominant row must survive"
+        );
+        let sum: f32 = merged.weights.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-4);
+        // On this easy case the union selects the same two rows as the unsharded
+        // approximate pipeline, so the outputs agree.
+        let unsharded = backend.attend(&keys, &values, &query).unwrap();
+        for (a, b) in merged.output.iter().zip(&unsharded.output) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn batch_sharded_is_bit_identical_to_sequential_and_empty_is_legal() {
+        let (keys, values, query) = memory_case(20, 6);
+        let flipped: Vec<f32> = query.iter().map(|x| -x).collect();
+        let queries = [query.as_slice(), flipped.as_slice()];
+        for backend in backends() {
+            let sharded = ShardedMemory::prepare(
+                backend.as_ref(),
+                ShardPlan::new(3).unwrap(),
+                &keys,
+                &values,
+            )
+            .unwrap();
+            let batch = backend.attend_batch_sharded(&sharded, &queries).unwrap();
+            assert_eq!(batch.len(), 2);
+            for (q, out) in queries.iter().zip(&batch) {
+                assert_eq!(out, &backend.attend_sharded(&sharded, q).unwrap());
+            }
+            assert!(backend
+                .attend_batch_sharded(&sharded, &[])
+                .unwrap()
+                .is_empty());
+        }
+    }
+
+    #[test]
+    fn mutating_one_shard_invalidates_only_that_shards_cache_entry() {
+        let backend = ApproximateBackend::conservative();
+        let (keys, values, _) = memory_case(32, 8);
+        let plan = ShardPlan::new(4).unwrap();
+        let mut cache = MemoryCache::new(16);
+
+        let (_, cold) =
+            ShardedMemory::prepare_cached(&backend, plan, &mut cache, &keys, &values).unwrap();
+        assert_eq!((cold.hits, cold.misses), (0, 4));
+        assert!(cold.missed_preprocess_ops > 0);
+
+        // Warm re-prepare: every shard hits, zero key-column sorts run.
+        let sorts_before = preprocess_count();
+        let (_, warm) =
+            ShardedMemory::prepare_cached(&backend, plan, &mut cache, &keys, &values).unwrap();
+        assert_eq!((warm.hits, warm.misses), (4, 0));
+        assert_eq!(warm.missed_preprocess_ops, 0);
+        assert_eq!(
+            preprocess_count(),
+            sorts_before,
+            "a fully warm sharded re-prepare must perform zero sorts"
+        );
+
+        // Mutate one row inside the third shard (rows 16..24 of 32/4): only that
+        // shard's entry is invalidated, the untouched shards still hit.
+        let mut mutated = keys.clone();
+        mutated.row_mut(17)[0] += 1.0;
+        let sorts_before = preprocess_count();
+        let (resharded, partial) =
+            ShardedMemory::prepare_cached(&backend, plan, &mut cache, &mutated, &values).unwrap();
+        assert_eq!((partial.hits, partial.misses), (3, 1));
+        assert_eq!(
+            preprocess_count(),
+            sorts_before + 1,
+            "exactly the mutated shard must re-sort"
+        );
+        // The mutated shard's fingerprint changed; the others are stable.
+        let (original, _) =
+            ShardedMemory::prepare_cached(&backend, plan, &mut cache, &keys, &values).unwrap();
+        for (s, (a, b)) in original.shards().iter().zip(resharded.shards()).enumerate() {
+            if s == 2 {
+                assert_ne!(a.fingerprint(), b.fingerprint());
+            } else {
+                assert_eq!(a.fingerprint(), b.fingerprint());
+            }
+        }
+    }
+
+    #[test]
+    fn shape_errors_propagate_through_sharded_paths() {
+        let (keys, values, _) = memory_case(8, 4);
+        let plan = ShardPlan::new(2).unwrap();
+        let bad_values = Matrix::zeros(3, 4);
+        assert!(ShardedMemory::prepare(&ExactBackend, plan, &keys, &bad_values).is_err());
+        let sharded = ShardedMemory::prepare(&ExactBackend, plan, &keys, &values).unwrap();
+        assert!(matches!(
+            ExactBackend.attend_sharded(&sharded, &[0.0; 3]),
+            Err(AttentionError::DimensionMismatch { .. })
+        ));
+        // A sharded memory prepared by the wrong backend is rejected per shard.
+        assert_eq!(
+            ApproximateBackend::conservative()
+                .attend_sharded(
+                    &ShardedMemory::prepare(&ExactBackend, plan, &keys, &values).unwrap(),
+                    &[0.0; 4],
+                )
+                .unwrap_err(),
+            AttentionError::BackendMismatch {
+                expected: "sorted",
+                actual: "exact",
+            }
+        );
+    }
+
+    #[test]
+    fn single_row_memory_collapses_to_one_shard() {
+        let keys = Matrix::from_rows(vec![vec![0.4, -0.2]]).unwrap();
+        let values = keys.clone();
+        for backend in backends() {
+            let sharded = ShardedMemory::prepare(
+                backend.as_ref(),
+                ShardPlan::new(4).unwrap(),
+                &keys,
+                &values,
+            )
+            .unwrap();
+            assert_eq!(sharded.shard_count(), 1);
+            let merged = backend.attend_sharded(&sharded, &[1.0, 1.0]).unwrap();
+            let unsharded = backend.attend(&keys, &values, &[1.0, 1.0]).unwrap();
+            assert_eq!(merged, unsharded, "{}", backend.name());
+        }
+    }
+
+    #[test]
+    fn sharding_reduces_total_preprocess_ops_for_the_sorted_backend() {
+        // d·(n/k)·log2(n/k) summed over k shards is below d·n·log2(n).
+        let (keys, values, _) = memory_case(64, 8);
+        let backend = ApproximateBackend::conservative();
+        let whole = backend.prepare(&keys, &values).unwrap().preprocess_ops();
+        let sharded =
+            ShardedMemory::prepare(&backend, ShardPlan::new(4).unwrap(), &keys, &values).unwrap();
+        assert!(sharded.preprocess_ops() < whole);
+    }
+}

@@ -19,7 +19,11 @@
 //!   a [`backend::ComputeBackend`] with a query-independent
 //!   [`backend::ComputeBackend::prepare`] phase producing a [`backend::PreparedMemory`],
 //!   and a [`backend::MemoryCache`] keyed by memory fingerprint lets repeated batches
-//!   against one memory skip the preprocessing entirely (paper Section IV-C);
+//!   against one memory skip the preprocessing entirely (paper Section IV-C); a
+//!   [`backend::ShardedMemory`] splits one logical memory row-wise across shards
+//!   (each independently cached) and [`backend::ComputeBackend::attend_sharded`]
+//!   merges per-shard partials — log-sum-exp for the dense datapaths, candidate-set
+//!   union for the approximate one;
 //! * the request-oriented serving front-end, in [`serve`]: an [`serve::AttentionServer`]
 //!   owns registered memories as sessions, accepts single-query deadline-tagged
 //!   [`serve::Request`]s, and a dynamic-batching [`serve::Scheduler`] decides which

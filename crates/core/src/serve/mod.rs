@@ -12,7 +12,10 @@
 //!   key/value memory (through a [`MemoryCache`], so re-registering a known memory is
 //!   free) and issues a [`SessionId`]; the resulting [`SessionHandle`] owns the
 //!   [`PreparedMemory`] for the session's lifetime, like the accelerator's resident
-//!   SRAM copies.
+//!   SRAM copies. [`AttentionServer::register_memory_sharded`] splits a memory too
+//!   large for one unit row-wise across shards ([`ShardedMemory`], each shard cached
+//!   under its own fingerprint); batches against such a session execute per shard and
+//!   merge.
 //! * [`AttentionServer::submit`] accepts single-query [`Request`]s tagged with a
 //!   session, an arrival tick and an optional deadline.
 //! * A [`Scheduler`] forms dynamic batches per session — flushing when a batch fills
@@ -58,7 +61,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use crate::attention::AttentionResult;
-use crate::backend::{ComputeBackend, MemoryCache, PreparedMemory};
+use crate::backend::{ComputeBackend, MemoryCache, PreparedMemory, ShardPlan, ShardedMemory};
 use crate::{AttentionError, Matrix, ServeError};
 
 /// Logical time unit of the serving layer. The server never reads a wall clock: the
@@ -144,12 +147,68 @@ impl Request {
     }
 }
 
+/// The prepared state a session serves from: one whole prepared memory (the
+/// unsharded fast path) or a row-sharded memory whose shards execute in parallel and
+/// merge at batch-execution time.
+#[derive(Debug, Clone)]
+pub enum SessionMemory {
+    /// One whole [`PreparedMemory`]; batches run through
+    /// [`ComputeBackend::attend_batch_prepared`].
+    Whole(Arc<PreparedMemory>),
+    /// A row-sharded memory; batches run through
+    /// [`ComputeBackend::attend_batch_sharded`] (per-shard partials + cross-shard
+    /// merge).
+    Sharded(Arc<ShardedMemory>),
+}
+
+impl SessionMemory {
+    /// Embedding dimension (`d`).
+    pub fn d(&self) -> usize {
+        match self {
+            SessionMemory::Whole(m) => m.d(),
+            SessionMemory::Sharded(s) => s.d(),
+        }
+    }
+
+    /// Number of logical memory rows (`n`).
+    pub fn n(&self) -> usize {
+        match self {
+            SessionMemory::Whole(m) => m.n(),
+            SessionMemory::Sharded(s) => s.n(),
+        }
+    }
+
+    /// Number of shards serving this memory (1 for a whole memory).
+    pub fn shard_count(&self) -> usize {
+        match self {
+            SessionMemory::Whole(_) => 1,
+            SessionMemory::Sharded(s) => s.shard_count(),
+        }
+    }
+
+    /// The whole prepared memory, if this session is unsharded.
+    pub fn whole(&self) -> Option<&PreparedMemory> {
+        match self {
+            SessionMemory::Whole(m) => Some(m),
+            SessionMemory::Sharded(_) => None,
+        }
+    }
+
+    /// The sharded memory, if this session is sharded.
+    pub fn sharded(&self) -> Option<&ShardedMemory> {
+        match self {
+            SessionMemory::Whole(_) => None,
+            SessionMemory::Sharded(s) => Some(s),
+        }
+    }
+}
+
 /// A registered memory: the session id plus the backend's preprocessing of the
-/// key/value matrices, held for the session's lifetime.
+/// key/value matrices (whole or sharded), held for the session's lifetime.
 #[derive(Debug, Clone)]
 pub struct SessionHandle {
     id: SessionId,
-    memory: Arc<PreparedMemory>,
+    memory: SessionMemory,
     fingerprint: u64,
     reused_preparation: bool,
 }
@@ -160,23 +219,24 @@ impl SessionHandle {
         self.id
     }
 
-    /// The prepared memory serving this session.
-    pub fn memory(&self) -> &PreparedMemory {
+    /// The prepared state serving this session.
+    pub fn memory(&self) -> &SessionMemory {
         &self.memory
     }
 
-    /// A shared handle to the prepared memory (for callers that outlive the server).
-    pub fn memory_arc(&self) -> Arc<PreparedMemory> {
-        Arc::clone(&self.memory)
+    /// Number of shards serving this session (1 for a whole memory).
+    pub fn shard_count(&self) -> usize {
+        self.memory.shard_count()
     }
 
-    /// Content fingerprint of the registered (keys, values) memory.
+    /// Content fingerprint of the registered (keys, values) memory (the whole logical
+    /// memory, even when it is served sharded).
     pub fn fingerprint(&self) -> u64 {
         self.fingerprint
     }
 
-    /// True when registration hit the server's [`MemoryCache`] and therefore ran no
-    /// preprocessing.
+    /// True when registration hit the server's [`MemoryCache`] for every prepared
+    /// piece and therefore ran no preprocessing.
     pub fn reused_preparation(&self) -> bool {
         self.reused_preparation
     }
@@ -343,9 +403,52 @@ impl AttentionServer {
             id,
             SessionHandle {
                 id,
-                memory,
+                memory: SessionMemory::Whole(memory),
                 fingerprint,
                 reused_preparation: hit,
+            },
+        );
+        Ok(id)
+    }
+
+    /// [`AttentionServer::register_memory`] with a row-wise [`ShardPlan`]: the memory
+    /// is split into shards, each prepared independently through the server's
+    /// [`MemoryCache`] (per-shard fingerprints, so a session over a memory where only
+    /// one shard changed re-prepares that shard alone). Batches against the session
+    /// execute per shard and merge — bit-identical to direct
+    /// [`ComputeBackend::attend_sharded`] calls.
+    ///
+    /// A single-shard plan is exactly [`AttentionServer::register_memory`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Attention`] if the key/value shapes are inconsistent.
+    pub fn register_memory_sharded(
+        &mut self,
+        keys: &Matrix,
+        values: &Matrix,
+        plan: ShardPlan,
+    ) -> Result<SessionId, ServeError> {
+        if plan.shards() == 1 {
+            return self.register_memory(keys, values);
+        }
+        let fingerprint = crate::backend::memory_fingerprint(keys, values);
+        let (sharded, stats) = ShardedMemory::prepare_cached(
+            self.backend.as_ref(),
+            plan,
+            &mut self.cache,
+            keys,
+            values,
+        )?;
+        let id = SessionId(self.next_session);
+        self.next_session += 1;
+        self.sessions.insert(
+            id,
+            SessionHandle {
+                id,
+                memory: SessionMemory::Sharded(Arc::new(sharded)),
+                fingerprint,
+                reused_preparation: stats.misses == 0,
             },
         );
         Ok(id)
@@ -456,9 +559,16 @@ impl AttentionServer {
                     session: batch.session.raw(),
                 })?;
             let queries: Vec<&[f32]> = batch.requests.iter().map(|r| r.query.as_slice()).collect();
-            let results = self
-                .backend
-                .attend_batch_prepared(&session.memory, &queries)?;
+            let results = match &session.memory {
+                SessionMemory::Whole(memory) => {
+                    self.backend.attend_batch_prepared(memory, &queries)?
+                }
+                // Sharded session: the flushed batch fans out across the shards and
+                // the per-shard partials merge, per query.
+                SessionMemory::Sharded(sharded) => {
+                    self.backend.attend_batch_sharded(sharded, &queries)?
+                }
+            };
             let responses: Vec<Response> = batch
                 .requests
                 .iter()
@@ -670,6 +780,87 @@ mod tests {
         // No poll ran between submissions, so the queue grew to all four requests.
         assert_eq!(stats.max_queue_depth, 4);
         assert_eq!(ServerStats::default().avg_batch_fill(), 0.0);
+    }
+
+    #[test]
+    fn sharded_sessions_execute_batches_across_shards_bit_identically() {
+        for backend in all_backends() {
+            let name = backend.name();
+            let (keys, values) = memory(0.0, 24, 6);
+            let reference = crate::backend::ShardedMemory::prepare(
+                backend.as_ref(),
+                ShardPlan::new(3).unwrap(),
+                &keys,
+                &values,
+            )
+            .unwrap();
+            let mut server = AttentionServer::new(backend, BatchPolicy::new(4, 50).unwrap());
+            let session = server
+                .register_memory_sharded(&keys, &values, ShardPlan::new(3).unwrap())
+                .unwrap();
+            assert_eq!(server.session(session).unwrap().shard_count(), 3);
+            assert_eq!(server.session(session).unwrap().memory().n(), 24);
+            let queries: Vec<Vec<f32>> = (0..6).map(|i| query(6, 0.1 * i as f32)).collect();
+            for (i, q) in queries.iter().enumerate() {
+                server
+                    .submit(Request::new(session, q.clone(), i as Tick))
+                    .unwrap();
+            }
+            let mut responses: Vec<Response> = Vec::new();
+            for batch in server.flush_all(100).unwrap() {
+                responses.extend(batch.responses);
+            }
+            assert_eq!(responses.len(), queries.len(), "{name}");
+            responses.sort_by_key(|r| r.request);
+            for (q, response) in queries.iter().zip(&responses) {
+                let direct = server.backend().attend_sharded(&reference, q).unwrap();
+                assert_eq!(response.result, direct, "{name}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_shard_plan_is_a_whole_session() {
+        let (keys, values) = memory(0.0, 8, 4);
+        let mut server = AttentionServer::new(Box::new(ExactBackend), BatchPolicy::default());
+        let whole = server.register_memory(&keys, &values).unwrap();
+        let single = server
+            .register_memory_sharded(&keys, &values, ShardPlan::single())
+            .unwrap();
+        assert_eq!(server.session(single).unwrap().shard_count(), 1);
+        assert!(server.session(single).unwrap().memory().whole().is_some());
+        assert!(
+            server.session(single).unwrap().reused_preparation(),
+            "the single-shard plan must reuse the whole-memory cache entry"
+        );
+        assert_eq!(
+            server.session(whole).unwrap().fingerprint(),
+            server.session(single).unwrap().fingerprint()
+        );
+    }
+
+    #[test]
+    fn resharding_a_session_reuses_per_shard_preparations() {
+        let (keys, values) = memory(0.0, 16, 4);
+        let mut server = AttentionServer::new(
+            Box::new(ApproximateBackend::conservative()),
+            BatchPolicy::default(),
+        );
+        let plan = ShardPlan::new(4).unwrap();
+        let first = server
+            .register_memory_sharded(&keys, &values, plan)
+            .unwrap();
+        assert!(!server.session(first).unwrap().reused_preparation());
+        let second = server
+            .register_memory_sharded(&keys, &values, plan)
+            .unwrap();
+        assert!(
+            server.session(second).unwrap().reused_preparation(),
+            "re-registering the same sharded memory must hit every shard's entry"
+        );
+        assert_eq!((server.cache().hits(), server.cache().misses()), (4, 4));
+        let sharded = server.session(second).unwrap().memory().sharded().unwrap();
+        assert_eq!(sharded.shard_count(), 4);
     }
 
     #[test]

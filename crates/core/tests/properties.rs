@@ -6,7 +6,8 @@ use a3_core::approx::{
 };
 use a3_core::attention::{attention_batch, attention_with_scores, stable_softmax};
 use a3_core::backend::{
-    ApproximateBackend, ComputeBackend, ExactBackend, MemoryCache, QuantizedBackend,
+    ApproximateBackend, ComputeBackend, ExactBackend, MemoryCache, QuantizedBackend, ShardPlan,
+    ShardedMemory,
 };
 use a3_core::serve::{AttentionServer, BatchPolicy, Request, Response};
 use a3_core::Matrix;
@@ -99,6 +100,34 @@ fn serving_scenario() -> impl Strategy<Value = (Matrix, Matrix, Vec<GeneratedReq
                 )
             })
     })
+}
+
+/// A single-row memory collapses to one shard under any plan, so the sharded path
+/// must stay bit-identical to the unsharded one for every backend (the degenerate
+/// case of the K = 1 contract).
+#[test]
+fn single_row_memory_shards_bit_identically() {
+    let keys = Matrix::from_rows(vec![vec![0.7, -0.3, 0.1]]).unwrap();
+    let values = Matrix::from_rows(vec![vec![-0.2, 0.5, 0.9]]).unwrap();
+    let query = [1.0, 0.5, -0.5];
+    for backend in all_backends() {
+        for shards in [1, 2, 8] {
+            let sharded = ShardedMemory::prepare(
+                backend.as_ref(),
+                ShardPlan::new(shards).unwrap(),
+                &keys,
+                &values,
+            )
+            .unwrap();
+            assert_eq!(sharded.shard_count(), 1);
+            assert_eq!(
+                backend.attend_sharded(&sharded, &query).unwrap(),
+                backend.attend(&keys, &values, &query).unwrap(),
+                "{} with {shards} requested shards",
+                backend.name()
+            );
+        }
+    }
 }
 
 /// The three backends the serving front-end must serve bit-identically.
@@ -291,6 +320,68 @@ proptest! {
             prop_assert!(!hit, "mutated memory must miss ({})", backend.name());
             prop_assert_eq!((cache.hits(), cache.misses()), (1, 2));
         }
+    }
+
+    /// The single-shard sharded path is bit-identical to the unsharded prepared path
+    /// for every backend: sharding with K = 1 is a pure no-op.
+    #[test]
+    fn single_shard_is_bit_identical_to_unsharded((keys, values, query) in attention_case()) {
+        for backend in all_backends() {
+            let memory = backend.prepare(&keys, &values).unwrap();
+            let sharded =
+                ShardedMemory::prepare(backend.as_ref(), ShardPlan::single(), &keys, &values)
+                    .unwrap();
+            prop_assert_eq!(sharded.shard_count(), 1);
+            let merged = backend.attend_sharded(&sharded, &query).unwrap();
+            let direct = backend.attend_prepared(&memory, &query).unwrap();
+            prop_assert_eq!(&merged, &direct);
+        }
+    }
+
+    /// The K > 1 log-sum-exp merge of per-shard exact partials matches the unsharded
+    /// exact result within float tolerance, on random memories and shard counts that
+    /// do not divide `n` evenly (and shard counts exceeding `n`).
+    #[test]
+    fn exact_merge_matches_unsharded_within_tolerance(
+        (keys, values, query) in attention_case(),
+        shards in 2usize..7,
+    ) {
+        let unsharded = ExactBackend.attend(&keys, &values, &query).unwrap();
+        let sharded =
+            ShardedMemory::prepare(&ExactBackend, ShardPlan::new(shards).unwrap(), &keys, &values)
+                .unwrap();
+        let merged = ExactBackend.attend_sharded(&sharded, &query).unwrap();
+        // Dot products run over the same rows with the same arithmetic: bit-identical.
+        prop_assert_eq!(&merged.scores, &unsharded.scores);
+        for (a, b) in merged.output.iter().zip(&unsharded.output) {
+            prop_assert!((a - b).abs() < 1e-5, "output {} vs {}", a, b);
+        }
+        for (a, b) in merged.weights.iter().zip(&unsharded.weights) {
+            prop_assert!((a - b).abs() < 1e-5, "weight {} vs {}", a, b);
+        }
+        let sum: f32 = merged.weights.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4);
+    }
+
+    /// Sharded execution of the quantized datapath stays within the per-shard
+    /// weight-quantization noise bound of the unsharded fixed-point result, and the
+    /// merged weights still form a distribution.
+    #[test]
+    fn quantized_merge_stays_within_quantization_noise(
+        (keys, values, query) in attention_case(),
+        shards in 2usize..5,
+    ) {
+        let backend = QuantizedBackend::paper();
+        let unsharded = backend.attend(&keys, &values, &query).unwrap();
+        let sharded =
+            ShardedMemory::prepare(&backend, ShardPlan::new(shards).unwrap(), &keys, &values)
+                .unwrap();
+        let merged = backend.attend_sharded(&sharded, &query).unwrap();
+        for (a, b) in merged.output.iter().zip(&unsharded.output) {
+            prop_assert!((a - b).abs() < 0.08, "output {} vs {}", a, b);
+        }
+        let sum: f32 = merged.weights.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 0.05);
     }
 
     /// The `AttentionServer` front-end is bit-identical to direct per-query

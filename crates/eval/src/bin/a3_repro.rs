@@ -7,8 +7,8 @@
 //! ```
 //!
 //! where each `experiment` is one of `fig3`, `fig11`, `fig12`, `fig13`, `quant`,
-//! `fig14`, `fig15`, `table1`, `latency`, `ablation`, `backends`, `serving`, or
-//! `all` (the default). `--fast` uses reduced example counts (useful in debug
+//! `fig14`, `fig15`, `table1`, `latency`, `ablation`, `backends`, `serving`, `sharding`,
+//! or `all` (the default). `--fast` uses reduced example counts (useful in debug
 //! builds).
 
 use std::process::ExitCode;
@@ -18,7 +18,7 @@ use a3_eval::{EvalSettings, Table};
 
 const EXPERIMENTS: &[&str] = &[
     "fig3", "fig11", "fig12", "fig13", "quant", "fig14", "fig15", "table1", "latency", "ablation",
-    "backends", "serving",
+    "backends", "serving", "sharding",
 ];
 
 fn print_tables(tables: Vec<Table>) {
@@ -41,6 +41,7 @@ fn run(name: &str, settings: &EvalSettings) -> bool {
         "ablation" => print_tables(experiments::ablation(settings)),
         "backends" => print_tables(experiments::backend_comparison(settings)),
         "serving" => print_tables(experiments::serving(settings)),
+        "sharding" => print_tables(experiments::sharding(settings)),
         other => {
             eprintln!("unknown experiment `{other}`; available: {EXPERIMENTS:?} or `all`");
             return false;

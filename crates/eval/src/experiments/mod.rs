@@ -7,6 +7,7 @@ pub mod fig3;
 pub mod latency;
 pub mod performance;
 pub mod serving;
+pub mod sharding;
 pub mod table1;
 
 pub use ablation::ablation;
@@ -14,6 +15,7 @@ pub use backends::backend_comparison;
 pub use fig3::fig3;
 pub use latency::latency_model;
 pub use serving::serving;
+pub use sharding::sharding;
 pub use table1::table1;
 
 use a3_workloads::bert::BertLite;

@@ -136,6 +136,22 @@ impl Default for TableI {
     }
 }
 
+/// Modeled characteristics of the cross-shard merge unit: per-shard normalizer
+/// rescale (one exponent evaluation and multiply per shard) plus a 16-lane output
+/// accumulator. **Not** part of the paper's Table I — the paper only scales out over
+/// independent operations — so it is sized by analogy with the post-scoring module
+/// (comparable datapath width) plus a small accumulator array. Its power is only
+/// charged when a run actually merges (`merge_ops > 0`); unsharded runs model the
+/// unit as power-gated.
+pub fn merge_unit() -> ModuleCharacteristics {
+    ModuleCharacteristics {
+        name: "Cross-Shard Merge",
+        area_mm2: 0.018,
+        dynamic_mw: 3.2,
+        static_mw: 0.21,
+    }
+}
+
 /// Energy breakdown of a simulated run, using the same categories as Figure 15b.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct EnergyBreakdown {
@@ -149,6 +165,9 @@ pub struct EnergyBreakdown {
     pub output_j: f64,
     /// SRAM (key + value + sorted-key) energy, joules.
     pub memory_j: f64,
+    /// Cross-shard merge-unit energy, joules (0 for unsharded runs, where the unit is
+    /// modeled as power-gated).
+    pub merge_j: f64,
 }
 
 impl EnergyBreakdown {
@@ -159,9 +178,11 @@ impl EnergyBreakdown {
             + self.exponent_j
             + self.output_j
             + self.memory_j
+            + self.merge_j
     }
 
-    /// The five components as `(label, fraction-of-total)` pairs, Figure 15b style.
+    /// The components as `(label, fraction-of-total)` pairs, Figure 15b style (the
+    /// cross-shard merge appended after the paper's five categories).
     pub fn fractions(&self) -> Vec<(&'static str, f64)> {
         let total = self.total_j().max(f64::MIN_POSITIVE);
         vec![
@@ -170,6 +191,7 @@ impl EnergyBreakdown {
             ("Exponent Comp. (w/ Post-Scoring)", self.exponent_j / total),
             ("Output Computation", self.output_j / total),
             ("Memory", self.memory_j / total),
+            ("Cross-Shard Merge", self.merge_j / total),
         ]
     }
 }
@@ -220,12 +242,20 @@ impl EnergyModel {
             + static_j(&self.table.value_sram)
             + dyn_j(&self.table.sorted_key_sram, busy(a.sorted_key_reads))
             + static_j(&self.table.sorted_key_sram);
+        // The merge unit only exists (draws power) in sharded deployments.
+        let merge = if a.merge_ops == 0 {
+            0.0
+        } else {
+            let unit = merge_unit();
+            dyn_j(&unit, busy(a.merge_ops)) + static_j(&unit)
+        };
         EnergyBreakdown {
             candidate_selection_j: candidate,
             dot_product_j: dot,
             exponent_j: exponent,
             output_j: output,
             memory_j: memory,
+            merge_j: merge,
         }
     }
 

@@ -13,8 +13,10 @@
 //!   SRAMs for the paper's `n = 320`, `d = 64` instance);
 //! * [`energy`] — the per-module area and power characteristics of Table I and an
 //!   activity-based energy model that reproduces Figure 15;
-//! * [`multi_unit`] — throughput scaling across multiple A3 units (Section III-C and
-//!   the BERT discussion of Section VI-C);
+//! * [`multi_unit`] — scaling across multiple A3 units (Section III-C and the BERT
+//!   discussion of Section VI-C): actual sharded execution of one row-split memory
+//!   with an explicit cross-shard merge stage, plus the paper's analytic
+//!   independent-operation formula kept as a cross-check;
 //! * [`server`] — a discrete-event queue model of the request-oriented serving
 //!   front-end: replays a request trace through the dynamic-batching scheduler of
 //!   [`a3_core::serve`] and charges batching wait, queueing delay,
@@ -32,14 +34,14 @@ pub mod sram;
 
 pub use config::A3Config;
 pub use energy::{EnergyBreakdown, EnergyModel, ModuleCharacteristics, TableI};
-pub use multi_unit::MultiUnit;
+pub use multi_unit::{merge_query_cycles, MultiUnit, ShardedSimReport, MERGE_ALPHA, MERGE_LANES};
 pub use pipeline::{ApproxQueryTrace, PipelineModel, QueryCost, SimReport};
 pub use server::{poisson_arrival_cycles, RequestOutcome, ServerSim, TraceRequest};
 pub use sram::SramConfig;
 
 // Re-exported so simulator callers can drive the cached serving entry points without
 // depending on `a3_core::backend` directly.
-pub use a3_core::backend::{ComputeBackend, MemoryCache};
+pub use a3_core::backend::{ComputeBackend, MemoryCache, ShardPlan, ShardedMemory};
 // Re-exported so request-trace callers can build policies without depending on
 // `a3_core::serve` directly.
 pub use a3_core::serve::BatchPolicy;

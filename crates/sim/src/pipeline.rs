@@ -60,6 +60,9 @@ pub struct ModuleActivity {
     pub value_sram_reads: u64,
     /// Sorted-key SRAM element reads (two per candidate-selection iteration).
     pub sorted_key_reads: u64,
+    /// Cross-shard merge-unit element operations (per-shard normalizer rescales plus
+    /// output-lane accumulates). Zero for unsharded runs.
+    pub merge_ops: u64,
 }
 
 impl ModuleActivity {
@@ -74,6 +77,7 @@ impl ModuleActivity {
             key_sram_reads: self.key_sram_reads + other.key_sram_reads,
             value_sram_reads: self.value_sram_reads + other.value_sram_reads,
             sorted_key_reads: self.sorted_key_reads + other.sorted_key_reads,
+            merge_ops: self.merge_ops + other.merge_ops,
         }
     }
 }
@@ -151,6 +155,12 @@ pub struct SimReport {
     pub deadline_misses: u64,
     /// [`SimReport::deadline_misses`] over [`SimReport::queries`].
     pub deadline_miss_rate: f64,
+    /// Parallel shard units that executed this run (1 for single-unit runs; set by
+    /// [`crate::multi_unit::MultiUnit::run_sharded_batch`]).
+    pub shards: u64,
+    /// Cross-shard merge-stage cycles charged into [`SimReport::total_cycles`]
+    /// (0 when unsharded).
+    pub merge_cycles: u64,
     /// Summed module activity (for the energy model).
     pub activity: ModuleActivity,
 }
@@ -229,6 +239,7 @@ impl PipelineModel {
                 key_sram_reads: n64,
                 value_sram_reads: n64,
                 sorted_key_reads: 0,
+                merge_ops: 0,
             },
         }
     }
@@ -251,6 +262,7 @@ impl PipelineModel {
                 // Two sorted-key reads per iteration (max and min pointer) plus the
                 // 2d-element buffer initialization.
                 sorted_key_reads: 2 * trace.m as u64 + 2 * self.config.d as u64,
+                merge_ops: 0,
             },
         }
     }
@@ -475,6 +487,8 @@ impl PipelineModel {
             avg_queue_depth: 0.0,
             deadline_misses: 0,
             deadline_miss_rate: 0.0,
+            shards: 1,
+            merge_cycles: 0,
             activity,
         }
     }

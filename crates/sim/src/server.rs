@@ -343,6 +343,8 @@ impl ServerSim {
             },
             deadline_misses,
             deadline_miss_rate: deadline_misses as f64 / queries as f64,
+            shards: 1,
+            merge_cycles: 0,
             activity,
         }
     }
@@ -368,6 +370,8 @@ impl ServerSim {
             avg_queue_depth: 0.0,
             deadline_misses: 0,
             deadline_miss_rate: 0.0,
+            shards: 1,
+            merge_cycles: 0,
             activity: ModuleActivity::default(),
         }
     }

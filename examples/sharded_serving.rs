@@ -1,0 +1,178 @@
+//! Sharded serving demo: one logical memory fanned out across simulated A3 units.
+//!
+//! A 320-row key/value memory — the paper's maximum single-unit instance size — is
+//! registered with the `AttentionServer` under increasing shard counts. Each shard is
+//! prepared independently (and cached under its own fingerprint), every query runs on
+//! every shard in parallel, and the per-shard partial results meet at a cross-shard
+//! merge: a candidate-set union for the approximate datapath, a log-sum-exp softmax
+//! rescale for the dense ones.
+//!
+//! The demo shows both halves of the story:
+//!
+//! * **numerics** — server responses are bit-identical to direct `attend_sharded`
+//!   calls, a single shard is bit-identical to the unsharded path, and the merged
+//!   output stays within float tolerance of the unsharded backend for every K;
+//! * **cycles** — the `MultiUnit` sharded execution model reports slowest-shard
+//!   drain, merge-stage cycles and total cycles per shard count, and prints the
+//!   break-even shard count at which sharding beats a single unit end-to-end.
+//!
+//! Run with: `cargo run --release --example sharded_serving`
+
+use a3::core::backend::{
+    ApproximateBackend, ComputeBackend, MemoryCache, ShardPlan, ShardedMemory,
+};
+use a3::core::serve::{AttentionServer, BatchPolicy, Request};
+use a3::core::Matrix;
+use a3::sim::{A3Config, MultiUnit};
+
+const N: usize = 320;
+const D: usize = 64;
+const QUERIES: usize = 24;
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn build_memory() -> (Matrix, Matrix) {
+    let rows: Vec<Vec<f32>> = (0..N)
+        .map(|i| {
+            (0..D)
+                .map(|j| {
+                    let h = (i as u64)
+                        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        .wrapping_add(j as u64)
+                        .wrapping_mul(0xD6E8_FEB8_6659_FD93);
+                    let noise = ((h >> 40) as f32 / (1u64 << 24) as f32) - 0.5;
+                    if i % 29 == 11 {
+                        0.8 + 0.1 * noise
+                    } else {
+                        -0.15 + 0.2 * noise
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    let keys = Matrix::from_rows(rows).expect("non-empty memory");
+    let values = keys.clone();
+    (keys, values)
+}
+
+fn build_queries() -> Vec<Vec<f32>> {
+    (0..QUERIES)
+        .map(|q| {
+            (0..D)
+                .map(|j| 0.3 + 0.02 * ((q * 5 + j) % 11) as f32)
+                .collect()
+        })
+        .collect()
+}
+
+fn main() {
+    let (keys, values) = build_memory();
+    let queries = build_queries();
+    let backend = ApproximateBackend::conservative();
+    let config = A3Config::paper_conservative();
+    println!(
+        "one logical memory: n = {N} rows, d = {D}; {QUERIES} queries; backend {}",
+        backend.name()
+    );
+
+    // Unsharded reference outputs (the K = 1 numerics baseline).
+    let reference: Vec<_> = {
+        let prepared = backend.prepare(&keys, &values).expect("valid shapes");
+        queries
+            .iter()
+            .map(|q| backend.attend_prepared(&prepared, q).expect("valid shapes"))
+            .collect()
+    };
+
+    println!(
+        "\n{:>7} {:>20} {:>14} {:>12} {:>12} {:>10} {:>10}",
+        "shards",
+        "slowest shard (cyc)",
+        "merge (cyc)",
+        "total (cyc)",
+        "speedup",
+        "merge %",
+        "max |d|"
+    );
+    let mut single_total = 0u64;
+    let mut break_even: Option<usize> = None;
+    for &k in &SHARD_COUNTS {
+        let plan = ShardPlan::new(k).expect("k >= 1");
+
+        // Serve the batch through the request front-end against a sharded session.
+        let mut server = AttentionServer::new(
+            Box::new(backend.clone()),
+            BatchPolicy::new(QUERIES, 1_000).expect("max_batch >= 1"),
+        );
+        let session = server
+            .register_memory_sharded(&keys, &values, plan)
+            .expect("valid shapes");
+        for (i, q) in queries.iter().enumerate() {
+            server
+                .submit(Request::new(session, q.clone(), i as u64))
+                .expect("registered session");
+        }
+        let mut responses = Vec::new();
+        for batch in server.flush_all(1_000).expect("valid batches") {
+            responses.extend(batch.responses);
+        }
+        responses.sort_by_key(|r| r.request);
+        assert_eq!(responses.len(), QUERIES);
+
+        // Bit-identity: the server's sharded execution equals direct sharded calls.
+        let sharded_memory =
+            ShardedMemory::prepare(&backend, plan, &keys, &values).expect("valid shapes");
+        let mut max_diff = 0.0f32;
+        for (i, (q, response)) in queries.iter().zip(&responses).enumerate() {
+            let direct = backend
+                .attend_sharded(&sharded_memory, q)
+                .expect("valid shapes");
+            assert_eq!(
+                response.result, direct,
+                "query {i}: server must be bit-identical to attend_sharded"
+            );
+            for (a, b) in direct.output.iter().zip(&reference[i].output) {
+                max_diff = max_diff.max((a - b).abs());
+            }
+        }
+        if k == 1 {
+            assert_eq!(
+                max_diff, 0.0,
+                "one shard must be bit-identical to unsharded"
+            );
+        }
+
+        // Cycle model: warm per-shard cache, explicit cross-shard merge stage.
+        let group = MultiUnit::new(k, config);
+        let mut cache = MemoryCache::new(2 * k);
+        group.run_sharded_batch(&backend, &mut cache, &keys, &values, &queries);
+        let warm = group.run_sharded_batch(&backend, &mut cache, &keys, &values, &queries);
+        assert_eq!(warm.report.preprocessing_cycles, 0);
+        if k == 1 {
+            single_total = warm.report.total_cycles;
+        } else if warm.report.total_cycles < single_total && break_even.is_none() {
+            break_even = Some(k);
+        }
+        println!(
+            "{:>7} {:>20} {:>14} {:>12} {:>11.2}x {:>9.1}% {:>10.2e}",
+            k,
+            warm.slowest_shard_cycles,
+            warm.report.merge_cycles,
+            warm.report.total_cycles,
+            single_total as f64 / warm.report.total_cycles as f64,
+            100.0 * warm.merge_overhead(),
+            max_diff
+        );
+    }
+
+    match break_even {
+        Some(k) => println!(
+            "\nbreak-even: {k} shards beat single-unit end-to-end cycles on the {N}-row memory \
+             (accuracy within float tolerance of the unsharded backend)"
+        ),
+        None => println!("\nno swept shard count beat the single unit"),
+    }
+    assert!(
+        break_even.is_some(),
+        "sharding must pay off on the paper-size memory"
+    );
+}

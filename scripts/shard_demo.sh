@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Runs the sharded-serving demo end-to-end: builds the workspace and fans one
+# 320-row logical memory out across 1/2/4/8 simulated A3 units
+# (examples/sharded_serving.rs), checking server bit-identity against direct
+# sharded attention and printing the break-even shard count at which sharded
+# execution beats a single unit end-to-end.
+#
+# Usage: scripts/shard_demo.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cargo run --release --example sharded_serving "$@"

@@ -2,7 +2,8 @@
 //! produce non-empty, well-formed tables with reduced settings.
 
 use a3::eval::experiments::{
-    ablation, accuracy, backend_comparison, fig3, latency_model, performance, serving, table1,
+    ablation, accuracy, backend_comparison, fig3, latency_model, performance, serving, sharding,
+    table1,
 };
 use a3::eval::EvalSettings;
 
@@ -31,7 +32,8 @@ fn every_experiment_driver_produces_tables() {
     all_tables.extend(ablation(&settings));
     all_tables.extend(backend_comparison(&settings));
     all_tables.extend(serving(&settings));
-    assert!(all_tables.len() >= 18);
+    all_tables.extend(sharding(&settings));
+    assert!(all_tables.len() >= 21);
     for table in &all_tables {
         assert!(!table.is_empty(), "{} is empty", table.title);
         let rendered = table.render();
@@ -40,6 +42,22 @@ fn every_experiment_driver_produces_tables() {
             assert_eq!(row.len(), table.headers.len(), "{}", table.title);
         }
     }
+}
+
+#[test]
+fn sharding_experiment_finds_a_break_even_shard_count_on_the_large_memory() {
+    let tables = sharding(&tiny());
+    let break_even = tables.last().unwrap();
+    // For every backend on the n = 320 memory, some shard count must beat
+    // single-unit end-to-end cycles (the acceptance criterion for memory sharding).
+    let mut large_rows = 0;
+    for row in 0..break_even.len() {
+        if break_even.cell(row, 0) == Some("320") {
+            large_rows += 1;
+            assert_ne!(break_even.cell(row, 2), Some("none"), "row {row}");
+        }
+    }
+    assert_eq!(large_rows, 3, "three backends on the large memory");
 }
 
 #[test]
