@@ -1,0 +1,136 @@
+//! SIMD-vs-scalar exact serving: the software-baseline speedup the `SimdBackend`
+//! delivers on the paper-size memory.
+//!
+//! A3's speedup claims are only meaningful against a fast CPU baseline, so the
+//! serving layer's exact datapath comes in two implementations: the scalar
+//! `ExactBackend` and the runtime-dispatched `SimdBackend` (AVX2 + FMA lanes for the
+//! QK dot products, the softmax reduction and the weighted value accumulation). This
+//! bench measures both on the 320-row / d = 64 memory (the paper's maximum instance
+//! size) and **asserts** that the SIMD path beats the scalar path by at least 2x on
+//! AVX2 hosts — the acceptance bar for the vectorised backend. On hosts without AVX2
+//! (or under `A3_FORCE_SCALAR=1`) the assertion is skipped: the dispatch level is
+//! scalar and both paths are the same code.
+
+use a3_bench::skewed_memory;
+use a3_core::backend::{ComputeBackend, ExactBackend, PreparedMemory, SimdBackend, SimdLevel};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// The paper-size memory: BERT/SQuAD sequence length x embedding dimension.
+const N: usize = 320;
+const D: usize = 64;
+/// Queries per served batch.
+const BATCH: usize = 32;
+
+fn batch(query: &[f32]) -> Vec<Vec<f32>> {
+    (0..BATCH)
+        .map(|i| {
+            let scale = 1.0 + 0.001 * i as f32;
+            query.iter().map(|x| x * scale).collect()
+        })
+        .collect()
+}
+
+fn bench_simd_speedup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simd_speedup");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    group.sample_size(10);
+
+    let (keys, values, query) = skewed_memory(N, D, 11);
+    let queries = batch(&query);
+    let rows: Vec<&[f32]> = queries.iter().map(Vec::as_slice).collect();
+
+    let lineup: Vec<(&str, Box<dyn ComputeBackend>)> = vec![
+        ("exact_scalar", Box::new(ExactBackend)),
+        ("simd_detected", Box::new(SimdBackend::new())),
+        ("simd_forced_scalar", Box::new(SimdBackend::scalar())),
+    ];
+    for (label, backend) in &lineup {
+        let memory = backend.prepare(&keys, &values).expect("valid shapes");
+        group.bench_with_input(BenchmarkId::new(*label, BATCH), &BATCH, |b, _| {
+            b.iter(|| {
+                backend
+                    .attend_batch_prepared(&memory, black_box(&rows))
+                    .expect("valid shapes")
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Median wall-clock time of one served batch, from `samples` calibrated runs.
+fn median_batch_time(
+    backend: &dyn ComputeBackend,
+    memory: &PreparedMemory,
+    rows: &[&[f32]],
+) -> Duration {
+    // Calibrate the per-sample iteration count so one sample is long enough to
+    // trust, then take the median of several samples (robust to scheduler noise).
+    let mut iters: u32 = 1;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(
+                backend
+                    .attend_batch_prepared(memory, black_box(rows))
+                    .expect("valid shapes"),
+            );
+        }
+        if start.elapsed() >= Duration::from_millis(10) || iters >= 1 << 20 {
+            break;
+        }
+        iters *= 2;
+    }
+    let mut samples: Vec<Duration> = (0..5)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(
+                    backend
+                        .attend_batch_prepared(memory, black_box(rows))
+                        .expect("valid shapes"),
+                );
+            }
+            start.elapsed() / iters
+        })
+        .collect();
+    samples.sort();
+    samples[samples.len() / 2]
+}
+
+/// Asserts the acceptance bar: `SimdBackend` >= 2x `ExactBackend` throughput on the
+/// 320-row / d = 64 memory, on hosts whose runtime dispatch selected AVX2.
+fn assert_simd_speedup(_c: &mut Criterion) {
+    let simd = SimdBackend::new();
+    if simd.level() != SimdLevel::Avx2 {
+        eprintln!(
+            "  simd_speedup/assertion: skipped (dispatch level `{}`; the 2x bar \
+             applies to AVX2 hosts only)",
+            simd.level()
+        );
+        return;
+    }
+    let (keys, values, query) = skewed_memory(N, D, 11);
+    let queries = batch(&query);
+    let rows: Vec<&[f32]> = queries.iter().map(Vec::as_slice).collect();
+
+    let exact_memory = ExactBackend.prepare(&keys, &values).expect("valid shapes");
+    let simd_memory = simd.prepare(&keys, &values).expect("valid shapes");
+    let exact_time = median_batch_time(&ExactBackend, &exact_memory, &rows);
+    let simd_time = median_batch_time(&simd, &simd_memory, &rows);
+    let speedup = exact_time.as_secs_f64() / simd_time.as_secs_f64();
+    eprintln!(
+        "  simd_speedup/assertion: exact {exact_time:?} vs simd {simd_time:?} per \
+         {BATCH}-query batch on {N}x{D} -> {speedup:.2}x"
+    );
+    assert!(
+        speedup >= 2.0,
+        "SimdBackend must beat scalar ExactBackend by >= 2x on the {N}x{D} memory \
+         (measured {speedup:.2}x)"
+    );
+}
+
+criterion_group!(benches, bench_simd_speedup, assert_simd_speedup);
+criterion_main!(benches);

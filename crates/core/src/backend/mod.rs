@@ -8,10 +8,11 @@
 //! phase**. A [`ComputeBackend`] makes that split explicit:
 //!
 //! 1. [`ComputeBackend::prepare`] turns a key/value memory into a [`PreparedMemory`]
-//!    carrying whatever the backend precomputes: nothing for [`ExactBackend`], the
-//!    per-column sorted key matrix for [`ApproximateBackend`], and the quantized
-//!    key/value matrices plus the pipeline formats and exponent lookup tables for
-//!    [`QuantizedBackend`].
+//!    carrying whatever the backend precomputes: nothing for [`ExactBackend`] (and
+//!    its vectorised twin [`SimdBackend`], which runs the same exact arithmetic
+//!    through runtime-dispatched AVX2 kernels), the per-column sorted key matrix for
+//!    [`ApproximateBackend`], and the quantized key/value matrices plus the pipeline
+//!    formats and exponent lookup tables for [`QuantizedBackend`].
 //! 2. [`ComputeBackend::attend_prepared`] / [`ComputeBackend::attend_batch_prepared`]
 //!    serve queries against the prepared memory. The results are **bit-identical** to
 //!    the one-shot [`ComputeBackend::attend`]; preparation is a pure wall-clock
@@ -47,9 +48,11 @@
 
 mod cache;
 mod shard;
+pub mod simd;
 
 pub use cache::MemoryCache;
 pub use shard::{merge_partial_softmax, MemoryShard, ShardPlan, ShardPrepareStats, ShardedMemory};
+pub use simd::{SimdBackend, SimdLevel};
 
 use rayon::prelude::*;
 
@@ -638,7 +641,9 @@ impl ComputeBackend for QuantizedBackend {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::kernel::{ApproximateKernel, AttentionKernel, ExactKernel, QuantizedKernel};
+    use crate::kernel::{
+        ApproximateKernel, AttentionKernel, ExactKernel, QuantizedKernel, SimdKernel,
+    };
 
     fn case(n: usize, d: usize) -> (Matrix, Matrix, Vec<f32>) {
         let rows: Vec<Vec<f32>> = (0..n)
@@ -657,6 +662,8 @@ mod tests {
     fn backends() -> Vec<Box<dyn ComputeBackend>> {
         vec![
             Box::new(ExactBackend),
+            Box::new(SimdBackend::new()),
+            Box::new(SimdBackend::scalar()),
             Box::new(ApproximateBackend::conservative()),
             Box::new(ApproximateBackend::aggressive()),
             Box::new(QuantizedBackend::paper()),
@@ -698,6 +705,7 @@ mod tests {
         let (keys, values, query) = case(16, 8);
         let pairs: Vec<(Box<dyn ComputeBackend>, Box<dyn AttentionKernel>)> = vec![
             (Box::new(ExactBackend), Box::new(ExactKernel)),
+            (Box::new(SimdBackend::new()), Box::new(SimdKernel::new())),
             (
                 Box::new(ApproximateBackend::conservative()),
                 Box::new(ApproximateKernel::conservative()),

@@ -1,0 +1,762 @@
+//! Vectorised exact attention: the [`SimdBackend`] datapath.
+//!
+//! A3's motivating observation (paper Section II) is that the exact attention
+//! datapath — dot products, softmax, weighted sum — dominates end-to-end latency, so
+//! the *software* serving path deserves the same treatment the hardware gets: the
+//! accelerator's speedup claims should be measured against a fast CPU baseline, not a
+//! naive scalar one. [`SimdBackend`] computes **exactly the same operation** as
+//! [`ExactBackend`](super::ExactBackend) (every row attended, no approximation), with
+//! the three hot loops vectorised using explicit-width x86_64 AVX2 lanes:
+//!
+//! 1. **QK dot products** — eight `f32` lanes per FMA, two accumulators per row;
+//! 2. **softmax reduction** — vectorised max, a polynomial `exp` evaluated eight
+//!    lanes at a time, vectorised sum and normalisation;
+//! 3. **weighted value accumulation** — broadcast weight, FMA into the output lanes.
+//!
+//! The instruction set is chosen **once at backend construction** by
+//! [`SimdLevel::detect`]: runtime CPU feature detection picks AVX2 when the host
+//! supports it (together with FMA), and a safe scalar fallback — bit-identical to
+//! [`ExactBackend`](super::ExactBackend) — everywhere else. Setting the
+//! `A3_FORCE_SCALAR` environment variable (to anything but `0`) forces the scalar
+//! path, which is how CI exercises the fallback on AVX2 hosts.
+//!
+//! # Numerics contract
+//!
+//! The scalar level is bit-identical to the exact backend. The AVX2 level performs
+//! the same `f32` arithmetic with different reduction orders (lane-parallel dot
+//! products and sums) and a polynomial `exp` accurate to a few ULP, so results agree
+//! with [`ExactBackend`](super::ExactBackend) to within `1e-5` on workload value
+//! ranges (property-tested, including dimensions that are not a multiple of the lane
+//! width and the sharded log-sum-exp merge).
+//!
+//! ```
+//! use a3_core::backend::{ComputeBackend, ExactBackend, SimdBackend};
+//! use a3_core::Matrix;
+//!
+//! let keys = Matrix::from_rows(vec![vec![0.9, 0.1, -0.3], vec![-0.2, 0.4, 0.6]]).unwrap();
+//! let simd = SimdBackend::new(); // dispatch chosen here, once
+//! let fast = simd.attend(&keys, &keys, &[1.0, 0.2, -0.4]).unwrap();
+//! let exact = ExactBackend.attend(&keys, &keys, &[1.0, 0.2, -0.4]).unwrap();
+//! for (a, b) in fast.output.iter().zip(&exact.output) {
+//!     assert!((a - b).abs() < 1e-5);
+//! }
+//! ```
+
+use std::fmt;
+
+use rayon::prelude::*;
+
+use crate::attention::{attention_with_scores, AttentionResult};
+use crate::{AttentionError, Matrix};
+
+use super::{ComputeBackend, PreparedMemory, PreparedState};
+
+/// Environment variable forcing the scalar fallback regardless of CPU features.
+/// Any value other than `0` or the empty string counts as set.
+pub const FORCE_SCALAR_ENV: &str = "A3_FORCE_SCALAR";
+
+/// The instruction-set level a [`SimdBackend`] dispatches to, chosen once at
+/// construction ([`SimdLevel::detect`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SimdLevel {
+    /// Safe scalar arithmetic, bit-identical to
+    /// [`ExactBackend`](super::ExactBackend). Always available.
+    Scalar,
+    /// x86_64 AVX2 + FMA: eight `f32` lanes per instruction.
+    Avx2,
+}
+
+impl SimdLevel {
+    /// Picks the widest level the runtime supports: the [`FORCE_SCALAR_ENV`]
+    /// override is consulted first (and always wins), then x86_64 CPU feature
+    /// detection selects AVX2 when both `avx2` and `fma` are present. Never
+    /// selects AVX2 on non-x86_64 targets.
+    pub fn detect() -> Self {
+        if force_scalar_requested() {
+            return SimdLevel::Scalar;
+        }
+        Self::detect_cpu()
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    fn detect_cpu() -> Self {
+        if is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma") {
+            SimdLevel::Avx2
+        } else {
+            SimdLevel::Scalar
+        }
+    }
+
+    #[cfg(not(target_arch = "x86_64"))]
+    fn detect_cpu() -> Self {
+        SimdLevel::Scalar
+    }
+
+    /// True when the running CPU can execute this level.
+    pub fn available(self) -> bool {
+        match self {
+            SimdLevel::Scalar => true,
+            SimdLevel::Avx2 => Self::detect_cpu() == SimdLevel::Avx2,
+        }
+    }
+
+    /// Short label used in backend names and reports (`"scalar"` / `"avx2"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            SimdLevel::Scalar => "scalar",
+            SimdLevel::Avx2 => "avx2",
+        }
+    }
+}
+
+impl fmt::Display for SimdLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// True when [`FORCE_SCALAR_ENV`] requests the scalar fallback.
+fn force_scalar_requested() -> bool {
+    std::env::var_os(FORCE_SCALAR_ENV).is_some_and(|v| !v.is_empty() && v != "0")
+}
+
+/// The vectorised exact datapath: same operation as
+/// [`ExactBackend`](super::ExactBackend), explicit-width SIMD execution.
+///
+/// Like the exact backend, preprocessing is a no-op, so a [`SimdBackend`] can serve
+/// memories prepared by **any** backend (every [`PreparedMemory`] carries the raw
+/// matrices) — including the sorted memories of the approximate backend, which makes
+/// it a drop-in exact re-scorer next to the approximate datapath.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimdBackend {
+    level: SimdLevel,
+}
+
+impl SimdBackend {
+    /// Creates a backend dispatching to the widest level the host supports
+    /// ([`SimdLevel::detect`]: env override first, then CPU features).
+    pub fn new() -> Self {
+        Self::with_level(SimdLevel::detect())
+    }
+
+    /// Creates a backend pinned to `level`. A level the running CPU cannot execute
+    /// degrades safely to [`SimdLevel::Scalar`].
+    pub fn with_level(level: SimdLevel) -> Self {
+        let level = if level.available() {
+            level
+        } else {
+            SimdLevel::Scalar
+        };
+        Self { level }
+    }
+
+    /// The scalar reference instance (bit-identical to
+    /// [`ExactBackend`](super::ExactBackend)), regardless of CPU features.
+    pub fn scalar() -> Self {
+        Self {
+            level: SimdLevel::Scalar,
+        }
+    }
+
+    /// The level this backend dispatches to.
+    pub fn level(&self) -> SimdLevel {
+        self.level
+    }
+
+    /// One attention operation through the selected kernel. Shapes are validated
+    /// here so the unsafe kernels below only ever see consistent inputs.
+    fn attend_raw(
+        &self,
+        keys: &Matrix,
+        values: &Matrix,
+        query: &[f32],
+    ) -> Result<AttentionResult, AttentionError> {
+        keys.validate_attention(values, query)?;
+        match self.level {
+            SimdLevel::Scalar => attention_with_scores(keys, values, query),
+            #[cfg(target_arch = "x86_64")]
+            SimdLevel::Avx2 => Ok(x86::attend(keys, values, query)),
+            // `with_level` never stores an unavailable level, but stay safe if the
+            // enum is matched on a target without the kernels.
+            #[cfg(not(target_arch = "x86_64"))]
+            SimdLevel::Avx2 => attention_with_scores(keys, values, query),
+        }
+    }
+}
+
+impl Default for SimdBackend {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ComputeBackend for SimdBackend {
+    fn name(&self) -> String {
+        format!("simd({})", self.level)
+    }
+
+    fn prepare(&self, keys: &Matrix, values: &Matrix) -> Result<PreparedMemory, AttentionError> {
+        // Exact arithmetic needs no preprocessing; the prepared memory is just the
+        // resident matrices (same as ExactBackend).
+        PreparedMemory::new(keys, values, 0, PreparedState::Exact)
+    }
+
+    fn attend_prepared(
+        &self,
+        memory: &PreparedMemory,
+        query: &[f32],
+    ) -> Result<AttentionResult, AttentionError> {
+        // Only the raw matrices are needed, so memories prepared by any backend are
+        // served (mirroring ExactBackend).
+        self.attend_raw(memory.keys(), memory.values(), query)
+    }
+
+    fn attend_batch_prepared(
+        &self,
+        memory: &PreparedMemory,
+        queries: &[&[f32]],
+    ) -> Result<Vec<AttentionResult>, AttentionError> {
+        let results: Vec<Result<AttentionResult, AttentionError>> = queries
+            .par_iter()
+            .map(|q| self.attend_raw(memory.keys(), memory.values(), q))
+            .collect();
+        results.into_iter().collect()
+    }
+
+    fn attend(
+        &self,
+        keys: &Matrix,
+        values: &Matrix,
+        query: &[f32],
+    ) -> Result<AttentionResult, AttentionError> {
+        // Preparation is a no-op, so the one-shot path skips building (and cloning
+        // the matrices into) a PreparedMemory.
+        self.attend_raw(keys, values, query)
+    }
+
+    fn attend_batch(
+        &self,
+        keys: &Matrix,
+        values: &Matrix,
+        queries: &Matrix,
+    ) -> Result<Vec<AttentionResult>, AttentionError> {
+        let rows: Vec<&[f32]> = queries.iter_rows().collect();
+        let results: Vec<Result<AttentionResult, AttentionError>> = rows
+            .par_iter()
+            .map(|q| self.attend_raw(keys, values, q))
+            .collect();
+        results.into_iter().collect()
+    }
+
+    // `attend_sharded` intentionally inherits the default log-sum-exp merge of
+    // per-shard partial softmax outputs: the SIMD datapath attends every row, so the
+    // dense merge is the correct cross-shard combination (property-tested against
+    // the unsharded result).
+}
+
+/// Scalar mirror of the vector kernels' polynomial `exp`, used for the tail
+/// elements a lane-width pass leaves over. `mul_add` keeps the operation sequence
+/// identical to the FMA lanes, so tail elements see the same rounding as lane
+/// elements.
+#[cfg(target_arch = "x86_64")]
+fn exp_poly_scalar(x: f32) -> f32 {
+    let x = x.clamp(x86::EXP_LO, x86::EXP_HI);
+    let fx = x.mul_add(std::f32::consts::LOG2_E, 0.5).floor();
+    let x = (-fx).mul_add(x86::LN2_HI, x);
+    let x = (-fx).mul_add(x86::LN2_LO, x);
+    let z = x * x;
+    let mut y = x86::EXP_P[0];
+    for &p in &x86::EXP_P[1..] {
+        y = y.mul_add(x, p);
+    }
+    let y = y.mul_add(z, x + 1.0);
+    y * f32::from_bits((((fx as i32) + 127) as u32) << 23)
+}
+
+/// The AVX2 + FMA kernels. Everything here is reached only through
+/// [`SimdBackend`], whose construction guarantees (via [`SimdLevel::available`])
+/// that the running CPU supports `avx2` and `fma` before this module's
+/// `#[target_feature]` functions are ever invoked.
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+mod x86 {
+    use std::arch::x86_64::{
+        __m256, _mm256_add_epi32, _mm256_add_ps, _mm256_castps256_ps128, _mm256_castsi256_ps,
+        _mm256_cvttps_epi32, _mm256_div_ps, _mm256_extractf128_ps, _mm256_floor_ps,
+        _mm256_fmadd_ps, _mm256_fnmadd_ps, _mm256_loadu_ps, _mm256_max_ps, _mm256_min_ps,
+        _mm256_mul_ps, _mm256_set1_epi32, _mm256_set1_ps, _mm256_setzero_ps, _mm256_slli_epi32,
+        _mm256_storeu_ps, _mm256_sub_ps, _mm_add_ps, _mm_add_ss, _mm_cvtss_f32, _mm_movehl_ps,
+        _mm_shuffle_ps,
+    };
+
+    use super::exp_poly_scalar;
+    use crate::attention::AttentionResult;
+    use crate::Matrix;
+
+    /// Number of `f32` lanes per AVX2 vector.
+    const LANES: usize = 8;
+
+    /// Upper input clamp of the polynomial `exp` (just under `ln(f32::MAX)`).
+    pub(super) const EXP_HI: f32 = 88.376_26;
+    /// Lower input clamp of the polynomial `exp` (smallest normal-range exponent).
+    pub(super) const EXP_LO: f32 = -87.336_54;
+    /// Cody–Waite split of `ln 2`: high part. The digits are the exactly
+    /// representable split constant, kept verbatim from Cephes.
+    #[allow(clippy::excessive_precision)]
+    pub(super) const LN2_HI: f32 = 0.693_359_375;
+    /// Cody–Waite split of `ln 2`: low (correction) part.
+    pub(super) const LN2_LO: f32 = -2.121_944_4e-4;
+    /// Cephes `expf` polynomial coefficients, highest order first (digits kept
+    /// verbatim from Cephes).
+    #[allow(clippy::excessive_precision)]
+    pub(super) const EXP_P: [f32; 6] = [
+        1.987_569_1e-4,
+        1.398_199_9e-3,
+        8.333_452e-3,
+        4.166_579_6e-2,
+        1.666_666_5e-1,
+        5.000_000_1e-1,
+    ];
+
+    /// Exact attention over validated shapes, vectorised with AVX2 + FMA.
+    ///
+    /// Caller contract (enforced by `SimdBackend::attend_raw`): shapes are
+    /// consistent and the CPU supports `avx2` and `fma`.
+    pub(super) fn attend(keys: &Matrix, values: &Matrix, query: &[f32]) -> AttentionResult {
+        // SAFETY: `SimdBackend::with_level` only stores `Avx2` when
+        // `SimdLevel::available` confirmed `avx2` and `fma` on this CPU, and this
+        // function is only reached through that backend.
+        unsafe { attend_avx2(keys, values, query) }
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn attend_avx2(keys: &Matrix, values: &Matrix, query: &[f32]) -> AttentionResult {
+        let n = keys.rows();
+        let mut scores = Vec::with_capacity(n);
+        // The max reduction of the stable softmax is fused into the score pass.
+        let mut max = f32::NEG_INFINITY;
+        for i in 0..n {
+            let s = dot(keys.row(i), query);
+            max = max.max(s);
+            scores.push(s);
+        }
+        let mut weights = scores.clone();
+        softmax_in_place(&mut weights, max);
+        let output = weighted_sum(values, &weights);
+        AttentionResult {
+            scores,
+            weights,
+            output,
+        }
+    }
+
+    /// Horizontal sum of the eight lanes.
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn hsum(v: __m256) -> f32 {
+        let hi = _mm256_extractf128_ps::<1>(v);
+        let lo = _mm256_castps256_ps128(v);
+        let s = _mm_add_ps(lo, hi);
+        let s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+        let s = _mm_add_ss(s, _mm_shuffle_ps::<0b01>(s, s));
+        _mm_cvtss_f32(s)
+    }
+
+    /// Dot product of two equal-length slices: two FMA accumulators over eight-lane
+    /// chunks, scalar `mul_add` tail for `len % 8` elements.
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn dot(row: &[f32], query: &[f32]) -> f32 {
+        debug_assert_eq!(row.len(), query.len());
+        let len = row.len();
+        let a = row.as_ptr();
+        let b = query.as_ptr();
+        let mut acc0 = _mm256_setzero_ps();
+        let mut acc1 = _mm256_setzero_ps();
+        let mut i = 0;
+        while i + 2 * LANES <= len {
+            acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a.add(i)), _mm256_loadu_ps(b.add(i)), acc0);
+            acc1 = _mm256_fmadd_ps(
+                _mm256_loadu_ps(a.add(i + LANES)),
+                _mm256_loadu_ps(b.add(i + LANES)),
+                acc1,
+            );
+            i += 2 * LANES;
+        }
+        if i + LANES <= len {
+            acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a.add(i)), _mm256_loadu_ps(b.add(i)), acc0);
+            i += LANES;
+        }
+        let mut sum = hsum(_mm256_add_ps(acc0, acc1));
+        while i < len {
+            sum = row[i].mul_add(query[i], sum);
+            i += 1;
+        }
+        sum
+    }
+
+    /// Eight-lane polynomial `exp` (Cephes `expf` scheme: range-reduce by powers of
+    /// two with a Cody–Waite split of `ln 2`, degree-5 polynomial, exponent
+    /// reassembly through the float bit pattern). Accurate to a few ULP over the
+    /// clamped range.
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn exp_lanes(x: __m256) -> __m256 {
+        let x = _mm256_min_ps(
+            _mm256_max_ps(x, _mm256_set1_ps(EXP_LO)),
+            _mm256_set1_ps(EXP_HI),
+        );
+        let fx = _mm256_floor_ps(_mm256_fmadd_ps(
+            x,
+            _mm256_set1_ps(std::f32::consts::LOG2_E),
+            _mm256_set1_ps(0.5),
+        ));
+        let x = _mm256_fnmadd_ps(fx, _mm256_set1_ps(LN2_HI), x);
+        let x = _mm256_fnmadd_ps(fx, _mm256_set1_ps(LN2_LO), x);
+        let z = _mm256_mul_ps(x, x);
+        let mut y = _mm256_set1_ps(EXP_P[0]);
+        for &p in &EXP_P[1..] {
+            y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(p));
+        }
+        let y = _mm256_fmadd_ps(y, z, _mm256_add_ps(x, _mm256_set1_ps(1.0)));
+        let pow2n = _mm256_castsi256_ps(_mm256_slli_epi32::<23>(_mm256_add_epi32(
+            _mm256_cvttps_epi32(fx),
+            _mm256_set1_epi32(127),
+        )));
+        _mm256_mul_ps(y, pow2n)
+    }
+
+    /// In-place numerically stable softmax over scores whose maximum the caller
+    /// already knows (it falls out of the score pass for free): eight-lane `exp`
+    /// with a running sum, then vectorised normalisation. Tail elements use the
+    /// scalar mirror of the lane polynomial.
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn softmax_in_place(scores: &mut [f32], max: f32) {
+        let n = scores.len();
+        if n == 0 {
+            return;
+        }
+        // All element accesses below go through this one raw pointer — mixing in
+        // `scores[i]` index accesses would create fresh `&mut` reborrows that
+        // invalidate the pointer's provenance between passes (Stacked Borrows).
+        let p = scores.as_mut_ptr();
+
+        let vmaxb = _mm256_set1_ps(max);
+        let mut vsum = _mm256_setzero_ps();
+        let mut i = 0;
+        while i + LANES <= n {
+            let e = exp_lanes(_mm256_sub_ps(_mm256_loadu_ps(p.add(i)), vmaxb));
+            _mm256_storeu_ps(p.add(i), e);
+            vsum = _mm256_add_ps(vsum, e);
+            i += LANES;
+        }
+        let mut sum = hsum(vsum);
+        while i < n {
+            let e = exp_poly_scalar(*p.add(i) - max);
+            *p.add(i) = e;
+            sum += e;
+            i += 1;
+        }
+
+        let vsumb = _mm256_set1_ps(sum);
+        i = 0;
+        while i + LANES <= n {
+            _mm256_storeu_ps(p.add(i), _mm256_div_ps(_mm256_loadu_ps(p.add(i)), vsumb));
+            i += LANES;
+        }
+        while i < n {
+            *p.add(i) /= sum;
+            i += 1;
+        }
+    }
+
+    /// Weighted sum of value rows. The loop order is inverted relative to the
+    /// scalar path: the output is processed in 32-float column blocks whose four
+    /// accumulators stay in registers across **all** rows, so the hot loop is pure
+    /// broadcast + FMA with no output loads/stores. Per output element the rows are
+    /// still accumulated in ascending row order (the scalar path's order), and
+    /// zero-weight rows are skipped as the scalar path does.
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn weighted_sum(values: &Matrix, weights: &[f32]) -> Vec<f32> {
+        let d = values.dim();
+        let n = values.rows();
+        let data = values.as_slice().as_ptr();
+        let mut output = vec![0.0f32; d];
+        let out = output.as_mut_ptr();
+        let mut j = 0;
+        // 32-float blocks: four register accumulators over the whole row range.
+        while j + 4 * LANES <= d {
+            let mut acc0 = _mm256_setzero_ps();
+            let mut acc1 = _mm256_setzero_ps();
+            let mut acc2 = _mm256_setzero_ps();
+            let mut acc3 = _mm256_setzero_ps();
+            for (i, &w) in weights.iter().enumerate().take(n) {
+                if w == 0.0 {
+                    continue;
+                }
+                let wv = _mm256_set1_ps(w);
+                let r = data.add(i * d + j);
+                acc0 = _mm256_fmadd_ps(wv, _mm256_loadu_ps(r), acc0);
+                acc1 = _mm256_fmadd_ps(wv, _mm256_loadu_ps(r.add(LANES)), acc1);
+                acc2 = _mm256_fmadd_ps(wv, _mm256_loadu_ps(r.add(2 * LANES)), acc2);
+                acc3 = _mm256_fmadd_ps(wv, _mm256_loadu_ps(r.add(3 * LANES)), acc3);
+            }
+            _mm256_storeu_ps(out.add(j), acc0);
+            _mm256_storeu_ps(out.add(j + LANES), acc1);
+            _mm256_storeu_ps(out.add(j + 2 * LANES), acc2);
+            _mm256_storeu_ps(out.add(j + 3 * LANES), acc3);
+            j += 4 * LANES;
+        }
+        // Single-vector blocks for the next eight-lane chunks.
+        while j + LANES <= d {
+            let mut acc = _mm256_setzero_ps();
+            for (i, &w) in weights.iter().enumerate().take(n) {
+                if w == 0.0 {
+                    continue;
+                }
+                acc = _mm256_fmadd_ps(_mm256_set1_ps(w), _mm256_loadu_ps(data.add(i * d + j)), acc);
+            }
+            _mm256_storeu_ps(out.add(j), acc);
+            j += LANES;
+        }
+        // Scalar tail columns.
+        while j < d {
+            let mut acc = 0.0f32;
+            for (i, &w) in weights.iter().enumerate().take(n) {
+                if w != 0.0 {
+                    acc = w.mul_add(*data.add(i * d + j), acc);
+                }
+            }
+            output[j] = acc;
+            j += 1;
+        }
+        output
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::ExactBackend;
+    use std::sync::Mutex;
+
+    /// Serialises the tests that mutate [`FORCE_SCALAR_ENV`] (process-global state).
+    static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+    /// Deterministic pseudo-random memory with awkward shapes.
+    fn case(n: usize, d: usize, seed: u64) -> (Matrix, Matrix, Vec<f32>) {
+        let value = |i: usize, j: usize, salt: u64| -> f32 {
+            let h = (i as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(j as u64)
+                .wrapping_add(seed ^ salt)
+                .wrapping_mul(0xD6E8_FEB8_6659_FD93);
+            ((h >> 40) as f32 / (1u64 << 24) as f32) - 0.5
+        };
+        let keys = Matrix::from_rows(
+            (0..n)
+                .map(|i| (0..d).map(|j| value(i, j, 1)).collect())
+                .collect(),
+        )
+        .unwrap();
+        let values = Matrix::from_rows(
+            (0..n)
+                .map(|i| (0..d).map(|j| value(i, j, 2)).collect())
+                .collect(),
+        )
+        .unwrap();
+        let query = (0..d).map(|j| value(j, 7, 3) * 2.0).collect();
+        (keys, values, query)
+    }
+
+    fn assert_close(simd: &AttentionResult, exact: &AttentionResult, label: &str) {
+        let score_scale = exact.scores.iter().fold(1.0f32, |acc, &s| acc.max(s.abs()));
+        for (a, b) in simd.scores.iter().zip(&exact.scores) {
+            assert!(
+                (a - b).abs() <= 1e-5 * score_scale,
+                "{label}: score {a} vs {b}"
+            );
+        }
+        for (a, b) in simd.weights.iter().zip(&exact.weights) {
+            assert!((a - b).abs() <= 1e-5, "{label}: weight {a} vs {b}");
+        }
+        for (a, b) in simd.output.iter().zip(&exact.output) {
+            assert!((a - b).abs() <= 1e-5, "{label}: output {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn matches_exact_across_awkward_shapes() {
+        // Dimensions straddling the 8-lane width (tails of every length), single-row
+        // memories, and the paper-size 320x64 case.
+        let backend = SimdBackend::new();
+        for &(n, d) in &[
+            (1usize, 1usize),
+            (1, 8),
+            (1, 13),
+            (3, 1),
+            (5, 7),
+            (7, 8),
+            (9, 9),
+            (16, 15),
+            (17, 16),
+            (31, 17),
+            (64, 24),
+            (320, 64),
+            (33, 65),
+        ] {
+            let (keys, values, query) = case(n, d, 11);
+            let simd = backend.attend(&keys, &values, &query).unwrap();
+            let exact = ExactBackend.attend(&keys, &values, &query).unwrap();
+            assert_close(&simd, &exact, &format!("n={n} d={d}"));
+            let sum: f32 = simd.weights.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-4, "n={n} d={d}: weight sum {sum}");
+        }
+    }
+
+    #[test]
+    fn scalar_level_is_bit_identical_to_exact() {
+        let (keys, values, query) = case(23, 19, 5);
+        let scalar = SimdBackend::scalar();
+        assert_eq!(scalar.level(), SimdLevel::Scalar);
+        assert_eq!(scalar.name(), "simd(scalar)");
+        assert_eq!(
+            scalar.attend(&keys, &values, &query).unwrap(),
+            ExactBackend.attend(&keys, &values, &query).unwrap()
+        );
+    }
+
+    #[test]
+    fn prepared_and_one_shot_paths_are_bit_identical() {
+        let (keys, values, query) = case(29, 12, 3);
+        for backend in [SimdBackend::new(), SimdBackend::scalar()] {
+            let memory = backend.prepare(&keys, &values).unwrap();
+            assert_eq!(memory.preprocess_ops(), 0);
+            assert_eq!(
+                backend.attend_prepared(&memory, &query).unwrap(),
+                backend.attend(&keys, &values, &query).unwrap(),
+                "{}",
+                backend.name()
+            );
+        }
+    }
+
+    #[test]
+    fn batch_prepared_is_bit_identical_and_ordered() {
+        let (keys, values, query) = case(21, 10, 9);
+        let flipped: Vec<f32> = query.iter().map(|x| -x).collect();
+        let queries = [query.as_slice(), flipped.as_slice()];
+        let backend = SimdBackend::new();
+        let memory = backend.prepare(&keys, &values).unwrap();
+        let batch = backend.attend_batch_prepared(&memory, &queries).unwrap();
+        assert_eq!(batch.len(), 2);
+        for (q, out) in queries.iter().zip(&batch) {
+            assert_eq!(out, &backend.attend_prepared(&memory, q).unwrap());
+        }
+        assert!(backend
+            .attend_batch_prepared(&memory, &[])
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn serves_memories_prepared_by_other_backends() {
+        // Like ExactBackend, the SIMD datapath only needs the raw matrices, so a
+        // memory prepared by the approximate backend (sorted state) is served too —
+        // the exact-re-scoring interplay next to approximate serving.
+        let (keys, values, query) = case(24, 8, 13);
+        let approx = crate::backend::ApproximateBackend::conservative();
+        let sorted_memory = approx.prepare(&keys, &values).unwrap();
+        let backend = SimdBackend::new();
+        let via_sorted = backend.attend_prepared(&sorted_memory, &query).unwrap();
+        let direct = backend.attend(&keys, &values, &query).unwrap();
+        assert_eq!(via_sorted, direct);
+    }
+
+    #[test]
+    fn shape_errors_propagate() {
+        let (keys, values, _) = case(8, 4, 1);
+        let backend = SimdBackend::new();
+        assert!(matches!(
+            backend.attend(&keys, &values, &[0.0; 3]),
+            Err(AttentionError::DimensionMismatch { .. })
+        ));
+        let bad_values = Matrix::zeros(3, 4);
+        assert!(backend.prepare(&keys, &bad_values).is_err());
+    }
+
+    #[test]
+    fn detect_never_selects_avx2_under_the_env_override() {
+        // Regression test for the CI fallback matrix: with A3_FORCE_SCALAR set,
+        // detection must return Scalar no matter what the CPU supports. The env var
+        // is restored immediately; concurrent tests constructing a SimdBackend in
+        // the window at worst run the (always-correct) scalar path.
+        let _guard = ENV_LOCK.lock().unwrap();
+        let previous = std::env::var_os(FORCE_SCALAR_ENV);
+        std::env::set_var(FORCE_SCALAR_ENV, "1");
+        let forced = SimdLevel::detect();
+        let backend_name = SimdBackend::new().name();
+        match &previous {
+            Some(v) => std::env::set_var(FORCE_SCALAR_ENV, v),
+            None => std::env::remove_var(FORCE_SCALAR_ENV),
+        }
+        assert_eq!(forced, SimdLevel::Scalar);
+        assert_eq!(backend_name, "simd(scalar)");
+    }
+
+    #[test]
+    fn force_scalar_zero_and_empty_do_not_count_as_set() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        let previous = std::env::var_os(FORCE_SCALAR_ENV);
+        std::env::set_var(FORCE_SCALAR_ENV, "0");
+        let zero = force_scalar_requested();
+        std::env::set_var(FORCE_SCALAR_ENV, "");
+        let empty = force_scalar_requested();
+        std::env::set_var(FORCE_SCALAR_ENV, "1");
+        let one = force_scalar_requested();
+        match &previous {
+            Some(v) => std::env::set_var(FORCE_SCALAR_ENV, v),
+            None => std::env::remove_var(FORCE_SCALAR_ENV),
+        }
+        assert!(!zero);
+        assert!(!empty);
+        assert!(one);
+    }
+
+    #[test]
+    fn unavailable_levels_degrade_to_scalar() {
+        // Constructing with a level the host cannot run must fall back safely; on
+        // AVX2 hosts this is an identity check instead. The lock keeps the
+        // `default == new` check stable against the env-mutating tests.
+        let _guard = ENV_LOCK.lock().unwrap();
+        let requested = SimdBackend::with_level(SimdLevel::Avx2);
+        if SimdLevel::Avx2.available() {
+            assert_eq!(requested.level(), SimdLevel::Avx2);
+            assert_eq!(requested.name(), "simd(avx2)");
+        } else {
+            assert_eq!(requested.level(), SimdLevel::Scalar);
+        }
+        assert_eq!(SimdLevel::Scalar.label(), "scalar");
+        assert_eq!(SimdLevel::Avx2.label(), "avx2");
+        assert!(SimdLevel::Scalar.available());
+        assert_eq!(SimdBackend::default(), SimdBackend::new());
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn polynomial_exp_tracks_libm_exp() {
+        // The lane/tail exp must agree with std's exp to a few ULP over the softmax
+        // input range (non-positive after max subtraction, plus a positive margin).
+        if !SimdLevel::Avx2.available() {
+            return;
+        }
+        let mut x = -85.0f32;
+        while x < 20.0 {
+            let poly = exp_poly_scalar(x);
+            let libm = x.exp();
+            let tolerance = 8.0 * f32::EPSILON * libm.max(f32::MIN_POSITIVE);
+            assert!(
+                (poly - libm).abs() <= tolerance,
+                "exp({x}): poly {poly} vs libm {libm}"
+            );
+            x += 0.0137;
+        }
+    }
+}

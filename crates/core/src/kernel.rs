@@ -11,7 +11,9 @@
 
 use crate::approx::ApproxConfig;
 use crate::attention::AttentionResult;
-use crate::backend::{ApproximateBackend, ComputeBackend, ExactBackend, QuantizedBackend};
+use crate::backend::{
+    ApproximateBackend, ComputeBackend, ExactBackend, QuantizedBackend, SimdBackend,
+};
 use crate::{AttentionError, Matrix};
 use a3_fixed::QFormat;
 
@@ -87,6 +89,59 @@ impl AttentionKernel for ExactKernel {
 
     fn name(&self) -> String {
         ExactBackend.name()
+    }
+}
+
+/// The vectorised exact attention (runtime-dispatched AVX2 with a scalar fallback)
+/// — an adapter over [`SimdBackend`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimdKernel {
+    backend: SimdBackend,
+}
+
+impl SimdKernel {
+    /// Creates a SIMD kernel dispatching to the widest level the host supports.
+    pub fn new() -> Self {
+        Self {
+            backend: SimdBackend::new(),
+        }
+    }
+
+    /// The level the underlying backend dispatches to.
+    pub fn level(&self) -> crate::backend::SimdLevel {
+        self.backend.level()
+    }
+}
+
+impl Default for SimdKernel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AttentionKernel for SimdKernel {
+    fn attend(
+        &self,
+        keys: &Matrix,
+        values: &Matrix,
+        query: &[f32],
+    ) -> Result<AttentionResult, AttentionError> {
+        self.backend.attend(keys, values, query)
+    }
+
+    fn attend_batch(
+        &self,
+        keys: &Matrix,
+        values: &Matrix,
+        queries: &Matrix,
+    ) -> Result<Vec<AttentionResult>, AttentionError> {
+        // No shared preprocessing, but the batch path parallelises across worker
+        // threads with zero-copy query rows (as the exact kernel does).
+        self.backend.attend_batch(keys, values, queries)
+    }
+
+    fn name(&self) -> String {
+        self.backend.name()
     }
 }
 
@@ -227,6 +282,7 @@ mod tests {
     fn kernels_are_object_safe() {
         let kernels: Vec<Box<dyn AttentionKernel>> = vec![
             Box::new(ExactKernel),
+            Box::new(SimdKernel::new()),
             Box::new(ApproximateKernel::conservative()),
             Box::new(QuantizedKernel::paper()),
         ];
@@ -245,6 +301,7 @@ mod tests {
         let queries = Matrix::from_rows(vec![q.clone(), flipped]).unwrap();
         let kernels: Vec<Box<dyn AttentionKernel>> = vec![
             Box::new(ExactKernel),
+            Box::new(SimdKernel::new()),
             Box::new(ApproximateKernel::conservative()),
             Box::new(QuantizedKernel::paper()),
         ];
@@ -286,6 +343,11 @@ mod tests {
     #[test]
     fn kernel_names_are_descriptive() {
         assert_eq!(ExactKernel.name(), "exact");
+        assert!(SimdKernel::new().name().starts_with("simd("));
+        assert_eq!(
+            SimdKernel::new().name(),
+            format!("simd({})", SimdKernel::new().level())
+        );
         assert!(ApproximateKernel::aggressive().name().contains("0.125n"));
         assert!(QuantizedKernel::paper().name().contains("Q4.4"));
     }

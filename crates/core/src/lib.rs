@@ -15,7 +15,12 @@
 //!   `(M, T)` knobs, in [`approx`];
 //! * a bit-accurate fixed-point (quantized) model of the base pipeline built on
 //!   [`a3_fixed`], in [`quantized`];
-//! * the serving layer unifying the three datapaths, in [`backend`]: every datapath is
+//! * a vectorised exact datapath in [`backend::simd`]: [`backend::SimdBackend`] runs
+//!   the same arithmetic as the exact backend through explicit-width AVX2 kernels
+//!   (QK dot products, softmax reduction, weighted value accumulation), with the
+//!   instruction set chosen once at construction by runtime feature detection and a
+//!   safe scalar fallback (`A3_FORCE_SCALAR=1` forces it);
+//! * the serving layer unifying the datapaths, in [`backend`]: every datapath is
 //!   a [`backend::ComputeBackend`] with a query-independent
 //!   [`backend::ComputeBackend::prepare`] phase producing a [`backend::PreparedMemory`],
 //!   and a [`backend::MemoryCache`] keyed by memory fingerprint lets repeated batches

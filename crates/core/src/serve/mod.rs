@@ -600,7 +600,7 @@ impl AttentionServer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::backend::{ApproximateBackend, ExactBackend, QuantizedBackend};
+    use crate::backend::{ApproximateBackend, ExactBackend, QuantizedBackend, SimdBackend};
 
     fn memory(tag: f32, n: usize, d: usize) -> (Matrix, Matrix) {
         let rows: Vec<Vec<f32>> = (0..n)
@@ -624,6 +624,7 @@ mod tests {
     fn all_backends() -> Vec<Box<dyn ComputeBackend>> {
         vec![
             Box::new(ExactBackend),
+            Box::new(SimdBackend::new()),
             Box::new(ApproximateBackend::conservative()),
             Box::new(QuantizedBackend::paper()),
         ]

@@ -7,7 +7,7 @@ use a3_core::approx::{
 use a3_core::attention::{attention_batch, attention_with_scores, stable_softmax};
 use a3_core::backend::{
     ApproximateBackend, ComputeBackend, ExactBackend, MemoryCache, QuantizedBackend, ShardPlan,
-    ShardedMemory,
+    ShardedMemory, SimdBackend,
 };
 use a3_core::serve::{AttentionServer, BatchPolicy, Request, Response};
 use a3_core::Matrix;
@@ -17,6 +17,8 @@ use proptest::prelude::*;
 fn all_backends() -> Vec<Box<dyn ComputeBackend>> {
     vec![
         Box::new(ExactBackend),
+        Box::new(SimdBackend::new()),
+        Box::new(SimdBackend::scalar()),
         Box::new(ApproximateBackend::new(ApproxConfig::none())),
         Box::new(ApproximateBackend::conservative()),
         Box::new(ApproximateBackend::aggressive()),
@@ -102,6 +104,26 @@ fn serving_scenario() -> impl Strategy<Value = (Matrix, Matrix, Vec<GeneratedReq
     })
 }
 
+/// Strategy producing a random (keys, values, query) triple spanning the SIMD
+/// kernels' awkward shapes: `n` from 1 (single row) to 48 and `d` from 1 to 72, so
+/// every `d % 8` tail length and sub-lane dimension is exercised.
+fn simd_case() -> impl Strategy<Value = (Matrix, Matrix, Vec<f32>)> {
+    (1usize..48, 1usize..72).prop_flat_map(|(n, d)| {
+        (
+            prop::collection::vec(prop::collection::vec(-1.0f32..1.0, d..=d), n..=n),
+            prop::collection::vec(prop::collection::vec(-1.0f32..1.0, d..=d), n..=n),
+            prop::collection::vec(-1.0f32..1.0, d..=d),
+        )
+            .prop_map(|(k, v, q)| {
+                (
+                    Matrix::from_rows(k).unwrap(),
+                    Matrix::from_rows(v).unwrap(),
+                    q,
+                )
+            })
+    })
+}
+
 /// A single-row memory collapses to one shard under any plan, so the sharded path
 /// must stay bit-identical to the unsharded one for every backend (the degenerate
 /// case of the K = 1 contract).
@@ -134,6 +156,7 @@ fn single_row_memory_shards_bit_identically() {
 fn served_backends() -> Vec<Box<dyn ComputeBackend>> {
     vec![
         Box::new(ExactBackend),
+        Box::new(SimdBackend::new()),
         Box::new(ApproximateBackend::conservative()),
         Box::new(QuantizedBackend::paper()),
     ]
@@ -382,6 +405,74 @@ proptest! {
         }
         let sum: f32 = merged.weights.iter().sum();
         prop_assert!((sum - 1.0).abs() < 0.05);
+    }
+
+    /// The SIMD backend computes the same exact operation as `ExactBackend` within
+    /// 1e-5 — at whatever level the host dispatches to and at the forced scalar
+    /// level (which must be bit-identical) — across random shapes including `n = 1`
+    /// and dimensions that are not a multiple of the 8-lane width.
+    #[test]
+    fn simd_backend_matches_exact_within_tolerance((keys, values, query) in simd_case()) {
+        let exact = ExactBackend.attend(&keys, &values, &query).unwrap();
+        let simd = SimdBackend::new().attend(&keys, &values, &query).unwrap();
+        let score_scale = exact.scores.iter().fold(1.0f32, |acc, &s| acc.max(s.abs()));
+        for (a, b) in simd.scores.iter().zip(&exact.scores) {
+            prop_assert!((a - b).abs() <= 1e-5 * score_scale, "score {} vs {}", a, b);
+        }
+        for (a, b) in simd.weights.iter().zip(&exact.weights) {
+            prop_assert!((a - b).abs() <= 1e-5, "weight {} vs {}", a, b);
+        }
+        for (a, b) in simd.output.iter().zip(&exact.output) {
+            prop_assert!((a - b).abs() <= 1e-5, "output {} vs {}", a, b);
+        }
+        let sum: f32 = simd.weights.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4);
+        // The scalar fallback is exactly the exact backend.
+        prop_assert_eq!(&SimdBackend::scalar().attend(&keys, &values, &query).unwrap(), &exact);
+    }
+
+    /// The SIMD backend can serve a memory prepared by the approximate backend (it
+    /// only needs the raw matrices), and its answer equals serving its own prepared
+    /// memory bit-for-bit — the exact-re-scoring interplay next to the approximate
+    /// datapath, including memories whose candidate selection would come back empty.
+    #[test]
+    fn simd_serves_approximate_prepared_memories((keys, values, query) in simd_case()) {
+        let simd = SimdBackend::new();
+        let approx = ApproximateBackend::conservative();
+        let sorted = approx.prepare(&keys, &values).unwrap();
+        let own = simd.prepare(&keys, &values).unwrap();
+        prop_assert_eq!(
+            &simd.attend_prepared(&sorted, &query).unwrap(),
+            &simd.attend_prepared(&own, &query).unwrap()
+        );
+    }
+
+    /// The K > 1 log-sum-exp merge of per-shard SIMD partials matches the unsharded
+    /// exact result within 1e-5, on random memories and shard counts that do not
+    /// divide `n` evenly — the sharded counterpart of the SIMD closeness contract.
+    #[test]
+    fn simd_sharded_merge_matches_exact_within_tolerance(
+        (keys, values, query) in simd_case(),
+        shards in 2usize..7,
+    ) {
+        let backend = SimdBackend::new();
+        let unsharded = ExactBackend.attend(&keys, &values, &query).unwrap();
+        let sharded =
+            ShardedMemory::prepare(&backend, ShardPlan::new(shards).unwrap(), &keys, &values)
+                .unwrap();
+        let merged = backend.attend_sharded(&sharded, &query).unwrap();
+        let score_scale = unsharded.scores.iter().fold(1.0f32, |acc, &s| acc.max(s.abs()));
+        for (a, b) in merged.scores.iter().zip(&unsharded.scores) {
+            prop_assert!((a - b).abs() <= 1e-5 * score_scale, "score {} vs {}", a, b);
+        }
+        for (a, b) in merged.output.iter().zip(&unsharded.output) {
+            prop_assert!((a - b).abs() < 1e-5, "output {} vs {}", a, b);
+        }
+        for (a, b) in merged.weights.iter().zip(&unsharded.weights) {
+            prop_assert!((a - b).abs() < 1e-5, "weight {} vs {}", a, b);
+        }
+        let sum: f32 = merged.weights.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4);
     }
 
     /// The `AttentionServer` front-end is bit-identical to direct per-query

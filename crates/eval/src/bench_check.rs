@@ -1,0 +1,1157 @@
+//! Deterministic perf smoke and baseline comparison — the `bench-regression` CI gate.
+//!
+//! Four PRs of perf-sensitive code (serving layer, cache, scheduler, sharding, SIMD
+//! backend) mean CI must catch throughput regressions, not just compile errors. This
+//! module measures a small, quick, deterministic set of metrics and compares them
+//! against baselines committed in `BENCH_BASELINE.json`:
+//!
+//! * **`cycles/...`** — accelerator cycle counts from the cycle-level simulator.
+//!   Fully deterministic: any drift means the performance *model* changed, so these
+//!   double as behavioural regression tests for the simulator.
+//! * **`wall_ns/...`** — median wall-clock time of the software serving hot paths.
+//!   Reported for visibility but **not gated**: raw nanoseconds do not transfer
+//!   between machines.
+//! * **`ratio/...`** — machine-transferable wall-clock *ratios* between components
+//!   measured in the same run (SIMD vs scalar exact, approximate vs exact,
+//!   warm-cache vs cold-cache). These are gated with [`RATIO_HEADROOM`] extra
+//!   slack: a ratio drifting up by more than that means one side of the
+//!   comparison regressed relative to the other, on whatever host CI runs on.
+//!
+//! A gated metric whose value exceeds its baseline by more than the tolerance
+//! (default 15%, [`DEFAULT_TOLERANCE_PCT`]) fails the check; the report is a sorted
+//! delta table (worst first) rendered as a Markdown table so CI can drop it into the
+//! job summary. `scripts/bench_check.sh` runs the gate; `scripts/bench_update.sh`
+//! regenerates the baselines after an *intentional* performance change.
+//!
+//! The baseline file is read and written by the minimal JSON subset implemented in
+//! [`Json`] (objects, arrays, strings, numbers, booleans) — the workspace has no
+//! route to crates.io, so no `serde_json`.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use a3_core::backend::{
+    ApproximateBackend, ComputeBackend, ExactBackend, MemoryCache, QuantizedBackend, SimdBackend,
+    SimdLevel,
+};
+use a3_core::Matrix;
+use a3_sim::{A3Config, MultiUnit, PipelineModel};
+
+/// Gated metrics may exceed their baseline by this much (percent) before the check
+/// fails.
+pub const DEFAULT_TOLERANCE_PCT: f64 = 15.0;
+
+/// Extra headroom multiplier applied to `ratio/*` metrics: interleaving cancels
+/// machine-wide noise but not *microarchitecture* — a branchy candidate-selection
+/// loop and an FMA-dense kernel scale differently between, say, the Intel dev box
+/// that committed the baseline and an AMD CI runner. Real regressions these ratios
+/// exist to catch (losing vectorisation, a cache that stops hitting) move them by
+/// 2x or more, so the wider gate keeps its teeth while not blocking PRs on
+/// cross-host IPC differences. Cycle metrics are deterministic and get no headroom.
+pub const RATIO_HEADROOM: f64 = 2.0;
+
+/// Baseline file schema version (bumped when the metric set changes shape).
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// The paper-size memory the smoke measures: BERT/SQuAD rows x embedding dim.
+const N: usize = 320;
+const D: usize = 64;
+/// Queries per measured batch.
+const BATCH: usize = 32;
+
+// ---------------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------------
+
+/// Unit of one measured metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricUnit {
+    /// Deterministic simulator cycles.
+    Cycles,
+    /// Median wall-clock nanoseconds (machine-specific, informational).
+    Nanos,
+    /// Dimensionless wall-clock ratio between two components of the same run.
+    Ratio,
+}
+
+impl MetricUnit {
+    /// The label stored in the baseline file.
+    pub fn label(self) -> &'static str {
+        match self {
+            MetricUnit::Cycles => "cycles",
+            MetricUnit::Nanos => "ns",
+            MetricUnit::Ratio => "ratio",
+        }
+    }
+
+    /// Parses a baseline-file label.
+    pub fn from_label(label: &str) -> Option<Self> {
+        match label {
+            "cycles" => Some(MetricUnit::Cycles),
+            "ns" => Some(MetricUnit::Nanos),
+            "ratio" => Some(MetricUnit::Ratio),
+            _ => None,
+        }
+    }
+}
+
+/// One measured (or baselined) metric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Metric {
+    /// Stable identifier, e.g. `ratio/simd_vs_exact_batch`.
+    pub name: String,
+    /// The metric's unit.
+    pub unit: MetricUnit,
+    /// Measured value.
+    pub value: f64,
+    /// Whether the regression gate applies to this metric.
+    pub gated: bool,
+}
+
+impl Metric {
+    fn new(name: &str, unit: MetricUnit, value: f64, gated: bool) -> Self {
+        Self {
+            name: name.to_owned(),
+            unit,
+            value,
+            gated,
+        }
+    }
+}
+
+/// Measurement effort: `Full` for the CI gate and committed baselines, `Quick` for
+/// unit tests (shorter samples, identical metric set).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Effort {
+    /// CI-grade sample lengths.
+    Full,
+    /// Short sample lengths for tests.
+    Quick,
+}
+
+impl Effort {
+    fn min_sample(self) -> Duration {
+        match self {
+            Effort::Full => Duration::from_millis(20),
+            Effort::Quick => Duration::from_millis(1),
+        }
+    }
+
+    fn samples(self) -> usize {
+        match self {
+            Effort::Full => 7,
+            Effort::Quick => 3,
+        }
+    }
+}
+
+/// Deterministic skewed memory (same construction as the eval experiments).
+fn memory(n: usize, d: usize, seed: u64) -> (Matrix, Matrix) {
+    let rows: Vec<Vec<f32>> = (0..n)
+        .map(|i| {
+            (0..d)
+                .map(|j| {
+                    let h = (i as u64)
+                        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        .wrapping_add(j as u64)
+                        .wrapping_add(seed)
+                        .wrapping_mul(0xD6E8_FEB8_6659_FD93);
+                    let noise = ((h >> 40) as f32 / (1u64 << 24) as f32) - 0.5;
+                    if i % 23 == 7 {
+                        0.8 + 0.1 * noise
+                    } else {
+                        -0.15 + 0.2 * noise
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    let keys = Matrix::from_rows(rows).expect("non-empty memory");
+    let values = keys.clone();
+    (keys, values)
+}
+
+fn batch_queries(count: usize, d: usize) -> Vec<Vec<f32>> {
+    (0..count)
+        .map(|q| {
+            (0..d)
+                .map(|j| 0.3 + 0.02 * ((q * 5 + j) % 11) as f32)
+                .collect()
+        })
+        .collect()
+}
+
+/// Doubles the iteration count until one timed sample of `op` is long enough to
+/// trust; doubles as the warm-up pass.
+fn calibrate<F: FnMut()>(effort: Effort, op: &mut F) -> u32 {
+    let mut iters: u32 = 1;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            op();
+        }
+        if start.elapsed() >= effort.min_sample() || iters >= 1 << 22 {
+            return iters;
+        }
+        iters = iters.saturating_mul(2);
+    }
+}
+
+/// One timed sample: nanoseconds per iteration over `iters` iterations.
+fn sample_ns<F: FnMut()>(iters: u32, op: &mut F) -> f64 {
+    let start = Instant::now();
+    for _ in 0..iters {
+        op();
+    }
+    start.elapsed().as_secs_f64() * 1e9 / f64::from(iters)
+}
+
+fn median(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// Median wall-clock time of `op`, in nanoseconds: calibrated iteration count, then
+/// the median of several samples (robust against scheduler noise).
+fn median_ns<F: FnMut()>(effort: Effort, mut op: F) -> f64 {
+    let iters = calibrate(effort, &mut op);
+    median(
+        (0..effort.samples())
+            .map(|_| sample_ns(iters, &mut op))
+            .collect(),
+    )
+}
+
+/// Median of **interleaved** ratio samples `time(a) / time(b)`: each sample times
+/// both sides back to back, so machine-wide slowdowns (CPU frequency, a noisy
+/// co-tenant) hit numerator and denominator together and divide out — this is what
+/// makes the `ratio/*` metrics transfer across runs and machines.
+fn median_interleaved_ratio<A: FnMut(), B: FnMut()>(effort: Effort, mut a: A, mut b: B) -> f64 {
+    let ia = calibrate(effort, &mut a);
+    let ib = calibrate(effort, &mut b);
+    median(
+        (0..effort.samples())
+            .map(|_| sample_ns(ia, &mut a) / sample_ns(ib, &mut b))
+            .collect(),
+    )
+}
+
+/// Runs the deterministic perf smoke and returns every metric, `cycles/*` first.
+pub fn measure(effort: Effort) -> Vec<Metric> {
+    let (keys, values) = memory(N, D, 17);
+    let queries = batch_queries(BATCH, D);
+    let rows: Vec<&[f32]> = queries.iter().map(Vec::as_slice).collect();
+    let mut metrics = Vec::new();
+
+    // -- Simulator cycle counts: deterministic, gated at the same tolerance. -----
+    let cycle_lineup: [(&str, Box<dyn ComputeBackend>, A3Config); 4] = [
+        (
+            "cycles/exact_batch_320x64",
+            Box::new(ExactBackend),
+            A3Config::paper_base(),
+        ),
+        (
+            "cycles/quantized_batch_320x64",
+            Box::new(QuantizedBackend::paper()),
+            A3Config::paper_base(),
+        ),
+        (
+            "cycles/approx_conservative_batch_320x64",
+            Box::new(ApproximateBackend::conservative()),
+            A3Config::paper_conservative(),
+        ),
+        (
+            "cycles/approx_aggressive_batch_320x64",
+            Box::new(ApproximateBackend::aggressive()),
+            A3Config::paper_aggressive(),
+        ),
+    ];
+    for (name, backend, config) in &cycle_lineup {
+        let model = PipelineModel::new(*config);
+        let mut cache = MemoryCache::new(1);
+        let report = model.run_batch_with(backend.as_ref(), &mut cache, &keys, &values, &queries);
+        metrics.push(Metric::new(
+            name,
+            MetricUnit::Cycles,
+            report.end_to_end_cycles() as f64,
+            true,
+        ));
+    }
+    {
+        // Sharded execution: per-shard drains plus the cross-shard merge stage.
+        let group = MultiUnit::new(4, A3Config::paper_base());
+        let mut cache = MemoryCache::new(8);
+        let sharded = group.run_sharded_batch(&ExactBackend, &mut cache, &keys, &values, &queries);
+        metrics.push(Metric::new(
+            "cycles/sharded_4x_exact_batch_320x64",
+            MetricUnit::Cycles,
+            sharded.report.total_cycles as f64,
+            true,
+        ));
+    }
+
+    // -- Wall-clock medians of the software hot paths (informational). ----------
+    let exact_memory = ExactBackend.prepare(&keys, &values).expect("valid shapes");
+    let exact_ns = median_ns(effort, || {
+        std::hint::black_box(
+            ExactBackend
+                .attend_batch_prepared(&exact_memory, std::hint::black_box(&rows))
+                .expect("valid shapes"),
+        );
+    });
+    metrics.push(Metric::new(
+        "wall_ns/exact_batch_320x64",
+        MetricUnit::Nanos,
+        exact_ns,
+        false,
+    ));
+
+    let simd = SimdBackend::new();
+    let simd_memory = simd.prepare(&keys, &values).expect("valid shapes");
+    let simd_ns = median_ns(effort, || {
+        std::hint::black_box(
+            simd.attend_batch_prepared(&simd_memory, std::hint::black_box(&rows))
+                .expect("valid shapes"),
+        );
+    });
+    metrics.push(Metric::new(
+        "wall_ns/simd_batch_320x64",
+        MetricUnit::Nanos,
+        simd_ns,
+        false,
+    ));
+
+    let approx = ApproximateBackend::conservative();
+    let approx_memory = approx.prepare(&keys, &values).expect("valid shapes");
+    let approx_ns = median_ns(effort, || {
+        std::hint::black_box(
+            approx
+                .attend_batch_prepared(&approx_memory, std::hint::black_box(&rows))
+                .expect("valid shapes"),
+        );
+    });
+    metrics.push(Metric::new(
+        "wall_ns/approx_warm_batch_320x64",
+        MetricUnit::Nanos,
+        approx_ns,
+        false,
+    ));
+
+    let prepare_ns = median_ns(effort, || {
+        std::hint::black_box(
+            approx
+                .prepare(std::hint::black_box(&keys), std::hint::black_box(&values))
+                .expect("valid shapes"),
+        );
+    });
+    metrics.push(Metric::new(
+        "wall_ns/approx_prepare_320x64",
+        MetricUnit::Nanos,
+        prepare_ns,
+        false,
+    ));
+
+    // -- Machine-transferable ratios between components, interleaved (gated). ----
+    let exact_batch = || {
+        std::hint::black_box(
+            ExactBackend
+                .attend_batch_prepared(&exact_memory, std::hint::black_box(&rows))
+                .expect("valid shapes"),
+        );
+    };
+    if simd.level() == SimdLevel::Avx2 {
+        // Skipped on scalar hosts: with both sides the same code the ratio is ~1
+        // and would spuriously trip the gate against an AVX2 baseline.
+        metrics.push(Metric::new(
+            "ratio/simd_vs_exact_batch",
+            MetricUnit::Ratio,
+            median_interleaved_ratio(
+                effort,
+                || {
+                    std::hint::black_box(
+                        simd.attend_batch_prepared(&simd_memory, std::hint::black_box(&rows))
+                            .expect("valid shapes"),
+                    );
+                },
+                exact_batch,
+            ),
+            true,
+        ));
+    }
+    metrics.push(Metric::new(
+        "ratio/approx_warm_vs_exact_batch",
+        MetricUnit::Ratio,
+        median_interleaved_ratio(
+            effort,
+            || {
+                std::hint::black_box(
+                    approx
+                        .attend_batch_prepared(&approx_memory, std::hint::black_box(&rows))
+                        .expect("valid shapes"),
+                );
+            },
+            exact_batch,
+        ),
+        true,
+    ));
+    metrics.push(Metric::new(
+        "ratio/warm_vs_cold_approx_batch",
+        MetricUnit::Ratio,
+        median_interleaved_ratio(
+            effort,
+            || {
+                // Warm: the prepared memory is resident, only per-query work runs.
+                std::hint::black_box(
+                    approx
+                        .attend_batch_prepared(&approx_memory, std::hint::black_box(&rows))
+                        .expect("valid shapes"),
+                );
+            },
+            || {
+                // Cold: every batch re-runs the per-column key sort first.
+                let memory = approx
+                    .prepare(std::hint::black_box(&keys), std::hint::black_box(&values))
+                    .expect("valid shapes");
+                std::hint::black_box(
+                    approx
+                        .attend_batch_prepared(&memory, std::hint::black_box(&rows))
+                        .expect("valid shapes"),
+                );
+            },
+        ),
+        true,
+    ));
+
+    metrics
+}
+
+/// The SIMD dispatch level of this host, recorded in the baseline file for
+/// provenance (not compared).
+pub fn host_simd_level() -> &'static str {
+    SimdBackend::new().level().label()
+}
+
+// ---------------------------------------------------------------------------
+// Baseline file (minimal JSON)
+// ---------------------------------------------------------------------------
+
+/// A minimal JSON value: the subset the baseline file uses (objects, arrays,
+/// strings, `f64` numbers, booleans, null). Strings support the standard escapes
+/// plus BMP `\uXXXX`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `{...}` with string keys, insertion-stable via [`BTreeMap`].
+    Object(BTreeMap<String, Json>),
+    /// `[...]`.
+    Array(Vec<Json>),
+    /// `"..."`.
+    Str(String),
+    /// Any JSON number, as `f64`.
+    Num(f64),
+    /// `true` / `false`.
+    Bool(bool),
+    /// `null`.
+    Null,
+}
+
+impl Json {
+    /// Parses a JSON document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message naming the byte offset of the first error.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut parser = JsonParser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        let value = parser.value()?;
+        parser.skip_ws();
+        if parser.pos != parser.bytes.len() {
+            return Err(format!("trailing data at byte {}", parser.pos));
+        }
+        Ok(value)
+    }
+
+    /// Renders the value as pretty-printed JSON (two-space indent, stable key
+    /// order), ending with a newline at the top level.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn render_into(&self, out: &mut String, indent: usize) {
+        let pad = "  ".repeat(indent);
+        match self {
+            Json::Object(map) => {
+                if map.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (key, value)) in map.iter().enumerate() {
+                    let _ = write!(out, "{pad}  \"{}\": ", escape(key));
+                    value.render_into(out, indent + 1);
+                    out.push_str(if i + 1 < map.len() { ",\n" } else { "\n" });
+                }
+                let _ = write!(out, "{pad}}}");
+            }
+            Json::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    out.push_str(&pad);
+                    out.push_str("  ");
+                    item.render_into(out, indent + 1);
+                    out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+                }
+                let _ = write!(out, "{pad}]");
+            }
+            Json::Str(s) => {
+                let _ = write!(out, "\"{}\"", escape(s));
+            }
+            Json::Num(x) => {
+                if x.fract() == 0.0 && x.abs() < 1e15 {
+                    let _ = write!(out, "{}", *x as i64);
+                } else {
+                    let _ = write!(out, "{x}");
+                }
+            }
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::Null => out.push_str("null"),
+        }
+    }
+
+    fn as_object(&self) -> Option<&BTreeMap<String, Json>> {
+        match self {
+            Json::Object(map) => Some(map),
+            _ => None,
+        }
+    }
+
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl JsonParser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), String> {
+        if self.bytes.get(self.pos) == Some(&byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {}", byte as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.bytes.get(self.pos) {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(_) => self.number(),
+            None => Err("unexpected end of input".to_owned()),
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(map));
+                }
+                _ => return Err(format!("expected `,` or `}}` at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(format!("expected `,` or `]` at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err("unterminated string".to_owned()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                16,
+                            )
+                            .map_err(|_| "bad \\u escape")?;
+                            out.push(
+                                char::from_u32(code).ok_or("unsupported \\u escape (surrogate)")?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character (input is a &str, so boundaries
+                    // are valid).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "invalid utf-8")?;
+                    let c = rest.chars().next().ok_or("unterminated string")?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while matches!(
+            self.bytes.get(self.pos),
+            Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        ) {
+            self.pos += 1;
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| "invalid number")?;
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| format!("invalid number `{text}` at byte {start}"))
+    }
+}
+
+/// Serialises measured metrics into the baseline-file document.
+pub fn baseline_document(metrics: &[Metric]) -> Json {
+    let mut entries = BTreeMap::new();
+    for metric in metrics {
+        let mut entry = BTreeMap::new();
+        entry.insert("unit".to_owned(), Json::Str(metric.unit.label().to_owned()));
+        entry.insert("value".to_owned(), Json::Num(metric.value));
+        entry.insert("gated".to_owned(), Json::Bool(metric.gated));
+        entries.insert(metric.name.clone(), Json::Object(entry));
+    }
+    let mut doc = BTreeMap::new();
+    doc.insert("schema".to_owned(), Json::Num(SCHEMA_VERSION as f64));
+    doc.insert(
+        "host_simd_level".to_owned(),
+        Json::Str(host_simd_level().to_owned()),
+    );
+    doc.insert("metrics".to_owned(), Json::Object(entries));
+    Json::Object(doc)
+}
+
+/// Parses a baseline document back into metrics.
+///
+/// # Errors
+///
+/// Returns a message describing the first malformed field.
+pub fn parse_baseline(text: &str) -> Result<Vec<Metric>, String> {
+    let doc = Json::parse(text)?;
+    let root = doc.as_object().ok_or("baseline root must be an object")?;
+    let schema = root
+        .get("schema")
+        .and_then(Json::as_f64)
+        .ok_or("missing `schema`")?;
+    if schema as u64 != SCHEMA_VERSION {
+        return Err(format!(
+            "baseline schema {schema} != supported {SCHEMA_VERSION}; regenerate with scripts/bench_update.sh"
+        ));
+    }
+    let entries = root
+        .get("metrics")
+        .and_then(Json::as_object)
+        .ok_or("missing `metrics` object")?;
+    let mut metrics = Vec::new();
+    for (name, entry) in entries {
+        let entry = entry
+            .as_object()
+            .ok_or_else(|| format!("metric `{name}` must be an object"))?;
+        let unit = entry
+            .get("unit")
+            .and_then(Json::as_str)
+            .and_then(MetricUnit::from_label)
+            .ok_or_else(|| format!("metric `{name}` has a bad `unit`"))?;
+        let value = entry
+            .get("value")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("metric `{name}` has a bad `value`"))?;
+        let gated = entry
+            .get("gated")
+            .and_then(Json::as_bool)
+            .ok_or_else(|| format!("metric `{name}` has a bad `gated`"))?;
+        metrics.push(Metric {
+            name: name.clone(),
+            unit,
+            value,
+            gated,
+        });
+    }
+    Ok(metrics)
+}
+
+// ---------------------------------------------------------------------------
+// Comparison
+// ---------------------------------------------------------------------------
+
+/// Verdict of one metric's baseline comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Gated metric above baseline by more than the tolerance: the gate fails.
+    Regression,
+    /// Gated metric below baseline by more than the tolerance (worth re-baselining).
+    Improved,
+    /// Within tolerance.
+    Ok,
+    /// Informational metric (never gated).
+    Info,
+    /// Present in this run but absent from the baseline (run bench_update.sh).
+    New,
+    /// Present in the baseline but not measurable on this host (e.g. the SIMD
+    /// ratio on a host without AVX2).
+    Skipped,
+}
+
+impl Verdict {
+    fn label(self) -> &'static str {
+        match self {
+            Verdict::Regression => "REGRESSION",
+            Verdict::Improved => "improved",
+            Verdict::Ok => "ok",
+            Verdict::Info => "info",
+            Verdict::New => "new",
+            Verdict::Skipped => "skipped",
+        }
+    }
+}
+
+/// One row of the comparison report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delta {
+    /// Metric name.
+    pub name: String,
+    /// Unit shared by baseline and current.
+    pub unit: MetricUnit,
+    /// Baseline value, if the baseline has this metric.
+    pub baseline: Option<f64>,
+    /// Current value, if measurable on this host.
+    pub current: Option<f64>,
+    /// Relative change in percent (`(current - baseline) / baseline * 100`).
+    pub delta_pct: Option<f64>,
+    /// The verdict under the gate.
+    pub verdict: Verdict,
+}
+
+/// Full comparison of one measurement run against the baselines.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// Tolerance in percent the gate applied.
+    pub tolerance_pct: f64,
+    /// Every metric row, sorted worst-delta first.
+    pub deltas: Vec<Delta>,
+}
+
+impl Comparison {
+    /// Number of gated regressions (the gate fails when nonzero).
+    pub fn regressions(&self) -> usize {
+        self.deltas
+            .iter()
+            .filter(|d| d.verdict == Verdict::Regression)
+            .count()
+    }
+
+    /// Renders the sorted delta table as Markdown (CI drops this into the job
+    /// summary).
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "| metric | unit | baseline | current | delta | verdict |"
+        );
+        let _ = writeln!(out, "|---|---|---:|---:|---:|---|");
+        for d in &self.deltas {
+            let fmt = |v: Option<f64>| match v {
+                Some(x) if x.fract() == 0.0 && x.abs() < 1e15 => format!("{}", x as i64),
+                Some(x) => format!("{x:.4}"),
+                None => "—".to_owned(),
+            };
+            let delta = match d.delta_pct {
+                Some(p) => format!("{p:+.1}%"),
+                None => "—".to_owned(),
+            };
+            let _ = writeln!(
+                out,
+                "| `{}` | {} | {} | {} | {} | {} |",
+                d.name,
+                d.unit.label(),
+                fmt(d.baseline),
+                fmt(d.current),
+                delta,
+                d.verdict.label()
+            );
+        }
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "{} gated regression(s) at ±{:.0}% tolerance (±{:.0}% for `ratio/*`, \
+             cross-host headroom).",
+            self.regressions(),
+            self.tolerance_pct,
+            self.tolerance_pct * RATIO_HEADROOM
+        );
+        out
+    }
+}
+
+/// Compares a measurement run against baselines: gated metrics whose value grew by
+/// more than `tolerance_pct` are regressions; rows come back sorted worst first.
+pub fn compare(baseline: &[Metric], current: &[Metric], tolerance_pct: f64) -> Comparison {
+    let by_name: BTreeMap<&str, &Metric> = current.iter().map(|m| (m.name.as_str(), m)).collect();
+    let baseline_names: BTreeMap<&str, &Metric> =
+        baseline.iter().map(|m| (m.name.as_str(), m)).collect();
+
+    let mut deltas = Vec::new();
+    for base in baseline {
+        match by_name.get(base.name.as_str()) {
+            Some(cur) => {
+                let delta_pct = if base.value.abs() > f64::EPSILON {
+                    (cur.value - base.value) / base.value * 100.0
+                } else {
+                    0.0
+                };
+                let gated = base.gated && cur.gated;
+                let tolerance = if cur.unit == MetricUnit::Ratio {
+                    tolerance_pct * RATIO_HEADROOM
+                } else {
+                    tolerance_pct
+                };
+                let verdict = if !gated {
+                    Verdict::Info
+                } else if delta_pct > tolerance {
+                    Verdict::Regression
+                } else if delta_pct < -tolerance {
+                    Verdict::Improved
+                } else {
+                    Verdict::Ok
+                };
+                deltas.push(Delta {
+                    name: base.name.clone(),
+                    unit: cur.unit,
+                    baseline: Some(base.value),
+                    current: Some(cur.value),
+                    delta_pct: Some(delta_pct),
+                    verdict,
+                });
+            }
+            None => deltas.push(Delta {
+                name: base.name.clone(),
+                unit: base.unit,
+                baseline: Some(base.value),
+                current: None,
+                delta_pct: None,
+                verdict: Verdict::Skipped,
+            }),
+        }
+    }
+    for cur in current {
+        if !baseline_names.contains_key(cur.name.as_str()) {
+            deltas.push(Delta {
+                name: cur.name.clone(),
+                unit: cur.unit,
+                baseline: None,
+                current: Some(cur.value),
+                delta_pct: None,
+                verdict: Verdict::New,
+            });
+        }
+    }
+    // Worst delta first; rows without a delta (skipped/new) sink to the bottom.
+    deltas.sort_by(|a, b| {
+        b.delta_pct
+            .unwrap_or(f64::NEG_INFINITY)
+            .total_cmp(&a.delta_pct.unwrap_or(f64::NEG_INFINITY))
+            .then_with(|| a.name.cmp(&b.name))
+    });
+    Comparison {
+        tolerance_pct,
+        deltas,
+    }
+}
+
+/// Multiplies every wall-clock and ratio metric by `factor` — the self-test hook
+/// that demonstrates the gate trips on an injected slowdown
+/// (`a3_bench_check check --inject-slowdown 1.2`). Cycle metrics are left alone:
+/// they are deterministic, so scaling them would only test the arithmetic twice.
+pub fn inject_slowdown(metrics: &mut [Metric], factor: f64) {
+    for metric in metrics {
+        if matches!(metric.unit, MetricUnit::Nanos | MetricUnit::Ratio) {
+            metric.value *= factor;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_metrics() -> Vec<Metric> {
+        vec![
+            Metric::new("cycles/a", MetricUnit::Cycles, 1000.0, true),
+            Metric::new("ratio/b", MetricUnit::Ratio, 0.5, true),
+            Metric::new("wall_ns/c", MetricUnit::Nanos, 123456.789, false),
+        ]
+    }
+
+    #[test]
+    fn baseline_roundtrips_through_json() {
+        let metrics = sample_metrics();
+        let text = baseline_document(&metrics).render();
+        let parsed = parse_baseline(&text).unwrap();
+        assert_eq!(parsed.len(), metrics.len());
+        for metric in &metrics {
+            let restored = parsed.iter().find(|m| m.name == metric.name).unwrap();
+            assert_eq!(restored.unit, metric.unit);
+            assert_eq!(restored.gated, metric.gated);
+            assert!((restored.value - metric.value).abs() < 1e-9);
+        }
+        // Rendering is stable (fixed key order), so baseline diffs stay minimal.
+        assert_eq!(text, baseline_document(&parsed).render());
+    }
+
+    #[test]
+    fn json_parser_handles_the_subset_and_rejects_garbage() {
+        let doc = Json::parse(r#"{"a": [1, -2.5e3, "x\n\"yA"], "b": true, "c": null}"#).unwrap();
+        let map = doc.as_object().unwrap();
+        assert_eq!(map.get("b"), Some(&Json::Bool(true)));
+        assert_eq!(map.get("c"), Some(&Json::Null));
+        match map.get("a") {
+            Some(Json::Array(items)) => {
+                assert_eq!(items[0], Json::Num(1.0));
+                assert_eq!(items[1], Json::Num(-2500.0));
+                assert_eq!(items[2], Json::Str("x\n\"yA".to_owned()));
+            }
+            other => panic!("expected array, got {other:?}"),
+        }
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("{} trailing").is_err());
+        assert!(Json::parse(r#"{"a": nope}"#).is_err());
+    }
+
+    #[test]
+    fn gate_trips_on_regressions_above_tolerance_only() {
+        let baseline = sample_metrics();
+        let mut current = sample_metrics();
+        // +10% on a gated cycles metric: within the 15% tolerance.
+        current[0].value = 1100.0;
+        let cmp = compare(&baseline, &current, DEFAULT_TOLERANCE_PCT);
+        assert_eq!(cmp.regressions(), 0);
+        // +20% on a gated cycles metric: regression.
+        current[0].value = 1200.0;
+        let cmp = compare(&baseline, &current, DEFAULT_TOLERANCE_PCT);
+        assert_eq!(cmp.regressions(), 1);
+        assert_eq!(cmp.deltas[0].name, "cycles/a", "worst delta sorts first");
+        assert_eq!(cmp.deltas[0].verdict, Verdict::Regression);
+        // Ratio metrics gate with RATIO_HEADROOM extra slack (cross-host IPC
+        // differences): +20% passes, +40% regresses.
+        current[0].value = 1000.0;
+        current[1].value = 0.6;
+        let cmp = compare(&baseline, &current, DEFAULT_TOLERANCE_PCT);
+        assert_eq!(cmp.regressions(), 0);
+        current[1].value = 0.7;
+        let cmp = compare(&baseline, &current, DEFAULT_TOLERANCE_PCT);
+        assert_eq!(cmp.regressions(), 1);
+        // A huge change on an ungated metric never fails the gate.
+        current[1].value = 0.5;
+        current[2].value = 1e9;
+        let cmp = compare(&baseline, &current, DEFAULT_TOLERANCE_PCT);
+        assert_eq!(cmp.regressions(), 0);
+        assert!(cmp
+            .deltas
+            .iter()
+            .any(|d| d.name == "wall_ns/c" && d.verdict == Verdict::Info));
+    }
+
+    #[test]
+    fn improvements_missing_and_new_metrics_are_reported_not_failed() {
+        let baseline = sample_metrics();
+        let mut current = sample_metrics();
+        current[1].value = 0.2; // big improvement
+        current.remove(0); // cycles/a not measurable "on this host"
+        current.push(Metric::new("ratio/new", MetricUnit::Ratio, 1.0, true));
+        let cmp = compare(&baseline, &current, DEFAULT_TOLERANCE_PCT);
+        assert_eq!(cmp.regressions(), 0);
+        let verdict_of = |name: &str| {
+            cmp.deltas
+                .iter()
+                .find(|d| d.name == name)
+                .map(|d| d.verdict)
+        };
+        assert_eq!(verdict_of("ratio/b"), Some(Verdict::Improved));
+        assert_eq!(verdict_of("cycles/a"), Some(Verdict::Skipped));
+        assert_eq!(verdict_of("ratio/new"), Some(Verdict::New));
+        let markdown = cmp.render_markdown();
+        assert!(markdown.contains("| metric |"));
+        assert!(markdown.contains("0 gated regression(s)"));
+    }
+
+    #[test]
+    fn inject_slowdown_scales_wall_and_ratio_metrics_only() {
+        let mut metrics = sample_metrics();
+        inject_slowdown(&mut metrics, 1.4);
+        assert!((metrics[0].value - 1000.0).abs() < 1e-9, "cycles untouched");
+        assert!((metrics[1].value - 0.7).abs() < 1e-9);
+        assert!((metrics[2].value - 172839.5046).abs() < 1e-3);
+        // An injected 40% slowdown must trip the gate against itself (ratio
+        // metrics gate at tolerance x RATIO_HEADROOM = 30%).
+        let baseline = sample_metrics();
+        let cmp = compare(&baseline, &metrics, DEFAULT_TOLERANCE_PCT);
+        assert!(cmp.regressions() >= 1);
+    }
+
+    #[test]
+    fn quick_measurement_produces_the_full_metric_set_with_deterministic_cycles() {
+        let first = measure(Effort::Quick);
+        let names: Vec<&str> = first.iter().map(|m| m.name.as_str()).collect();
+        let unique: std::collections::BTreeSet<&str> = names.iter().copied().collect();
+        assert_eq!(unique.len(), names.len(), "metric names must be unique");
+        assert!(names.iter().any(|n| n.starts_with("cycles/")));
+        assert!(names.iter().any(|n| n.starts_with("wall_ns/")));
+        assert!(names.iter().any(|n| n.starts_with("ratio/")));
+        let second = measure(Effort::Quick);
+        for (a, b) in first.iter().zip(&second) {
+            assert_eq!(a.name, b.name);
+            if a.unit == MetricUnit::Cycles {
+                assert_eq!(a.value, b.value, "{} must be deterministic", a.name);
+            }
+        }
+        // Against itself, a run has zero regressions by construction for the
+        // deterministic metrics; wall/ratio metrics compare within the tolerance
+        // only statistically, so gate just the cycles here.
+        let cycles: Vec<Metric> = first
+            .iter()
+            .filter(|m| m.unit == MetricUnit::Cycles)
+            .cloned()
+            .collect();
+        let cmp = compare(&cycles, &cycles, DEFAULT_TOLERANCE_PCT);
+        assert_eq!(cmp.regressions(), 0);
+    }
+}

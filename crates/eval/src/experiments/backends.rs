@@ -7,7 +7,9 @@
 //! including what the preprocessing cache buys: the first batch against a memory pays
 //! the preprocessing cycles, a repeated (warm) batch pays zero.
 
-use a3_core::backend::{ApproximateBackend, ComputeBackend, ExactBackend, QuantizedBackend};
+use a3_core::backend::{
+    ApproximateBackend, ComputeBackend, ExactBackend, QuantizedBackend, SimdBackend,
+};
 use a3_sim::{A3Config, MemoryCache, PipelineModel};
 
 use crate::experiments::paper_workloads;
@@ -22,6 +24,11 @@ fn lineup() -> Vec<(&'static str, Box<dyn ComputeBackend>, A3Config)> {
         (
             "Exact (float)",
             Box::new(ExactBackend),
+            A3Config::paper_base(),
+        ),
+        (
+            "SIMD exact (runtime dispatch)",
+            Box::new(SimdBackend::new()),
             A3Config::paper_base(),
         ),
         (
@@ -120,9 +127,9 @@ mod tests {
         let tables = backend_comparison(&EvalSettings::fast());
         assert_eq!(tables.len(), 2);
         let accuracy = &tables[0];
-        assert_eq!(accuracy.len(), 4, "one row per backend");
+        assert_eq!(accuracy.len(), 5, "one row per backend");
         let cycles = &tables[1];
-        assert_eq!(cycles.len(), 4 * 3, "one row per backend per workload");
+        assert_eq!(cycles.len(), 5 * 3, "one row per backend per workload");
         // Warm batches must never cost more than cold batches (the cache win).
         for row in 0..cycles.len() {
             let cold: u64 = cycles.cell(row, 5).unwrap().parse().unwrap();

@@ -8,7 +8,9 @@
 //! buys: batch fill, per-request latency (queueing and batching wait included),
 //! deadline-miss rates, and the end-to-end cycle win over per-request serving.
 
-use a3_core::backend::{ApproximateBackend, ComputeBackend, ExactBackend, QuantizedBackend};
+use a3_core::backend::{
+    ApproximateBackend, ComputeBackend, ExactBackend, QuantizedBackend, SimdBackend,
+};
 use a3_sim::{
     poisson_arrival_cycles, A3Config, BatchPolicy, MemoryCache, PipelineModel, ServerSim,
     TraceRequest,
@@ -29,6 +31,11 @@ fn lineup() -> Vec<(&'static str, Box<dyn ComputeBackend>, A3Config)> {
         (
             "Exact (float)",
             Box::new(ExactBackend),
+            A3Config::paper_base(),
+        ),
+        (
+            "SIMD exact (runtime dispatch)",
+            Box::new(SimdBackend::new()),
             A3Config::paper_base(),
         ),
         (
@@ -197,10 +204,10 @@ mod tests {
         let tables = serving(&settings);
         assert_eq!(tables.len(), 2);
         let sweep = &tables[0];
-        // 3 workloads x 3 backends x 2 arrival rates x 3 windows.
-        assert_eq!(sweep.len(), 3 * 3 * 2 * 3);
+        // 3 workloads x 4 backends x 2 arrival rates x 3 windows.
+        assert_eq!(sweep.len(), 3 * 4 * 2 * 3);
         let comparison = &tables[1];
-        assert_eq!(comparison.len(), 3 * 3);
+        assert_eq!(comparison.len(), 3 * 4);
     }
 
     #[test]

@@ -17,7 +17,7 @@
 use a3_core::attention::AttentionResult;
 use a3_core::backend::{
     ApproximateBackend, ComputeBackend, ExactBackend, MemoryCache, QuantizedBackend, ShardPlan,
-    ShardedMemory,
+    ShardedMemory, SimdBackend,
 };
 use a3_core::Matrix;
 use a3_sim::{A3Config, MultiUnit};
@@ -40,6 +40,11 @@ fn lineup() -> Vec<(&'static str, Box<dyn ComputeBackend>, A3Config)> {
         (
             "Exact (float)",
             Box::new(ExactBackend),
+            A3Config::paper_base(),
+        ),
+        (
+            "SIMD exact (runtime dispatch)",
+            Box::new(SimdBackend::new()),
             A3Config::paper_base(),
         ),
         (
@@ -245,11 +250,11 @@ mod tests {
     fn sharding_tables_cover_every_combination() {
         let tables = sharding(&EvalSettings::fast());
         assert_eq!(tables.len(), 3);
-        // 2 memory sizes x 3 backends x 4 shard counts.
-        assert_eq!(tables[0].len(), 2 * 3 * 4);
-        assert_eq!(tables[1].len(), 2 * 3 * 4);
-        // 2 memory sizes x 3 backends.
-        assert_eq!(tables[2].len(), 2 * 3);
+        // 2 memory sizes x 4 backends x 4 shard counts.
+        assert_eq!(tables[0].len(), 2 * 4 * 4);
+        assert_eq!(tables[1].len(), 2 * 4 * 4);
+        // 2 memory sizes x 4 backends.
+        assert_eq!(tables[2].len(), 2 * 4);
     }
 
     #[test]
@@ -282,8 +287,11 @@ mod tests {
             let backend = accuracy.cell(row, 1).unwrap();
             let diff: f64 = accuracy.cell(row, 3).unwrap().parse().unwrap();
             match backend {
-                // Float merge: reduction-order noise only.
-                "Exact (float)" => assert!(diff < 1e-5, "row {row}: exact diff {diff}"),
+                // Float merge: reduction-order noise only (lane-order noise too for
+                // the SIMD datapath, same bound).
+                "Exact (float)" | "SIMD exact (runtime dispatch)" => {
+                    assert!(diff < 1e-5, "row {row}: exact diff {diff}");
+                }
                 // Fixed-point merge: per-shard weight-quantization noise.
                 "Quantized (Q4.4 LUT)" => assert!(diff < 0.05, "row {row}: quantized diff {diff}"),
                 // Candidate union: small selection differences are legitimate, but the

@@ -21,6 +21,7 @@
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
+pub mod bench_check;
 pub mod experiments;
 pub mod report;
 pub mod settings;

@@ -13,7 +13,7 @@ use std::time::Instant;
 
 use a3::core::approx::{ApproxConfig, ApproximateAttention};
 use a3::core::attention::attention_batch;
-use a3::core::backend::{ApproximateBackend, ComputeBackend};
+use a3::core::backend::{ApproximateBackend, ComputeBackend, SimdBackend};
 use a3::core::serve::{AttentionServer, BatchPolicy, Request};
 use a3::sim::{A3Config, MemoryCache, PipelineModel};
 use a3::workloads::kvmemn2n::KvMemN2N;
@@ -40,6 +40,30 @@ fn main() {
         exact.len(),
         start.elapsed()
     );
+
+    // The same exact batch through the vectorised datapath: runtime-dispatched AVX2
+    // kernels (or the scalar fallback on hosts without AVX2 / under
+    // A3_FORCE_SCALAR=1), within 1e-5 of the scalar exact outputs.
+    let simd = SimdBackend::new();
+    let start = Instant::now();
+    let simd_batch = simd
+        .attend_batch(
+            &memory.keys,
+            &memory.values,
+            &a3::core::Matrix::from_rows(queries.clone()).expect("non-empty batch"),
+        )
+        .expect("valid shapes");
+    println!(
+        "simd batch       : {} outputs in {:?} (dispatch: {})",
+        simd_batch.len(),
+        start.elapsed(),
+        simd.level()
+    );
+    for (fast, reference) in simd_batch.iter().zip(&exact) {
+        for (a, b) in fast.output.iter().zip(&reference.output) {
+            assert!((a - b).abs() < 1e-5, "simd output diverged: {a} vs {b}");
+        }
+    }
 
     // Approximate batched attention: one preprocessing pass for the whole batch.
     let approx = ApproximateAttention::new(ApproxConfig::conservative());

@@ -2,7 +2,9 @@
 
 use a3::core::approx::{ApproxConfig, ApproximateAttention};
 use a3::core::attention::attention_with_scores;
-use a3::core::backend::{ApproximateBackend, ExactBackend, QuantizedBackend};
+use a3::core::backend::{
+    ApproximateBackend, ComputeBackend, ExactBackend, QuantizedBackend, SimdBackend,
+};
 use a3::sim::{A3Config, EnergyModel, MultiUnit, PipelineModel};
 use a3::workloads::bert::BertLite;
 use a3::workloads::kvmemn2n::KvMemN2N;
@@ -104,6 +106,35 @@ fn quantized_pipeline_tracks_float_accuracy_on_memn2n() {
         (float - quant).abs() < 0.15,
         "float {float} vs quantized {quant}"
     );
+}
+
+#[test]
+fn simd_backend_tracks_exact_across_workload_cases() {
+    // The vectorised exact datapath must stay within 1e-5 of the scalar exact
+    // backend on every workload's real attention cases (not just synthetic
+    // memories), at whatever level the host dispatches to.
+    let simd = SimdBackend::new();
+    for w in workloads() {
+        for case in w.attention_cases(4) {
+            let exact = attention_with_scores(&case.keys, &case.values, &case.query).unwrap();
+            let fast = simd.attend(&case.keys, &case.values, &case.query).unwrap();
+            for (a, b) in fast.output.iter().zip(&exact.output) {
+                assert!((a - b).abs() < 1e-5, "{}: {a} vs {b}", w.name());
+            }
+            for (a, b) in fast.weights.iter().zip(&exact.weights) {
+                assert!((a - b).abs() < 1e-5, "{}: weight {a} vs {b}", w.name());
+            }
+        }
+        // Task metrics run through the same `&dyn ComputeBackend` plumbing as every
+        // other backend; with near-identical weights the metric stays close.
+        let exact_metric = w.evaluate(&ExactBackend, 4);
+        let simd_metric = w.evaluate(&simd, 4);
+        assert!(
+            (exact_metric - simd_metric).abs() < 0.26,
+            "{}: exact {exact_metric} vs simd {simd_metric}",
+            w.name()
+        );
+    }
 }
 
 #[test]

@@ -57,7 +57,7 @@ fn sharding_experiment_finds_a_break_even_shard_count_on_the_large_memory() {
             assert_ne!(break_even.cell(row, 2), Some("none"), "row {row}");
         }
     }
-    assert_eq!(large_rows, 3, "three backends on the large memory");
+    assert_eq!(large_rows, 4, "four backends on the large memory");
 }
 
 #[test]
