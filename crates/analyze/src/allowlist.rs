@@ -1,0 +1,132 @@
+//! Per-lint allowlists.
+//!
+//! Each lint may have a file `crates/analyze/allowlists/<lint>.txt` at the
+//! workspace root. Every non-comment line is `<path> <pattern>`:
+//!
+//! - `<path>` is the workspace-relative file path the entry applies to;
+//! - `<pattern>` is either `*` (permit every finding in that file) or a
+//!   substring that must appear in the offending line.
+//!
+//! Entries that never match a finding are *stale*; `--deny-all` treats stale
+//! entries as errors so the allowlists cannot silently rot.
+
+use crate::lints::Finding;
+
+/// One allowlist entry.
+#[derive(Debug, Clone)]
+pub struct Entry {
+    /// Workspace-relative path (forward slashes) this entry applies to.
+    pub path: String,
+    /// `*` or a substring of the offending line.
+    pub pattern: String,
+    /// 1-based line in the allowlist file (for stale-entry reporting).
+    pub line: usize,
+}
+
+/// The parsed allowlist for one lint, with per-entry usage tracking.
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    entries: Vec<Entry>,
+    used: Vec<bool>,
+}
+
+impl Allowlist {
+    /// Parses allowlist text. Blank lines and `#` comments are skipped; a line
+    /// with no whitespace separator is a bare path equivalent to `<path> *`.
+    pub fn parse(text: &str) -> Self {
+        let mut entries = Vec::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (path, pattern) = match line.split_once(char::is_whitespace) {
+                Some((p, rest)) => (p.to_owned(), rest.trim().to_owned()),
+                None => (line.to_owned(), "*".to_owned()),
+            };
+            entries.push(Entry {
+                path,
+                pattern,
+                line: i + 1,
+            });
+        }
+        let used = vec![false; entries.len()];
+        Self { entries, used }
+    }
+
+    /// Whether `finding` is permitted; marks the matching entry as used.
+    pub fn permits(&mut self, finding: &Finding) -> bool {
+        for (entry, used) in self.entries.iter().zip(self.used.iter_mut()) {
+            if entry.path != finding.path {
+                continue;
+            }
+            if entry.pattern == "*" || finding.snippet.contains(&entry.pattern) {
+                *used = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Entries that permitted no finding (candidates for removal).
+    pub fn stale_entries(&self) -> Vec<&Entry> {
+        self.entries
+            .iter()
+            .zip(&self.used)
+            .filter(|(_, used)| !**used)
+            .map(|(entry, _)| entry)
+            .collect()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the allowlist has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(path: &str, snippet: &str) -> Finding {
+        Finding {
+            lint: "unsafe-allowlist",
+            path: path.to_owned(),
+            line: 1,
+            message: String::new(),
+            snippet: snippet.to_owned(),
+        }
+    }
+
+    #[test]
+    fn parses_comments_bare_paths_and_patterns() {
+        let text = "# comment\n\ncrates/a/src/lib.rs *\ncrates/b/src/lib.rs .unwrap()\ncrates/c/src/lib.rs\n";
+        let list = Allowlist::parse(text);
+        assert_eq!(list.len(), 3);
+        assert_eq!(list.entries[2].pattern, "*");
+    }
+
+    #[test]
+    fn star_permits_whole_file_pattern_matches_snippet() {
+        let mut list = Allowlist::parse("crates/a/src/lib.rs *\ncrates/b/src/lib.rs xs[0]\n");
+        assert!(list.permits(&finding("crates/a/src/lib.rs", "anything")));
+        assert!(list.permits(&finding("crates/b/src/lib.rs", "let y = xs[0];")));
+        assert!(!list.permits(&finding("crates/b/src/lib.rs", "let y = xs[1];")));
+        assert!(!list.permits(&finding("crates/d/src/lib.rs", "anything")));
+    }
+
+    #[test]
+    fn unused_entries_are_stale() {
+        let mut list = Allowlist::parse("crates/a/src/lib.rs *\ncrates/gone/src/lib.rs *\n");
+        assert!(list.permits(&finding("crates/a/src/lib.rs", "x")));
+        let stale = list.stale_entries();
+        assert_eq!(stale.len(), 1);
+        assert_eq!(stale[0].path, "crates/gone/src/lib.rs");
+        assert_eq!(stale[0].line, 2);
+    }
+}

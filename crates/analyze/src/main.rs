@@ -1,0 +1,154 @@
+//! CLI for the workspace invariant checker.
+//!
+//! ```text
+//! cargo run -p a3-analyze                   # run all lints
+//! cargo run -p a3-analyze -- --deny-all     # CI mode: also fail stale allowlist entries
+//! cargo run -p a3-analyze -- --lint <name>  # run one lint
+//! cargo run -p a3-analyze -- --list         # list lints
+//! cargo run -p a3-analyze -- --self-test    # seeded-violation self-test
+//! cargo run -p a3-analyze -- --root <dir>   # analyze another tree
+//! ```
+//!
+//! Exit status: 0 when clean, 1 on findings (or, with `--deny-all`, stale
+//! allowlist entries), 2 on usage or I/O errors.
+
+use std::env;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use a3_analyze::lints::LINTS;
+use a3_analyze::{analyze, find_workspace_root, selftest};
+
+struct Options {
+    deny_all: bool,
+    lint: Option<String>,
+    list: bool,
+    self_test: bool,
+    root: Option<PathBuf>,
+}
+
+fn usage() {
+    eprintln!(
+        "a3-analyze: source-level invariant checker for the A3 workspace\n\
+         \n\
+         USAGE: a3-analyze [--deny-all] [--lint <name>] [--list] [--self-test] [--root <dir>]\n\
+         \n\
+         --deny-all    CI mode: stale allowlist entries are errors too\n\
+         --lint <name> run a single lint (see --list)\n\
+         --list        list the lint rules and exit\n\
+         --self-test   verify every lint fires on its seeded violation\n\
+         --root <dir>  workspace root (default: discovered from the current dir)"
+    );
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        deny_all: false,
+        lint: None,
+        list: false,
+        self_test: false,
+        root: None,
+    };
+    let mut args = env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny-all" => opts.deny_all = true,
+            "--list" => opts.list = true,
+            "--self-test" => opts.self_test = true,
+            "--lint" => {
+                let name = args.next().ok_or("--lint requires a lint name")?;
+                if !LINTS.iter().any(|l| l.name == name) {
+                    return Err(format!("unknown lint `{name}` (see --list)"));
+                }
+                opts.lint = Some(name);
+            }
+            "--root" => {
+                let dir = args.next().ok_or("--root requires a directory")?;
+                opts.root = Some(PathBuf::from(dir));
+            }
+            "--help" | "-h" => {
+                usage();
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn run() -> Result<ExitCode, String> {
+    let opts = parse_args()?;
+
+    if opts.list {
+        for lint in LINTS {
+            println!("{:<26} {}", lint.name, lint.description);
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    if opts.self_test {
+        let failures = selftest::run();
+        if failures.is_empty() {
+            println!(
+                "self-test OK: all {} lints fire on seeded violations and pass on the fixes",
+                LINTS.len()
+            );
+            return Ok(ExitCode::SUCCESS);
+        }
+        for f in &failures {
+            eprintln!("self-test FAILURE: {f}");
+        }
+        return Ok(ExitCode::FAILURE);
+    }
+
+    let root = match opts.root {
+        Some(r) => r,
+        None => {
+            let cwd = env::current_dir().map_err(|e| format!("cannot read current dir: {e}"))?;
+            find_workspace_root(&cwd)
+                .ok_or("no workspace root found (no ancestor Cargo.toml with [workspace])")?
+        }
+    };
+
+    let analysis =
+        analyze(&root, opts.lint.as_deref()).map_err(|e| format!("analysis failed: {e}"))?;
+
+    for f in &analysis.findings {
+        println!("{}:{}: [{}] {}", f.path, f.line, f.lint, f.message);
+        println!("    {}", f.snippet);
+        if let Some(info) = LINTS.iter().find(|l| l.name == f.lint) {
+            println!("    fix: {}", info.fix_hint);
+        }
+    }
+    for (lint, path, pattern, line) in &analysis.stale {
+        let level = if opts.deny_all { "error" } else { "warning" };
+        println!(
+            "{level}: stale allowlist entry `{path} {pattern}` ({}.txt:{line}) matched nothing — remove it",
+            lint
+        );
+    }
+    println!(
+        "a3-analyze: {} files, {} finding(s), {} suppressed by allowlists, {} stale allowlist entr(y/ies)",
+        analysis.files,
+        analysis.findings.len(),
+        analysis.suppressed,
+        analysis.stale.len()
+    );
+
+    if analysis.is_clean(opts.deny_all) {
+        Ok(ExitCode::SUCCESS)
+    } else {
+        Ok(ExitCode::FAILURE)
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("a3-analyze: {msg}");
+            usage();
+            ExitCode::from(2)
+        }
+    }
+}

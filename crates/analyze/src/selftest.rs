@@ -1,0 +1,88 @@
+//! Seeded-violation self-test.
+//!
+//! For each lint, a small source snippet with a deliberate violation and a
+//! fixed counterpart. The self-test asserts the lint *fires* on the violation
+//! and *stays quiet* on the fix — proving the checker itself has not rotted.
+//! Run it with `cargo run -p a3-analyze -- --self-test` (CI does).
+
+use crate::lints::{self, LINTS};
+use crate::source::SourceFile;
+
+/// One self-test case: lint name, pseudo-path, violating source, fixed source.
+pub struct Seeded {
+    /// Lint under test.
+    pub lint: &'static str,
+    /// Pseudo workspace-relative path (chosen so path-scoped lints apply).
+    pub path: &'static str,
+    /// Source containing exactly the seeded violation.
+    pub bad: &'static str,
+    /// The same code, fixed; the lint must not fire on it.
+    pub good: &'static str,
+}
+
+/// The seeded corpus, one case per lint in [`LINTS`].
+pub const SEEDED: &[Seeded] = &[
+    Seeded {
+        lint: "unsafe-safety-comment",
+        path: "crates/core/src/seeded.rs",
+        bad: "pub fn read(p: *const u8) -> u8 {\n    unsafe { *p }\n}\n",
+        good: "pub fn read(p: *const u8) -> u8 {\n    // SAFETY: the caller guarantees p is valid and aligned.\n    unsafe { *p }\n}\n",
+    },
+    Seeded {
+        lint: "unsafe-allowlist",
+        path: "crates/core/src/seeded.rs",
+        bad: "pub fn read(p: *const u8) -> u8 {\n    // SAFETY: the caller guarantees p is valid.\n    unsafe { *p }\n}\n",
+        good: "pub fn read(bytes: &[u8]) -> Option<u8> {\n    bytes.first().copied()\n}\n",
+    },
+    Seeded {
+        lint: "hotpath-no-panic",
+        path: "crates/core/src/serve/seeded.rs",
+        bad: "pub fn pick(xs: &[f32]) -> f32 {\n    xs.first().copied().unwrap()\n}\n",
+        good: "pub fn pick(xs: &[f32]) -> Option<f32> {\n    xs.first().copied()\n}\n",
+    },
+    Seeded {
+        lint: "fixed-no-bare-cast",
+        path: "crates/fixed/src/seeded.rs",
+        bad: "pub fn widen(x: i32) -> i64 {\n    x as i64\n}\n",
+        good: "pub fn widen(x: i32) -> i64 {\n    i64::from(x)\n}\n",
+    },
+    Seeded {
+        lint: "result-errors-documented",
+        path: "crates/core/src/seeded.rs",
+        bad: "pub fn parse(s: &str) -> Result<u32, String> {\n    s.parse().map_err(|_| String::new())\n}\n",
+        good: "/// Parses a decimal count.\n///\n/// # Errors\n///\n/// Returns an error when `s` is not a non-negative decimal integer.\npub fn parse(s: &str) -> Result<u32, String> {\n    s.parse().map_err(|_| String::new())\n}\n",
+    },
+];
+
+fn fires(lint: &str, path: &str, src: &str) -> bool {
+    let file = SourceFile::from_source(path, src);
+    let mut findings = Vec::new();
+    lints::run_lint(lint, &file, &mut findings);
+    findings.iter().any(|f| f.lint == lint)
+}
+
+/// Runs every seeded case; returns a failure message per broken case (empty
+/// when the checker is healthy). Also fails if a lint has no seeded case.
+pub fn run() -> Vec<String> {
+    let mut failures = Vec::new();
+    for case in SEEDED {
+        if !fires(case.lint, case.path, case.bad) {
+            failures.push(format!(
+                "lint `{}` did NOT fire on its seeded violation at {}",
+                case.lint, case.path
+            ));
+        }
+        if fires(case.lint, case.path, case.good) {
+            failures.push(format!(
+                "lint `{}` fired on the FIXED version of its seeded case at {}",
+                case.lint, case.path
+            ));
+        }
+    }
+    for lint in LINTS {
+        if !SEEDED.iter().any(|c| c.lint == lint.name) {
+            failures.push(format!("lint `{}` has no seeded self-test case", lint.name));
+        }
+    }
+    failures
+}

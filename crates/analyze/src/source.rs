@@ -1,0 +1,370 @@
+//! Source-file model for the lints: comment/string masking and test-span tracking.
+//!
+//! The lints work on a *masked* view of each file, where every character inside a
+//! comment, string literal or char literal is replaced by a space (newlines are
+//! kept, so line numbers survive). Token searches against the masked view cannot
+//! be fooled by `"unsafe"` appearing in a string or a doc example. The raw lines
+//! are kept alongside for the checks that *do* inspect comments (`// SAFETY:`
+//! detection, `# Errors` doc sections).
+
+/// One workspace source file, pre-processed for linting.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Path relative to the workspace root, with forward slashes.
+    pub rel_path: String,
+    /// The file's lines, verbatim.
+    pub raw_lines: Vec<String>,
+    /// The file's lines with comments, strings and char literals blanked.
+    pub code_lines: Vec<String>,
+    /// Per line: whether it lies inside a `#[cfg(test)]` item.
+    pub in_test: Vec<bool>,
+}
+
+impl SourceFile {
+    /// Builds the masked view and test spans from raw source text.
+    pub fn from_source(rel_path: &str, source: &str) -> Self {
+        let raw_lines: Vec<String> = source.lines().map(str::to_owned).collect();
+        let masked = mask_source(source);
+        let code_lines: Vec<String> = masked.lines().map(str::to_owned).collect();
+        let in_test = test_spans(&code_lines);
+        Self {
+            rel_path: rel_path.to_owned(),
+            raw_lines,
+            code_lines,
+            in_test,
+        }
+    }
+
+    /// Whether 0-based line `i` is inside a `#[cfg(test)]` item.
+    pub fn is_test_line(&self, i: usize) -> bool {
+        self.in_test.get(i).copied().unwrap_or(false)
+    }
+}
+
+/// States of the masking scanner.
+enum State {
+    Code,
+    LineComment,
+    /// Nested block comments (Rust allows nesting); the payload is the depth.
+    BlockComment(u32),
+    Str,
+    /// Raw string with `n` hashes (`r##"…"##`).
+    RawStr(u32),
+    Char,
+}
+
+/// Replaces every character inside comments, strings and char literals with a
+/// space, preserving newlines (and therefore line/column structure).
+pub fn mask_source(source: &str) -> String {
+    let chars: Vec<char> = source.chars().collect();
+    let mut out = String::with_capacity(source.len());
+    let mut state = State::Code;
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        match state {
+            State::Code => match c {
+                '/' if next == Some('/') => {
+                    state = State::LineComment;
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                }
+                '/' if next == Some('*') => {
+                    state = State::BlockComment(1);
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                }
+                '"' => {
+                    state = State::Str;
+                    out.push('"');
+                    i += 1;
+                }
+                'r' | 'b' if is_raw_string_start(&chars, i) => {
+                    // Consume the prefix (`r`, `br`, `b` + hashes) up to the
+                    // opening quote, then switch to raw-string state.
+                    let (consumed, hashes) = raw_string_prefix(&chars, i);
+                    for _ in 0..consumed {
+                        out.push(' ');
+                    }
+                    state = State::RawStr(hashes);
+                    i += consumed;
+                }
+                'b' if next == Some('\'') => {
+                    out.push(' ');
+                    out.push(' ');
+                    state = State::Char;
+                    i += 2;
+                }
+                '\'' => {
+                    // Lifetime or char literal. A char literal closes with a
+                    // quote within a couple of characters (or starts an escape);
+                    // a lifetime does not.
+                    if next == Some('\\') {
+                        out.push(' ');
+                        state = State::Char;
+                        i += 1;
+                    } else if chars.get(i + 2).copied() == Some('\'') && next != Some('\'') {
+                        out.push(' ');
+                        out.push(' ');
+                        out.push(' ');
+                        i += 3;
+                    } else {
+                        // Lifetime marker: keep it, it is code.
+                        out.push('\'');
+                        i += 1;
+                    }
+                }
+                _ => {
+                    out.push(c);
+                    i += 1;
+                }
+            },
+            State::LineComment => {
+                if c == '\n' {
+                    out.push('\n');
+                    state = State::Code;
+                } else {
+                    out.push(' ');
+                }
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if c == '*' && next == Some('/') {
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                } else if c == '/' && next == Some('*') {
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                    state = State::BlockComment(depth + 1);
+                } else {
+                    out.push(if c == '\n' { '\n' } else { ' ' });
+                    i += 1;
+                }
+            }
+            State::Str => match c {
+                '\\' => {
+                    out.push(' ');
+                    if next.is_some() {
+                        out.push(' ');
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                '"' => {
+                    out.push('"');
+                    state = State::Code;
+                    i += 1;
+                }
+                '\n' => {
+                    out.push('\n');
+                    i += 1;
+                }
+                _ => {
+                    out.push(' ');
+                    i += 1;
+                }
+            },
+            State::RawStr(hashes) => {
+                if c == '"' && closes_raw_string(&chars, i, hashes) {
+                    for _ in 0..=hashes {
+                        out.push(' ');
+                    }
+                    i += 1 + hashes as usize;
+                    state = State::Code;
+                } else {
+                    out.push(if c == '\n' { '\n' } else { ' ' });
+                    i += 1;
+                }
+            }
+            State::Char => match c {
+                '\\' => {
+                    out.push(' ');
+                    if next.is_some() {
+                        out.push(' ');
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                '\'' => {
+                    out.push(' ');
+                    state = State::Code;
+                    i += 1;
+                }
+                _ => {
+                    out.push(if c == '\n' { '\n' } else { ' ' });
+                    i += 1;
+                }
+            },
+        }
+    }
+    out
+}
+
+/// Does `r`/`b` at position `i` start a raw (byte) string literal?
+fn is_raw_string_start(chars: &[char], i: usize) -> bool {
+    // Must not be the tail of an identifier (`for`, `attr`, …).
+    if i > 0 {
+        let prev = chars[i - 1];
+        if prev.is_alphanumeric() || prev == '_' {
+            return false;
+        }
+    }
+    let mut j = i;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if chars.get(j) != Some(&'r') {
+        return false;
+    }
+    j += 1;
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    chars.get(j) == Some(&'"')
+}
+
+/// Length of the raw-string prefix (through the opening quote) and its hash count.
+fn raw_string_prefix(chars: &[char], i: usize) -> (usize, u32) {
+    let mut j = i;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    j += 1; // the `r`
+    let mut hashes = 0u32;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    j += 1; // the opening quote
+    (j - i, hashes)
+}
+
+/// Does the quote at position `i` close a raw string with `hashes` hashes?
+fn closes_raw_string(chars: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+/// Marks every line that belongs to a `#[cfg(test)]` item (attribute line through
+/// the item's closing brace, or through the `;` of a brace-less item).
+fn test_spans(code_lines: &[String]) -> Vec<bool> {
+    let mut in_test = vec![false; code_lines.len()];
+    let mut i = 0;
+    while i < code_lines.len() {
+        if !code_lines[i].contains("#[cfg(test)]") {
+            i += 1;
+            continue;
+        }
+        // Mark from the attribute to the end of the annotated item.
+        let start = i;
+        let mut depth: i64 = 0;
+        let mut seen_brace = false;
+        let mut end = code_lines.len() - 1;
+        for (j, line) in code_lines.iter().enumerate().skip(i) {
+            for c in line.chars() {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        seen_brace = true;
+                    }
+                    '}' => depth -= 1,
+                    ';' if !seen_brace => {
+                        // Brace-less item (`mod tests;`): ends here.
+                        depth = 0;
+                        seen_brace = true;
+                    }
+                    _ => {}
+                }
+            }
+            if seen_brace && depth <= 0 {
+                end = j;
+                break;
+            }
+        }
+        for flag in in_test.iter_mut().take(end + 1).skip(start) {
+            *flag = true;
+        }
+        i = end + 1;
+    }
+    in_test
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_line_and_block_comments() {
+        let masked = mask_source("let x = 1; // unsafe here\n/* unsafe */ let y = 2;\n");
+        assert!(!masked.contains("unsafe"));
+        assert!(masked.contains("let x = 1;"));
+        assert!(masked.contains("let y = 2;"));
+    }
+
+    #[test]
+    fn masks_strings_and_chars_keeps_lifetimes() {
+        let masked = mask_source(r#"let s = "unsafe"; let c = 'u'; fn f<'a>(x: &'a u32) {}"#);
+        assert!(!masked.contains("unsafe"));
+        assert!(!masked.contains("'u'"));
+        assert!(masked.contains("fn f<'a>(x: &'a u32)"));
+    }
+
+    #[test]
+    fn masks_raw_strings() {
+        let masked = mask_source("let s = r#\"unsafe \"quoted\" unsafe\"#; let t = 3;");
+        assert!(!masked.contains("unsafe"));
+        assert!(masked.contains("let t = 3;"));
+    }
+
+    #[test]
+    fn masks_escaped_quote_in_string() {
+        let masked = mask_source(r#"let s = "a\"unsafe"; let u = 4;"#);
+        assert!(!masked.contains("unsafe"));
+        assert!(masked.contains("let u = 4;"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let masked = mask_source("/* outer /* inner unsafe */ still comment */ let z = 5;");
+        assert!(!masked.contains("unsafe"));
+        assert!(masked.contains("let z = 5;"));
+    }
+
+    #[test]
+    fn line_numbers_survive_masking() {
+        let src = "a\n\"multi\nline\nstring\"\nb\n";
+        let masked = mask_source(src);
+        assert_eq!(src.lines().count(), masked.lines().count());
+    }
+
+    #[test]
+    fn test_spans_cover_cfg_test_mod() {
+        let src = "fn prod() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn prod2() {}\n";
+        let file = SourceFile::from_source("x.rs", src);
+        assert!(!file.is_test_line(0));
+        assert!(file.is_test_line(1));
+        assert!(file.is_test_line(2));
+        assert!(file.is_test_line(3));
+        assert!(file.is_test_line(4));
+        assert!(!file.is_test_line(5));
+    }
+
+    #[test]
+    fn test_spans_cover_single_test_fn() {
+        let src = "#[cfg(test)]\nfn helper() {\n    body();\n}\nfn prod() {}\n";
+        let file = SourceFile::from_source("x.rs", src);
+        assert!(file.is_test_line(2));
+        assert!(!file.is_test_line(4));
+    }
+}

@@ -70,8 +70,9 @@ pub enum PreparedState {
     /// Per-column sorted key matrix (Figure 7/8) for greedy candidate selection.
     Sorted(SortedKeyColumns),
     /// Quantized key/value matrices, per-stage formats and exponent LUTs for the
-    /// fixed-point base pipeline.
-    Quantized(QuantizedMemory),
+    /// fixed-point base pipeline (boxed: the prepared pipeline state is much
+    /// larger than the other variants).
+    Quantized(Box<QuantizedMemory>),
 }
 
 impl PreparedState {
@@ -103,6 +104,13 @@ pub struct PreparedMemory {
 impl PreparedMemory {
     /// Assembles a prepared memory. Intended for [`ComputeBackend::prepare`]
     /// implementations; validates that keys and values are a consistent memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttentionError::EmptyMemory`] when `keys` has no rows,
+    /// [`AttentionError::RowCountMismatch`] when `values` disagrees with `keys`
+    /// on the number of rows, and [`AttentionError::DimensionMismatch`] when
+    /// the two matrices disagree on the feature dimension.
     pub fn new(
         keys: &Matrix,
         values: &Matrix,
@@ -319,8 +327,8 @@ pub trait ComputeBackend: Send + Sync {
         query: &[f32],
     ) -> Result<AttentionResult, AttentionError> {
         memory.validate_query(query)?;
-        if memory.is_single() {
-            return self.attend_prepared(memory.shards()[0].memory(), query);
+        if let (true, Some(only)) = (memory.is_single(), memory.shards().first()) {
+            return self.attend_prepared(only.memory(), query);
         }
         let partials: Result<Vec<AttentionResult>, AttentionError> = memory
             .shards()
@@ -530,8 +538,8 @@ impl ComputeBackend for ApproximateBackend {
         query: &[f32],
     ) -> Result<AttentionResult, AttentionError> {
         memory.validate_query(query)?;
-        if memory.is_single() {
-            return self.attend_prepared(memory.shards()[0].memory(), query);
+        if let (true, Some(only)) = (memory.is_single(), memory.shards().first()) {
+            return self.attend_prepared(only.memory(), query);
         }
         // Candidate selection runs per shard; the merge unions the candidate sets
         // before global post-scoring (kNN-style per-partition top-k + merge), instead
@@ -613,7 +621,12 @@ impl ComputeBackend for QuantizedBackend {
     fn prepare(&self, keys: &Matrix, values: &Matrix) -> Result<PreparedMemory, AttentionError> {
         let quantized = QuantizedMemory::prepare(self.input_format, keys, values)?;
         let ops = quantized.preprocess_ops();
-        PreparedMemory::new(keys, values, ops, PreparedState::Quantized(quantized))
+        PreparedMemory::new(
+            keys,
+            values,
+            ops,
+            PreparedState::Quantized(Box::new(quantized)),
+        )
     }
 
     fn attend_prepared(

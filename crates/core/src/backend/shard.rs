@@ -168,14 +168,16 @@ pub struct ShardedMemory {
 }
 
 /// Copies a contiguous row range of a matrix into its own matrix.
-fn submatrix(matrix: &Matrix, range: &Range<usize>) -> Matrix {
+fn submatrix(matrix: &Matrix, range: &Range<usize>) -> Result<Matrix, AttentionError> {
     let d = matrix.dim();
-    Matrix::from_flat(
-        matrix.as_slice()[range.start * d..range.end * d].to_vec(),
-        range.len(),
-        d,
-    )
-    .expect("a contiguous row range of a valid matrix is a valid matrix")
+    let flat = matrix
+        .as_slice()
+        .get(range.start * d..range.end * d)
+        .ok_or(AttentionError::InvalidParameter {
+            name: "range",
+            constraint: "shard row range must lie within the matrix",
+        })?;
+    Matrix::from_flat(flat.to_vec(), range.len(), d)
 }
 
 impl ShardedMemory {
@@ -216,8 +218,8 @@ impl ShardedMemory {
         let mut shards = Vec::new();
         let mut stats = ShardPrepareStats::default();
         for range in plan.ranges(keys.rows()) {
-            let shard_keys = submatrix(keys, &range);
-            let shard_values = submatrix(values, &range);
+            let shard_keys = submatrix(keys, &range)?;
+            let shard_values = submatrix(values, &range)?;
             let fingerprint = memory_fingerprint(&shard_keys, &shard_values);
             let (memory, hit) = cache.get_or_prepare_with_fingerprint(
                 backend,
@@ -283,7 +285,7 @@ impl ShardedMemory {
             return None;
         }
         let index = self.shards.partition_point(|s| s.end() <= row);
-        Some((index, row - self.shards[index].start))
+        self.shards.get(index).map(|s| (index, row - s.start))
     }
 
     pub(crate) fn validate_query(&self, query: &[f32]) -> Result<(), AttentionError> {
@@ -412,11 +414,11 @@ pub(crate) fn attend_sharded_union(
     // is already sorted ascending and duplicate-free (shards are disjoint).
 
     // Stage 2: full dot products for the merged candidate set only.
-    let score_of = |global: usize| -> f32 {
-        let (s, local) = memory.locate(global).expect("candidate rows are in range");
-        memory.shards()[s].memory().keys().row_dot(local, query)
-    };
-    let candidate_scores: Vec<f32> = candidates.iter().map(|&r| score_of(r)).collect();
+    let mut candidate_scores: Vec<f32> = Vec::with_capacity(candidates.len());
+    for &global in &candidates {
+        let (shard, local) = shard_of(memory, global)?;
+        candidate_scores.push(shard.memory().keys().row_dot(local, query));
+    }
 
     // Stage 3: post-scoring selection across the union.
     let selected: Vec<usize> = match config.threshold() {
@@ -429,16 +431,20 @@ pub(crate) fn attend_sharded_union(
     // read back from `candidate_scores` with one forward cursor instead of
     // recomputing the dot product.
     let selected_scores: Vec<f32> = {
-        let mut cursor = 0;
+        let mut pairs = candidates.iter().zip(&candidate_scores);
         selected
             .iter()
             .map(|&r| {
-                while candidates[cursor] != r {
-                    cursor += 1;
-                }
-                candidate_scores[cursor]
+                pairs
+                    .by_ref()
+                    .find(|&(&c, _)| c == r)
+                    .map(|(_, &score)| score)
+                    .ok_or(AttentionError::InvalidParameter {
+                        name: "selected",
+                        constraint: "selected rows must be a subset of the candidate set",
+                    })
             })
-            .collect()
+            .collect::<Result<_, _>>()?
     };
     let selected_weights = stable_softmax(&selected_scores);
     let mut scores = vec![0.0f32; memory.n()];
@@ -448,13 +454,12 @@ pub(crate) fn attend_sharded_union(
         .iter()
         .zip(selected_scores.iter().zip(&selected_weights))
     {
-        scores[r] = s;
-        weights[r] = w;
-        let (sh, local) = memory.locate(r).expect("selected rows are in range");
-        for (o, v) in output
-            .iter_mut()
-            .zip(memory.shards()[sh].memory().values().row(local))
-        {
+        let (shard, local) = shard_of(memory, r)?;
+        if let (Some(score_slot), Some(weight_slot)) = (scores.get_mut(r), weights.get_mut(r)) {
+            *score_slot = s;
+            *weight_slot = w;
+        }
+        for (o, v) in output.iter_mut().zip(shard.memory().values().row(local)) {
             *o += w * v;
         }
     }
@@ -463,6 +468,22 @@ pub(crate) fn attend_sharded_union(
         weights,
         output,
     })
+}
+
+/// Resolves a logical row to its owning shard and local index, as an error (not a
+/// panic) when the row is out of range — candidate and selection sets are produced
+/// internally, but the serving path must not be able to crash on a bad index.
+fn shard_of(
+    memory: &ShardedMemory,
+    global: usize,
+) -> Result<(&MemoryShard, usize), AttentionError> {
+    memory
+        .locate(global)
+        .and_then(|(s, local)| memory.shards().get(s).map(|shard| (shard, local)))
+        .ok_or(AttentionError::InvalidParameter {
+            name: "rows",
+            constraint: "row indices must lie within the sharded memory",
+        })
 }
 
 #[cfg(test)]

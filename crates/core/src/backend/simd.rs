@@ -329,6 +329,10 @@ mod x86 {
         unsafe { attend_avx2(keys, values, query) }
     }
 
+    // SAFETY: callers must ensure the CPU supports `avx2` and `fma` (the
+    // `#[target_feature]` contract); the only caller is `attend`, which is reached
+    // exclusively through a `SimdBackend` that verified both features at
+    // construction. Shapes are validated by `SimdBackend::attend_raw` before entry.
     #[target_feature(enable = "avx2,fma")]
     unsafe fn attend_avx2(keys: &Matrix, values: &Matrix, query: &[f32]) -> AttentionResult {
         let n = keys.rows();
@@ -351,6 +355,9 @@ mod x86 {
     }
 
     /// Horizontal sum of the eight lanes.
+    // SAFETY: callers must ensure `avx2`/`fma` are available (the
+    // `#[target_feature]` contract); every caller is itself such a function,
+    // rooted at `attend`. No memory is accessed — lane shuffles and adds only.
     #[target_feature(enable = "avx2,fma")]
     unsafe fn hsum(v: __m256) -> f32 {
         let hi = _mm256_extractf128_ps::<1>(v);
@@ -363,6 +370,10 @@ mod x86 {
 
     /// Dot product of two equal-length slices: two FMA accumulators over eight-lane
     /// chunks, scalar `mul_add` tail for `len % 8` elements.
+    // SAFETY: callers must ensure `avx2`/`fma` are available (the
+    // `#[target_feature]` contract). All loads are unaligned (`loadu`) reads at
+    // `base + i` with `i + LANES <= len`, so every eight-lane read stays inside
+    // the borrowed slices; the scalar tail uses safe indexing.
     #[target_feature(enable = "avx2,fma")]
     unsafe fn dot(row: &[f32], query: &[f32]) -> f32 {
         debug_assert_eq!(row.len(), query.len());
@@ -397,6 +408,8 @@ mod x86 {
     /// two with a Cody–Waite split of `ln 2`, degree-5 polynomial, exponent
     /// reassembly through the float bit pattern). Accurate to a few ULP over the
     /// clamped range.
+    // SAFETY: callers must ensure `avx2`/`fma` are available (the
+    // `#[target_feature]` contract). Pure register arithmetic; no memory access.
     #[target_feature(enable = "avx2,fma")]
     unsafe fn exp_lanes(x: __m256) -> __m256 {
         let x = _mm256_min_ps(
@@ -427,6 +440,11 @@ mod x86 {
     /// already knows (it falls out of the score pass for free): eight-lane `exp`
     /// with a running sum, then vectorised normalisation. Tail elements use the
     /// scalar mirror of the lane polynomial.
+    // SAFETY: callers must ensure `avx2`/`fma` are available (the
+    // `#[target_feature]` contract). All loads/stores go through one raw pointer
+    // derived from the exclusive `&mut [f32]` borrow, at offsets bounded by
+    // `i + LANES <= n` (vector) or `i < n` (scalar), so every access is in
+    // bounds and no aliasing reference exists while the pointer is live.
     #[target_feature(enable = "avx2,fma")]
     unsafe fn softmax_in_place(scores: &mut [f32], max: f32) {
         let n = scores.len();
@@ -473,6 +491,12 @@ mod x86 {
     /// broadcast + FMA with no output loads/stores. Per output element the rows are
     /// still accumulated in ascending row order (the scalar path's order), and
     /// zero-weight rows are skipped as the scalar path does.
+    // SAFETY: callers must ensure `avx2`/`fma` are available (the
+    // `#[target_feature]` contract). Reads are at `data + i*d + j + k*LANES`
+    // with `i < n` and `j + 4*LANES <= d` (resp. `j + LANES <= d`, `j < d`),
+    // all inside the `n*d` value buffer; writes go to `out + j` with the same
+    // block bounds inside the freshly allocated `d`-element output, which is
+    // not otherwise referenced while the pointer is live.
     #[target_feature(enable = "avx2,fma")]
     unsafe fn weighted_sum(values: &Matrix, weights: &[f32]) -> Vec<f32> {
         let d = values.dim();

@@ -8,16 +8,31 @@
 //! from real silicon is that we do not model clock cycles here — that is `a3-sim`'s job.
 //!
 //! The computation is split into the same two phases the hardware has:
-//! [`QuantizedMemory::prepare`] quantizes the key/value matrices and builds the
-//! per-stage formats and exponent lookup tables (the state the accelerator keeps in its
-//! on-chip SRAMs, loaded once per memory), and [`QuantizedAttention::attend_memory`]
-//! runs the pure fixed-point per-query pipeline against that prepared state. The
-//! one-shot [`QuantizedAttention::attend`] chains the two and is bit-identical.
+//! [`QuantizedMemory::prepare`] quantizes the key/value matrices, materializes the
+//! exponent lookup tables and derives the per-stage formats (the state the accelerator
+//! keeps in its on-chip SRAMs, loaded once per memory), and
+//! [`QuantizedAttention::attend_memory`] runs the pure fixed-point per-query pipeline
+//! against that prepared state. The one-shot [`QuantizedAttention::attend`] chains the
+//! two and is bit-identical.
+//!
+//! All format checking happens at prepare time and at the attend call boundary.
+//! The per-query pipeline itself never consults a format tag: deployed shapes run a
+//! monomorphized [typed](self::typed) instantiation whose stage formats are const
+//! generics (a wrong format is a compile error), and every other shape runs a
+//! raw-integer loop whose shifts and clamp bounds were all resolved at prepare time.
+//! The two paths are bit-identical, which the differential tests below and the
+//! property suite in `crates/core/tests/properties.rs` assert on random memories.
 
-use a3_fixed::{ExpLut, Fixed, PipelineFormats, QFormat};
+mod typed;
+
+use std::sync::Arc;
+
+use a3_fixed::{ExpLut, ExpLutTables, Fixed, PipelineFormats, QFormat};
 
 use crate::attention::AttentionResult;
 use crate::{AttentionError, Matrix};
+
+use typed::TypedQuantizedPipeline;
 
 /// A key/value memory quantized for the fixed-point base pipeline: the per-stage
 /// formats, the exponent lookup tables, and the key/value matrices already converted
@@ -30,15 +45,61 @@ pub struct QuantizedMemory {
     input_format: QFormat,
     formats: PipelineFormats,
     exp_lut: ExpLut,
-    keys_q: Vec<Fixed>,
-    values_q: Vec<Fixed>,
+    pipeline: PreparedPipeline,
     n: usize,
     d: usize,
 }
 
+/// Which per-query execution strategy a prepared memory carries.
+#[derive(Debug, Clone)]
+enum PreparedPipeline {
+    /// A monomorphized instantiation with all stage formats in the type.
+    Typed(Arc<dyn TypedQuantizedPipeline>),
+    /// The raw-integer fallback for shapes outside the deployed typed set.
+    Dynamic(DynamicPipeline),
+}
+
+/// The dynamic-format execution plan: raw quantized operands plus every shift
+/// amount and saturation bound the per-query loop needs, all resolved from the
+/// [`PipelineFormats`] once at prepare time. The attend loop works purely on
+/// `i64` values — it performs the same operations as the typed pipeline but
+/// never constructs, compares or validates a format tag.
+#[derive(Clone)]
+struct DynamicPipeline {
+    keys_q: Vec<i64>,
+    values_q: Vec<i64>,
+    /// Materialized two-half tables; `None` only for input formats too wide to
+    /// expand, where the (bit-identical) lazy evaluation is used instead.
+    tables: Option<ExpLutTables>,
+    dot_min: i64,
+    dot_max: i64,
+    shifted_min: i64,
+    shifted_max: i64,
+    exp_sum_min: i64,
+    exp_sum_max: i64,
+    weight_min: i64,
+    weight_max: i64,
+    out_min: i64,
+    out_max: i64,
+    /// Fraction bits of the exponent-sum format (the divisor pre-shift in the
+    /// normalization step).
+    exp_sum_frac: u32,
+}
+
+impl std::fmt::Debug for DynamicPipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DynamicPipeline")
+            .field("elements", &self.keys_q.len())
+            .field("materialized_lut", &self.tables.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
 impl QuantizedMemory {
     /// Quantizes a key/value memory and derives the pipeline formats and exponent
-    /// lookup tables for its `n x d` shape.
+    /// lookup tables for its `n x d` shape. Shapes with a deployed typed
+    /// instantiation get the compile-time-checked pipeline; everything else gets
+    /// the bit-identical dynamic fallback.
     ///
     /// # Errors
     ///
@@ -47,6 +108,31 @@ impl QuantizedMemory {
         input_format: QFormat,
         keys: &Matrix,
         values: &Matrix,
+    ) -> Result<Self, AttentionError> {
+        Self::prepare_inner(input_format, keys, values, true)
+    }
+
+    /// Like [`QuantizedMemory::prepare`], but always selects the dynamic-format
+    /// fallback even when a typed instantiation exists. The two paths are
+    /// bit-identical; this constructor exists so differential tests and
+    /// benchmarks can exercise both.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the memory is empty or the key/value shapes disagree.
+    pub fn prepare_dynamic(
+        input_format: QFormat,
+        keys: &Matrix,
+        values: &Matrix,
+    ) -> Result<Self, AttentionError> {
+        Self::prepare_inner(input_format, keys, values, false)
+    }
+
+    fn prepare_inner(
+        input_format: QFormat,
+        keys: &Matrix,
+        values: &Matrix,
+        allow_typed: bool,
     ) -> Result<Self, AttentionError> {
         if keys.is_empty() {
             return Err(AttentionError::EmptyMemory);
@@ -67,18 +153,22 @@ impl QuantizedMemory {
         let d = keys.dim();
         let formats = PipelineFormats::new(input_format, n, d);
         let exp_lut = ExpLut::two_half(formats.shifted_dot_product(), formats.score());
-        let quantize_all = |m: &Matrix| -> Vec<Fixed> {
-            m.as_slice()
-                .iter()
-                .map(|&x| Fixed::quantize(x as f64, formats.input()))
-                .collect()
+        let pipeline = if allow_typed {
+            typed::build_typed_pipeline(input_format, n, d, keys, values)
+        } else {
+            None
+        };
+        let pipeline = match pipeline {
+            Some(typed) => PreparedPipeline::Typed(typed),
+            None => PreparedPipeline::Dynamic(DynamicPipeline::prepare(
+                &formats, &exp_lut, keys, values,
+            )),
         };
         Ok(Self {
             input_format,
             formats,
             exp_lut,
-            keys_q: quantize_all(keys),
-            values_q: quantize_all(values),
+            pipeline,
             n,
             d,
         })
@@ -104,19 +194,158 @@ impl QuantizedMemory {
         self.d
     }
 
+    /// Whether this memory carries a monomorphized typed pipeline (true for
+    /// deployed shapes) or the dynamic-format fallback.
+    pub fn is_typed(&self) -> bool {
+        matches!(self.pipeline, PreparedPipeline::Typed(_))
+    }
+
     /// Number of element-level preprocessing operations performed: one quantization
     /// per key and value element plus the exponent-table fill.
     pub fn preprocess_ops(&self) -> u64 {
         let (lo, hi) = self.exp_lut.table_entries();
         (2 * self.n * self.d) as u64 + lo + hi
     }
+}
 
-    fn key_row(&self, r: usize) -> &[Fixed] {
-        &self.keys_q[r * self.d..(r + 1) * self.d]
+impl DynamicPipeline {
+    /// Quantizes the operands and resolves every shift and saturation bound the
+    /// per-query loop needs from the derived stage formats.
+    fn prepare(
+        formats: &PipelineFormats,
+        exp_lut: &ExpLut,
+        keys: &Matrix,
+        values: &Matrix,
+    ) -> Self {
+        let input = formats.input();
+        let quantize_all = |m: &Matrix| -> Vec<i64> {
+            m.as_slice()
+                .iter()
+                .map(|&x| Fixed::quantize(f64::from(x), input).raw())
+                .collect()
+        };
+        let dot = formats.dot_product();
+        let shifted = formats.shifted_dot_product();
+        let exp_sum = formats.exp_sum();
+        let weight = formats.weight();
+        let output = formats.output();
+        Self {
+            keys_q: quantize_all(keys),
+            values_q: quantize_all(values),
+            tables: exp_lut.materialize(),
+            dot_min: dot.min_raw(),
+            dot_max: dot.max_raw(),
+            shifted_min: shifted.min_raw(),
+            shifted_max: shifted.max_raw(),
+            exp_sum_min: exp_sum.min_raw(),
+            exp_sum_max: exp_sum.max_raw(),
+            weight_min: weight.min_raw(),
+            weight_max: weight.max_raw(),
+            out_min: output.min_raw(),
+            out_max: output.max_raw(),
+            exp_sum_frac: exp_sum.frac_bits(),
+        }
     }
 
-    fn value_row(&self, r: usize) -> &[Fixed] {
-        &self.values_q[r * self.d..(r + 1) * self.d]
+    fn key_row(&self, r: usize, d: usize) -> &[i64] {
+        &self.keys_q[r * d..(r + 1) * d]
+    }
+
+    fn value_row(&self, r: usize, d: usize) -> &[i64] {
+        &self.values_q[r * d..(r + 1) * d]
+    }
+
+    /// The raw-integer per-query pipeline. Performs the identical arithmetic to
+    /// the typed pipeline stage for stage (same rounding, same saturation
+    /// points), with all format bookkeeping pre-resolved — no format tags exist
+    /// on this path, so no format-mismatch check can execute.
+    fn attend_rows(
+        &self,
+        formats: &PipelineFormats,
+        exp_lut: &ExpLut,
+        query: &[f32],
+        rows: &[usize],
+    ) -> AttentionResult {
+        let n = formats.n();
+        let d = formats.d();
+
+        // Quantize the query once (it is reused by every row).
+        let input = formats.input();
+        let q_raw: Vec<i64> = query
+            .iter()
+            .map(|&x| Fixed::quantize(f64::from(x), input).raw())
+            .collect();
+
+        // Module 1: dot products and the running maximum. Element products are
+        // full-precision; each accumulation step saturates at the dot-product
+        // format, matching the hardware accumulator register width.
+        let mut dot_products: Vec<i64> = Vec::with_capacity(rows.len());
+        let mut max_dot = self.dot_min;
+        for &r in rows {
+            let mut dot = 0i64;
+            for (k, qv) in self.key_row(r, d).iter().zip(&q_raw) {
+                dot = (dot + k * qv).clamp(self.dot_min, self.dot_max);
+            }
+            if dot > max_dot {
+                max_dot = dot;
+            }
+            dot_products.push(dot);
+        }
+
+        // Module 2: exponent computation with max subtraction, plus the
+        // exponent sum. The subtraction result is non-positive by construction
+        // and the shifted format has one extra integer bit, so the clamp only
+        // mirrors the saturating subtraction of the checked path.
+        let mut scores: Vec<i64> = Vec::with_capacity(rows.len());
+        let mut exp_sum = 0i64;
+        for &dot in &dot_products {
+            let shifted = (dot - max_dot).clamp(self.shifted_min, self.shifted_max);
+            let score = match &self.tables {
+                Some(tables) => tables.eval_nonpos_raw(shifted),
+                None => exp_lut.eval_nonpos_raw(shifted),
+            };
+            exp_sum = (exp_sum + score).clamp(self.exp_sum_min, self.exp_sum_max);
+            scores.push(score);
+        }
+
+        // Module 3: normalization and the weighted sum of value rows.
+        let mut output_acc: Vec<i64> = vec![0; d];
+        let mut weights: Vec<i64> = Vec::with_capacity(rows.len());
+        for (&r, &score) in rows.iter().zip(&scores) {
+            // weight = score / expsum, still a Q0.2f fraction.
+            let w = if exp_sum == 0 {
+                0
+            } else {
+                ((score << self.exp_sum_frac) / exp_sum).clamp(self.weight_min, self.weight_max)
+            };
+            weights.push(w);
+            for (acc, v) in output_acc.iter_mut().zip(self.value_row(r, d)) {
+                // weight (Q0.2f) * value (Qi.f) = Qi.3f — already at the output
+                // fraction width, so rounding reduces to the integer-side clamp.
+                let term = (w * v).clamp(self.out_min, self.out_max);
+                *acc = (*acc + term).clamp(self.out_min, self.out_max);
+            }
+        }
+
+        // Dequantize into the full-length result layout.
+        let dot_res = formats.dot_product().resolution();
+        let weight_res = formats.weight().resolution();
+        let out_res = formats.output().resolution();
+        let mut scores_out = vec![0.0f32; n];
+        let mut weights_out = vec![0.0f32; n];
+        for ((&r, &dot), &w) in rows.iter().zip(&dot_products).zip(&weights) {
+            scores_out[r] = (dot as f64 * dot_res) as f32;
+            weights_out[r] = (w as f64 * weight_res) as f32;
+        }
+        let output = output_acc
+            .iter()
+            .map(|&x| (x as f64 * out_res) as f32)
+            .collect();
+        AttentionResult {
+            scores: scores_out,
+            weights: weights_out,
+            output,
+        }
     }
 }
 
@@ -234,6 +463,9 @@ impl QuantizedAttention {
     /// Runs the per-query fixed-point pipeline against a prepared memory, over a
     /// subset of rows. Rows not listed get score and weight zero.
     ///
+    /// All validation happens here at the call boundary; the pipeline itself
+    /// (typed or dynamic) runs without any per-operation format checks.
+    ///
     /// # Errors
     ///
     /// Returns an error if the query dimension does not match the memory, the memory
@@ -269,80 +501,12 @@ impl QuantizedAttention {
                 constraint: "row indices must be within the key matrix",
             });
         }
-        let n = memory.n();
-        let d = memory.d();
-        let formats = memory.formats();
-        let exp_lut = &memory.exp_lut;
-
-        // Quantize the query once (it is reused by every row).
-        let q_fixed: Vec<Fixed> = query
-            .iter()
-            .map(|&x| Fixed::quantize(x as f64, formats.input()))
-            .collect();
-
-        // Module 1: dot products and the running maximum.
-        let mut dot_products: Vec<Fixed> = Vec::with_capacity(rows.len());
-        let mut max_dot = Fixed::min(formats.dot_product());
-        for &r in rows {
-            let products = memory
-                .key_row(r)
-                .iter()
-                .zip(&q_fixed)
-                .map(|(k, q)| k.mul_full(*q));
-            let dot = Fixed::accumulate(products, formats.product(), d);
-            debug_assert_eq!(dot.format(), formats.dot_product());
-            if dot > max_dot {
-                max_dot = dot;
-            }
-            dot_products.push(dot);
-        }
-
-        // Module 2: exponent computation with max subtraction, plus the exponent sum.
-        let shifted_format = formats.shifted_dot_product();
-        let mut scores: Vec<Fixed> = Vec::with_capacity(rows.len());
-        let mut exp_sum = Fixed::zero(formats.exp_sum());
-        for dot in &dot_products {
-            let shifted = dot
-                .extend_to(shifted_format)
-                .saturating_sub(max_dot.extend_to(shifted_format));
-            // Non-positive by construction, so eval only fails on a format
-            // mismatch — propagated as `AttentionError::Fixed` rather than a panic.
-            let score = exp_lut.eval(shifted)?;
-            exp_sum = exp_sum.saturating_add(score.extend_to(formats.exp_sum()));
-            scores.push(score);
-        }
-
-        // Module 3: normalization and the weighted sum of value rows.
-        let mut output_acc: Vec<Fixed> = vec![Fixed::zero(formats.output()); d];
-        let mut weights_fixed: Vec<Fixed> = Vec::with_capacity(rows.len());
-        for (&r, score) in rows.iter().zip(&scores) {
-            // weight = score / expsum, still a Q0.2f fraction.
-            let weight = if exp_sum.is_zero() {
-                Fixed::zero(formats.weight())
-            } else {
-                score.div_weight(exp_sum)
-            };
-            weights_fixed.push(weight);
-            for (acc, v_fixed) in output_acc.iter_mut().zip(memory.value_row(r)) {
-                // weight (Q0.2f) * value (Qi.f) = Q(i).(3f), then accumulate.
-                let term = weight.mul_full(*v_fixed).round_to(formats.output());
-                *acc = acc.saturating_add(term);
+        match &memory.pipeline {
+            PreparedPipeline::Typed(typed) => Ok(typed.attend_rows(query, rows)),
+            PreparedPipeline::Dynamic(dynamic) => {
+                Ok(dynamic.attend_rows(&memory.formats, &memory.exp_lut, query, rows))
             }
         }
-
-        // Dequantize into the full-length result layout.
-        let mut scores_out = vec![0.0f32; n];
-        let mut weights_out = vec![0.0f32; n];
-        for ((&r, dot), weight) in rows.iter().zip(&dot_products).zip(&weights_fixed) {
-            scores_out[r] = dot.to_f64() as f32;
-            weights_out[r] = weight.to_f64() as f32;
-        }
-        let output = output_acc.iter().map(|x| x.to_f64() as f32).collect();
-        Ok(AttentionResult {
-            scores: scores_out,
-            weights: weights_out,
-            output,
-        })
     }
 }
 
@@ -404,6 +568,42 @@ mod tests {
         let subset_one_shot = qa.attend_rows(&keys, &values, &query, &[1, 4, 7]).unwrap();
         let subset_served = qa.attend_memory_rows(&memory, &query, &[1, 4, 7]).unwrap();
         assert_eq!(subset_one_shot, subset_served);
+    }
+
+    #[test]
+    fn typed_and_dynamic_paths_are_bit_identical() {
+        for (n, d) in [(2, 2), (5, 3), (10, 8), (20, 8), (24, 16), (31, 32)] {
+            let (keys, values, query) = case(n, d);
+            let qa = QuantizedAttention::paper();
+            let typed = qa.prepare(&keys, &values).unwrap();
+            assert!(typed.is_typed(), "({n}, {d}) should dispatch typed");
+            let dynamic =
+                QuantizedMemory::prepare_dynamic(qa.input_format(), &keys, &values).unwrap();
+            assert!(!dynamic.is_typed());
+            assert_eq!(
+                qa.attend_memory(&typed, &query).unwrap(),
+                qa.attend_memory(&dynamic, &query).unwrap(),
+                "({n}, {d}) full attend"
+            );
+            let rows: Vec<usize> = (0..n).step_by(2).collect();
+            assert_eq!(
+                qa.attend_memory_rows(&typed, &query, &rows).unwrap(),
+                qa.attend_memory_rows(&dynamic, &query, &rows).unwrap(),
+                "({n}, {d}) subset attend"
+            );
+        }
+    }
+
+    #[test]
+    fn undeployed_shapes_use_dynamic_fallback() {
+        // Q5.3 has no deployed typed instantiation.
+        let (keys, values, query) = case(8, 4);
+        let memory = QuantizedMemory::prepare(QFormat::new(5, 3), &keys, &values).unwrap();
+        assert!(!memory.is_typed());
+        let result = QuantizedAttention::new(QFormat::new(5, 3))
+            .attend_memory(&memory, &query)
+            .unwrap();
+        assert_eq!(result.output.len(), 4);
     }
 
     #[test]

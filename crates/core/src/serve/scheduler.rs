@@ -183,17 +183,16 @@ impl Scheduler {
     }
 
     /// When (and why) a queue becomes due. `None` for an empty queue.
-    fn due_at(&self, queue: &VecDeque<QueuedRequest>) -> Option<DueAt> {
+    fn due_at(policy: BatchPolicy, queue: &VecDeque<QueuedRequest>) -> Option<DueAt> {
         let oldest = queue.front()?;
-        if queue.len() >= self.policy.max_batch {
-            // Due the moment the max_batch-th request arrived.
-            let filled = &queue[self.policy.max_batch - 1];
+        // Due the moment the max_batch-th request arrived.
+        if let Some(filled) = queue.get(policy.max_batch - 1) {
             return Some(DueAt {
                 tick: filled.arrival,
                 reason: FlushReason::Full,
             });
         }
-        let window_expiry = oldest.arrival.saturating_add(self.policy.batch_window);
+        let window_expiry = oldest.arrival.saturating_add(policy.batch_window);
         let earliest_deadline = queue.iter().filter_map(|r| r.deadline).min();
         match earliest_deadline {
             Some(d) if d < window_expiry => Some(DueAt {
@@ -213,7 +212,7 @@ impl Scheduler {
     pub fn next_due(&self) -> Option<Tick> {
         self.queues
             .values()
-            .filter_map(|q| self.due_at(q))
+            .filter_map(|q| Self::due_at(self.policy, q))
             .map(|d| d.tick)
             .min()
     }
@@ -225,21 +224,19 @@ impl Scheduler {
     pub fn pop_due(&mut self, now: Tick) -> Vec<FormedBatch> {
         let mut batches = Vec::new();
         let sessions: Vec<SessionId> = self.queues.keys().copied().collect();
+        let policy = self.policy;
         for session in sessions {
-            loop {
-                let due = match self.queues.get(&session).and_then(|q| self.due_at(q)) {
+            while let Some(queue) = self.queues.get_mut(&session) {
+                let due = match Self::due_at(policy, queue) {
                     Some(due) if due.tick <= now => due,
                     _ => break,
                 };
-                let (requests, emptied) = {
-                    let queue = self.queues.get_mut(&session).expect("queue exists");
-                    let take = match due.reason {
-                        FlushReason::Full => self.policy.max_batch,
-                        _ => queue.len(),
-                    };
-                    let requests: Vec<QueuedRequest> = queue.drain(..take).collect();
-                    (requests, queue.is_empty())
+                let take = match due.reason {
+                    FlushReason::Full => policy.max_batch,
+                    _ => queue.len(),
                 };
+                let requests: Vec<QueuedRequest> = queue.drain(..take).collect();
+                let emptied = queue.is_empty();
                 batches.push(FormedBatch {
                     session,
                     formed_at: due.tick,

@@ -9,6 +9,7 @@ use a3_core::backend::{
     ApproximateBackend, ComputeBackend, ExactBackend, MemoryCache, QuantizedBackend, ShardPlan,
     ShardedMemory, SimdBackend,
 };
+use a3_core::quantized::{QuantizedAttention, QuantizedMemory};
 use a3_core::serve::{AttentionServer, BatchPolicy, Request, Response};
 use a3_core::Matrix;
 use proptest::prelude::*;
@@ -473,6 +474,32 @@ proptest! {
         }
         let sum: f32 = merged.weights.iter().sum();
         prop_assert!((sum - 1.0).abs() < 1e-4);
+    }
+
+    /// The compile-time-checked typed fixed-point pipeline and the dynamic-format
+    /// fallback are bit-identical on random memories, queries and shapes — full
+    /// attends and candidate-subset attends alike. (Shapes with a deployed typed
+    /// instantiation exercise the typed side against the dynamic side; all other
+    /// shapes fall back to dynamic on both and pass trivially.)
+    #[test]
+    fn typed_and_dynamic_quantized_pipelines_are_bit_identical(
+        (keys, values, query) in attention_case(),
+        stride in 1usize..4,
+    ) {
+        let model = QuantizedAttention::paper();
+        let fmt = model.input_format();
+        let typed = QuantizedMemory::prepare(fmt, &keys, &values).unwrap();
+        let dynamic = QuantizedMemory::prepare_dynamic(fmt, &keys, &values).unwrap();
+        prop_assert!(!dynamic.is_typed());
+
+        let a = model.attend_memory(&typed, &query).unwrap();
+        let b = model.attend_memory(&dynamic, &query).unwrap();
+        prop_assert_eq!(&a, &b);
+
+        let rows: Vec<usize> = (0..keys.rows()).step_by(stride).collect();
+        let a = model.attend_memory_rows(&typed, &query, &rows).unwrap();
+        let b = model.attend_memory_rows(&dynamic, &query, &rows).unwrap();
+        prop_assert_eq!(&a, &b);
     }
 
     /// The `AttentionServer` front-end is bit-identical to direct per-query

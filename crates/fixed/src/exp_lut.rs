@@ -15,9 +15,15 @@
 //! two looked-up entries are multiplied in fixed point, and the product is rounded to
 //! the score format. The [`ExpLutKind::Single`] and [`ExpLutKind::FloatReference`]
 //! variants exist for the ablation study comparing table organisations.
+//!
+//! For the serving hot path, [`ExpLut::materialize`] precomputes the two-half tables
+//! into an [`ExpLutTables`] value that evaluates on raw integers with two lookups, one
+//! multiply and one rounding shift — exactly what the hardware does per input, and
+//! bit-identical to the lazy [`ExpLut::eval`] path.
 
 use serde::{Deserialize, Serialize};
 
+use crate::cast;
 use crate::{Fixed, FixedError, QFormat};
 
 /// Which exponent-evaluation datapath to model.
@@ -91,6 +97,12 @@ pub struct ExpLut {
 }
 
 impl ExpLut {
+    /// Widest input format (in total magnitude bits) that [`ExpLut::materialize`]
+    /// will expand into physical tables. The paper-scale pipeline needs 23 bits;
+    /// the cap only exists to keep pathological configurations from allocating
+    /// gigabyte tables.
+    pub const MAX_MATERIALIZED_INPUT_BITS: u32 = 26;
+
     /// Builds a lookup-table model from a configuration.
     pub fn new(config: ExpLutConfig) -> Self {
         let total = config.input_format.total_bits();
@@ -148,7 +160,7 @@ impl ExpLut {
     /// Total table size in bits (entries times entry width), used by the area model.
     pub fn table_bits(&self) -> u64 {
         let (a, b) = self.table_entries();
-        (a + b) * self.entry_format.storage_bits() as u64
+        (a + b) * u64::from(self.entry_format.storage_bits())
     }
 
     /// Evaluates `exp(x)` for a non-positive fixed-point `x` in the configured input
@@ -169,26 +181,76 @@ impl ExpLut {
         if x.raw() > 0 {
             return Err(FixedError::PositiveExponentInput { value: x.to_f64() });
         }
+        Ok(Fixed::from_raw(
+            self.eval_nonpos_raw(x.raw()),
+            self.config.output_format,
+        ))
+    }
+
+    /// Evaluates `exp` directly on a raw input value, skipping the format and sign
+    /// checks that [`ExpLut::eval`] performs. This is the single implementation all
+    /// evaluation paths share, so it is bit-identical to `eval` by construction.
+    ///
+    /// The caller must guarantee `raw` is non-positive and within the input format's
+    /// raw range (both hold by construction after the pipeline's max-subtraction);
+    /// violations are caught by `debug_assert` only.
+    pub fn eval_nonpos_raw(&self, raw: i64) -> i64 {
+        debug_assert!(raw <= 0, "exponent input must be non-positive");
+        debug_assert!(
+            raw >= self.config.input_format.min_raw(),
+            "exponent input below the input format range"
+        );
         let result = match self.config.kind {
-            ExpLutKind::FloatReference => x.to_f64().exp(),
-            ExpLutKind::Single => self.quantized_entry(x.to_f64()),
+            ExpLutKind::FloatReference => self.input_value(raw).exp(),
+            ExpLutKind::Single => self.quantized_entry(self.input_value(raw)),
             ExpLutKind::TwoHalf => {
-                let magnitude = (-x.raw()) as u64;
+                let magnitude = cast::nonpos_magnitude(raw);
                 let lower_mask = (1u64 << self.lower_bits) - 1;
-                let lower_raw = magnitude & lower_mask;
-                let upper_raw = magnitude >> self.lower_bits;
-                let resolution = self.config.input_format.resolution();
-                let upper_value = -((upper_raw << self.lower_bits) as f64) * resolution;
-                let lower_value = -(lower_raw as f64) * resolution;
-                let upper_entry = self.quantized_entry(upper_value);
-                let lower_entry = self.quantized_entry(lower_value);
+                let lower_index = cast::table_index(magnitude & lower_mask);
+                let upper_index = cast::table_index(magnitude >> self.lower_bits);
                 // The hardware multiplies the two table outputs in fixed point.
-                let a = Fixed::quantize(upper_entry, self.entry_format);
-                let b = Fixed::quantize(lower_entry, self.entry_format);
+                let a = Fixed::from_raw(self.upper_entry_raw(upper_index), self.entry_format);
+                let b = Fixed::from_raw(self.lower_entry_raw(lower_index), self.entry_format);
                 a.mul_full(b).to_f64()
             }
         };
-        Ok(Fixed::quantize(result, self.config.output_format))
+        Fixed::quantize(result, self.config.output_format).raw()
+    }
+
+    /// Precomputes the two-half tables into a raw-integer evaluator for the serving
+    /// hot path. Returns `None` for the single-table and float-reference ablation
+    /// variants and for input formats wider than
+    /// [`ExpLut::MAX_MATERIALIZED_INPUT_BITS`] (which would allocate unreasonable
+    /// tables — the lazy [`ExpLut::eval`] path still works there).
+    pub fn materialize(&self) -> Option<ExpLutTables> {
+        if self.config.kind != ExpLutKind::TwoHalf {
+            return None;
+        }
+        if self.config.input_format.total_bits() > Self::MAX_MATERIALIZED_INPUT_BITS {
+            return None;
+        }
+        // The final rounding shift is only exact while the entry product fits the
+        // f64 mantissa that the lazy path rounds through.
+        if 2 * (self.entry_format.total_bits() + 1) > 52 {
+            return None;
+        }
+        // One sentinel entry past the nominal table: the most negative input
+        // (`raw = -2^total`) has magnitude 2^total, whose upper field is 2^upper_bits.
+        let upper: Vec<i64> = (0..=(1usize << self.upper_bits))
+            .map(|index| self.upper_entry_raw(index))
+            .collect();
+        let lower: Vec<i64> = (0..(1usize << self.lower_bits))
+            .map(|index| self.lower_entry_raw(index))
+            .collect();
+        Some(ExpLutTables {
+            lower_bits: self.lower_bits,
+            round_shift: 2 * self.entry_format.frac_bits() - self.config.output_format.frac_bits(),
+            out_max_raw: self.config.output_format.max_raw(),
+            model_upper: 1u64 << self.upper_bits,
+            model_lower: 1u64 << self.lower_bits,
+            upper,
+            lower,
+        })
     }
 
     /// Evaluates `exp(x)` for an arbitrary (clamped, quantized) floating-point input and
@@ -202,10 +264,29 @@ impl ExpLut {
             .to_f64()
     }
 
+    /// The floating-point value a raw input encodes.
+    fn input_value(&self, raw: i64) -> f64 {
+        cast::raw_to_f64(raw) * self.config.input_format.resolution()
+    }
+
     /// What a single ROM entry stores for input value `x`: `exp(x)` quantized to the
     /// entry format.
     fn quantized_entry(&self, x: f64) -> f64 {
         Fixed::quantize(x.exp(), self.entry_format).to_f64()
+    }
+
+    /// Raw upper-table entry for an upper bit-field value.
+    fn upper_entry_raw(&self, index: usize) -> i64 {
+        let magnitude = cast::index_to_raw_magnitude(index) << self.lower_bits;
+        let value = -cast::raw_to_f64(magnitude) * self.config.input_format.resolution();
+        Fixed::quantize(value.exp(), self.entry_format).raw()
+    }
+
+    /// Raw lower-table entry for a lower bit-field value.
+    fn lower_entry_raw(&self, index: usize) -> i64 {
+        let magnitude = cast::index_to_raw_magnitude(index);
+        let value = -cast::raw_to_f64(magnitude) * self.config.input_format.resolution();
+        Fixed::quantize(value.exp(), self.entry_format).raw()
     }
 
     /// Sweeps `samples` evenly spaced non-positive inputs over `[lo, 0]` and reports the
@@ -216,7 +297,7 @@ impl ExpLut {
         let mut max_err: f64 = 0.0;
         let mut sum_err = 0.0;
         for k in 0..samples {
-            let x = lo * (1.0 - k as f64 / (samples - 1) as f64);
+            let x = lo * (1.0 - cast::count_to_f64(k) / cast::count_to_f64(samples - 1));
             let approx = self.eval_f64(x);
             let exact = x.exp();
             let err = (approx - exact).abs();
@@ -227,9 +308,62 @@ impl ExpLut {
         ExpLutReport {
             table_entries: a + b,
             max_abs_error: max_err,
-            mean_abs_error: sum_err / samples as f64,
+            mean_abs_error: sum_err / cast::count_to_f64(samples),
             samples,
         }
+    }
+}
+
+/// Materialized two-half exponent tables that evaluate on raw integers: two lookups,
+/// one integer multiply, one rounding shift and one clamp — the per-input work of the
+/// hardware's exponent module, bit-identical to [`ExpLut::eval`] on the same
+/// configuration (asserted exhaustively by the crate's tests).
+#[derive(Debug, Clone)]
+pub struct ExpLutTables {
+    lower_bits: u32,
+    round_shift: u32,
+    out_max_raw: i64,
+    model_upper: u64,
+    model_lower: u64,
+    upper: Vec<i64>,
+    lower: Vec<i64>,
+}
+
+impl ExpLutTables {
+    /// Evaluates `exp` on a raw input value in the source input format.
+    ///
+    /// The caller must guarantee `raw` is non-positive and within the input format's
+    /// raw range, as after the pipeline's max-subtraction.
+    ///
+    /// # Panics
+    ///
+    /// A `raw` below the input format's `min_raw` panics on table-bounds in debug and
+    /// release builds alike; a positive `raw` is caught by `debug_assert` only.
+    pub fn eval_nonpos_raw(&self, raw: i64) -> i64 {
+        debug_assert!(raw <= 0, "exponent input must be non-positive");
+        let magnitude = cast::nonpos_magnitude(raw);
+        let lower_mask = (1u64 << self.lower_bits) - 1;
+        let lo = self.lower[cast::table_index(magnitude & lower_mask)];
+        let hi = self.upper[cast::table_index(magnitude >> self.lower_bits)];
+        let product = hi * lo;
+        let rounded = if self.round_shift == 0 {
+            product
+        } else {
+            (product + (1i64 << (self.round_shift - 1))) >> self.round_shift
+        };
+        rounded.min(self.out_max_raw)
+    }
+
+    /// Number of entries in the (upper, lower) tables as the hardware area model
+    /// counts them (the implementation's sentinel entry for the most negative input
+    /// is an artifact of modelling in software, not a stored ROM word).
+    pub fn model_entries(&self) -> (u64, u64) {
+        (self.model_upper, self.model_lower)
+    }
+
+    /// Physical number of i64 entries held in memory by this materialization.
+    pub fn physical_entries(&self) -> u64 {
+        cast::len_as_u64(self.upper.len()) + cast::len_as_u64(self.lower.len())
     }
 }
 
@@ -335,5 +469,51 @@ mod tests {
             assert!(y <= prev + 1e-12);
             prev = y;
         }
+    }
+
+    #[test]
+    fn materialized_tables_bit_identical_to_lazy_eval() {
+        for (input, output) in [
+            (QFormat::new(15, 8), QFormat::new(0, 8)),
+            (QFormat::new(11, 8), QFormat::new(0, 8)),
+            (QFormat::new(8, 6), QFormat::new(0, 6)),
+            (QFormat::new(5, 4), QFormat::new(0, 4)),
+            (QFormat::new(4, 3), QFormat::new(0, 2)),
+        ] {
+            let lut = ExpLut::two_half(input, output);
+            let tables = lut.materialize().expect("materializable");
+            let step = input.total_bits().saturating_sub(12);
+            let stride = (1usize << step).max(1);
+            let mut raw = input.min_raw();
+            while raw <= 0 {
+                let lazy = lut.eval(Fixed::from_raw(raw, input)).unwrap().raw();
+                let fast = tables.eval_nonpos_raw(raw);
+                assert_eq!(fast, lazy, "input {input} raw {raw}");
+                raw += stride as i64;
+            }
+            // Always check the exact endpoints.
+            for raw in [input.min_raw(), -1, 0] {
+                let lazy = lut.eval(Fixed::from_raw(raw, input)).unwrap().raw();
+                assert_eq!(tables.eval_nonpos_raw(raw), lazy);
+            }
+        }
+    }
+
+    #[test]
+    fn materialize_refuses_non_two_half_and_huge_inputs() {
+        let single = ExpLut::single(QFormat::new(8, 8), QFormat::new(0, 8));
+        assert!(single.materialize().is_none());
+        let float = ExpLut::float_reference(QFormat::new(8, 8), QFormat::new(0, 8));
+        assert!(float.materialize().is_none());
+        let huge = ExpLut::two_half(QFormat::new(30, 8), QFormat::new(0, 8));
+        assert!(huge.materialize().is_none());
+    }
+
+    #[test]
+    fn materialized_entry_counts() {
+        let lut = ExpLut::two_half(QFormat::new(8, 8), QFormat::new(0, 8));
+        let tables = lut.materialize().unwrap();
+        assert_eq!(tables.model_entries(), (256, 256));
+        assert_eq!(tables.physical_entries(), 256 + 256 + 1);
     }
 }

@@ -5,6 +5,7 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
+use crate::cast;
 use crate::{FixedError, QFormat};
 
 /// A signed fixed-point value: a raw scaled integer plus the [`QFormat`] that gives it
@@ -53,11 +54,14 @@ impl Fixed {
     /// Quantizes a floating-point value to the given format using round-to-nearest and
     /// saturation, which matches the behaviour of the quantizer in front of the A3 SRAM.
     pub fn quantize(value: f64, format: QFormat) -> Self {
-        let scaled = (value * 2f64.powi(format.frac_bits() as i32)).round();
+        let scaled = (value * cast::pow2(cast::bits_as_exp(format.frac_bits()))).round();
         let raw = if scaled.is_nan() {
             0
         } else {
-            scaled.clamp(format.min_raw() as f64, format.max_raw() as f64) as i64
+            cast::clamped_f64_to_raw(scaled.clamp(
+                cast::raw_to_f64(format.min_raw()),
+                cast::raw_to_f64(format.max_raw()),
+            ))
         };
         Self { raw, format }
     }
@@ -102,7 +106,7 @@ impl Fixed {
     /// Converts back to floating point (exact: every fixed-point value is a dyadic
     /// rational well inside `f64` range).
     pub fn to_f64(&self) -> f64 {
-        self.raw as f64 * self.format.resolution()
+        cast::raw_to_f64(self.raw) * self.format.resolution()
     }
 
     /// Returns the quantization error `self.to_f64() - original`.

@@ -38,17 +38,20 @@
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
+mod cast;
 mod error;
 mod exp_lut;
 mod fixed;
 mod pipeline_formats;
 mod qformat;
+mod typed;
 
 pub use error::FixedError;
-pub use exp_lut::{ExpLut, ExpLutConfig, ExpLutKind, ExpLutReport};
+pub use exp_lut::{ExpLut, ExpLutConfig, ExpLutKind, ExpLutReport, ExpLutTables};
 pub use fixed::Fixed;
 pub use pipeline_formats::PipelineFormats;
-pub use qformat::QFormat;
+pub use qformat::{ceil_log2, QFormat};
+pub use typed::{TypedExpLut, Q};
 
 /// Number of integer bits used for all paper evaluations (Section VI-D).
 pub const PAPER_INT_BITS: u32 = 4;

@@ -2,6 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::cast;
 use crate::qformat::ceil_log2;
 use crate::QFormat;
 
@@ -126,13 +127,13 @@ impl PipelineFormats {
     /// Total number of register bits needed for the dot-product outcome register file
     /// (`n` entries in the dot-product format). Used by the energy/area model.
     pub fn dot_product_register_bits(&self) -> u64 {
-        self.n as u64 * self.dot_product.storage_bits() as u64
+        cast::len_as_u64(self.n) * u64::from(self.dot_product.storage_bits())
     }
 
     /// Total number of register bits needed for the output accumulator (`d` entries in
     /// the output format).
     pub fn output_register_bits(&self) -> u64 {
-        self.d as u64 * self.output.storage_bits() as u64
+        cast::len_as_u64(self.d) * u64::from(self.output.storage_bits())
     }
 }
 

@@ -4,6 +4,7 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
+use crate::cast;
 use crate::FixedError;
 
 /// A signed fixed-point format: `int_bits` integer bits, `frac_bits` fraction bits,
@@ -85,19 +86,17 @@ impl QFormat {
 
     /// The smallest positive representable value, `2^-f`.
     pub fn resolution(&self) -> f64 {
-        2f64.powi(-(self.frac_bits as i32))
+        cast::pow2(-cast::bits_as_exp(self.frac_bits))
     }
 
     /// The largest representable value, `2^i - 2^-f`.
     pub fn max_value(&self) -> f64 {
-        let max_raw = self.max_raw() as f64;
-        max_raw * self.resolution()
+        cast::raw_to_f64(self.max_raw()) * self.resolution()
     }
 
     /// The smallest (most negative) representable value, `-2^i`.
     pub fn min_value(&self) -> f64 {
-        let min_raw = self.min_raw() as f64;
-        min_raw * self.resolution()
+        cast::raw_to_f64(self.min_raw()) * self.resolution()
     }
 
     /// The largest representable raw (scaled integer) value.
@@ -112,8 +111,8 @@ impl QFormat {
 
     /// Returns whether `value` is representable (after rounding) without saturation.
     pub fn can_represent(&self, value: f64) -> bool {
-        let raw = (value * 2f64.powi(self.frac_bits as i32)).round();
-        raw >= self.min_raw() as f64 && raw <= self.max_raw() as f64
+        let raw = (value * cast::pow2(cast::bits_as_exp(self.frac_bits))).round();
+        raw >= cast::raw_to_f64(self.min_raw()) && raw <= cast::raw_to_f64(self.max_raw())
     }
 
     /// Format of the full-precision product of two values in formats `self` and `rhs`:
@@ -154,7 +153,11 @@ impl Default for QFormat {
 }
 
 /// Ceiling of `log2(count)` for `count >= 1`; `0` for `count <= 1`.
-pub(crate) fn ceil_log2(count: usize) -> u32 {
+///
+/// This is the bit-growth rule Section III-B applies to accumulations; it is
+/// exported so the typed-pipeline dispatch in `a3-core` can key instantiations
+/// on the same quantity that [`QFormat::accumulate_format`] uses.
+pub fn ceil_log2(count: usize) -> u32 {
     if count <= 1 {
         0
     } else {

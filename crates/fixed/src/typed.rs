@@ -1,0 +1,506 @@
+//! Compile-time checked Q-format fixed-point values.
+//!
+//! [`Q<INT, FRAC>`](Q) carries its [`QFormat`](crate::QFormat) in the *type*:
+//! `Q<4, 4>` is a `Q4.4` value. Operations whose correctness depends on the
+//! operand formats — addition, widening multiplication, extension — are checked
+//! at compile time, so the whole class of [`FixedError::FormatMismatch`]
+//! failures that the dynamic [`Fixed`] type reports at runtime simply cannot be
+//! expressed. Conversions compile down to constant shifts.
+//!
+//! The arithmetic itself is bit-identical to [`Fixed`]: both operate on the
+//! same raw scaled integers with the same rounding and saturation rules, which
+//! the property tests in `crates/fixed/tests` assert exhaustively.
+//!
+//! Because the crate targets stable Rust (MSRV 1.75, no `generic_const_exprs`),
+//! a widening operation cannot *name* its result format; instead the result
+//! format is inferred from the call site and validated by a monomorphization-time
+//! constant assertion. Getting it wrong is a compile error:
+//!
+//! ```compile_fail
+//! use a3_fixed::Q;
+//! let a: Q<4, 4> = Q::quantize(1.5);
+//! let b: Q<4, 4> = Q::quantize(2.0);
+//! // Product of Q4.4 x Q4.4 is Q8.8; claiming Q9.8 fails to compile.
+//! let p: Q<9, 8> = a.mul_full(b);
+//! ```
+//!
+//! whereas the correct format compiles and is exact:
+//!
+//! ```
+//! use a3_fixed::Q;
+//! let a: Q<4, 4> = Q::quantize(1.5);
+//! let b: Q<4, 4> = Q::quantize(2.0);
+//! let p: Q<8, 8> = a.mul_full(b);
+//! assert_eq!(p.to_f64(), 3.0);
+//! ```
+
+use std::fmt;
+
+use crate::cast;
+use crate::exp_lut::ExpLutTables;
+use crate::{ExpLut, Fixed, FixedError, QFormat};
+
+/// A signed fixed-point value whose format is part of its type: `INT` integer
+/// bits and `FRAC` fraction bits, plus an implicit sign bit.
+///
+/// Mirrors [`Fixed`] operation for operation; see the [module docs](self) for
+/// the compile-time guarantees and the equivalence contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(transparent)]
+pub struct Q<const INT: u32, const FRAC: u32> {
+    raw: i64,
+}
+
+/// Monomorphization-time assertion that a product format is the element-wise
+/// sum of its operand formats (`Qa.b * Qc.d -> Q(a+c).(b+d)`).
+struct AssertProductFormat<
+    const LI: u32,
+    const LF: u32,
+    const RI: u32,
+    const RF: u32,
+    const PI: u32,
+    const PF: u32,
+>;
+
+impl<const LI: u32, const LF: u32, const RI: u32, const RF: u32, const PI: u32, const PF: u32>
+    AssertProductFormat<LI, LF, RI, RF, PI, PF>
+{
+    const OK: () = assert!(
+        PI == LI + RI && PF == LF + RF,
+        "product format must be the element-wise sum of the operand formats"
+    );
+}
+
+/// Monomorphization-time assertion that an extension target is at least as wide
+/// as the source on both the integer and the fraction side.
+struct AssertExtendFormat<const I: u32, const F: u32, const TI: u32, const TF: u32>;
+
+impl<const I: u32, const F: u32, const TI: u32, const TF: u32> AssertExtendFormat<I, F, TI, TF> {
+    const OK: () = assert!(
+        TI >= I && TF >= F,
+        "extension target must not drop integer or fraction bits"
+    );
+}
+
+// The `let _proof: () = Assert...::OK;` statements below are how the const
+// assertions are forced to evaluate during monomorphization; binding the unit
+// value is intentional.
+#[allow(clippy::let_unit_value)]
+impl<const INT: u32, const FRAC: u32> Q<INT, FRAC> {
+    /// Total number of magnitude bits (integer + fraction, excluding sign).
+    /// Referencing any constant of this type also validates the format width
+    /// at compile time.
+    pub const TOTAL_BITS: u32 = {
+        assert!(
+            INT + FRAC <= QFormat::MAX_TOTAL_BITS,
+            "fixed-point format too wide: INT + FRAC must be <= 62"
+        );
+        INT + FRAC
+    };
+
+    /// The largest representable raw (scaled integer) value, `2^(INT+FRAC) - 1`.
+    pub const MAX_RAW: i64 = (1i64 << Self::TOTAL_BITS) - 1;
+
+    /// The smallest representable raw (scaled integer) value, `-2^(INT+FRAC)`.
+    pub const MIN_RAW: i64 = -(1i64 << Self::TOTAL_BITS);
+
+    /// The dynamic [`QFormat`] equivalent of this type-level format.
+    pub fn format() -> QFormat {
+        QFormat::new(INT, FRAC)
+    }
+
+    /// The value zero.
+    pub const fn zero() -> Self {
+        Self { raw: 0 }
+    }
+
+    /// The largest representable value.
+    pub const fn max() -> Self {
+        Self { raw: Self::MAX_RAW }
+    }
+
+    /// The smallest (most negative) representable value.
+    pub const fn min() -> Self {
+        Self { raw: Self::MIN_RAW }
+    }
+
+    /// Quantizes a floating-point value using round-to-nearest and saturation.
+    /// Bit-identical to [`Fixed::quantize`] on the same format.
+    pub fn quantize(value: f64) -> Self {
+        let scaled = (value * cast::pow2(cast::bits_as_exp(FRAC))).round();
+        let raw = if scaled.is_nan() {
+            0
+        } else {
+            cast::clamped_f64_to_raw(scaled.clamp(
+                cast::raw_to_f64(Self::MIN_RAW),
+                cast::raw_to_f64(Self::MAX_RAW),
+            ))
+        };
+        Self { raw }
+    }
+
+    /// Quantizes a floating-point value, returning an error instead of
+    /// saturating when the value does not fit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FixedError::Overflow`] if the rounded value lies outside the
+    /// format's representable range.
+    pub fn try_quantize(value: f64) -> Result<Self, FixedError> {
+        if !Self::format().can_represent(value) {
+            return Err(FixedError::Overflow {
+                value,
+                format: Self::format(),
+            });
+        }
+        Ok(Self::quantize(value))
+    }
+
+    /// Constructs a value from a raw scaled integer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `raw` is outside the representable raw range.
+    pub fn from_raw(raw: i64) -> Self {
+        assert!(
+            raw >= Self::MIN_RAW && raw <= Self::MAX_RAW,
+            "raw value outside the range of the Q format"
+        );
+        Self { raw }
+    }
+
+    /// Constructs a value from a raw scaled integer, saturating to the format
+    /// range.
+    pub const fn from_raw_saturating(raw: i64) -> Self {
+        let raw = if raw > Self::MAX_RAW {
+            Self::MAX_RAW
+        } else if raw < Self::MIN_RAW {
+            Self::MIN_RAW
+        } else {
+            raw
+        };
+        Self { raw }
+    }
+
+    /// The raw scaled-integer representation.
+    pub const fn raw(self) -> i64 {
+        self.raw
+    }
+
+    /// Converts back to floating point (exact — see [`Fixed::to_f64`]).
+    pub fn to_f64(self) -> f64 {
+        cast::raw_to_f64(self.raw) * cast::pow2(-cast::bits_as_exp(FRAC))
+    }
+
+    /// Converts to the dynamic [`Fixed`] representation (same raw bits, same
+    /// format).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the raw value lies outside the declared range, which can only
+    /// happen to the unclamped result of [`Q::mul_full`] when both operands
+    /// were at the format minimum.
+    pub fn to_fixed(self) -> Fixed {
+        Fixed::from_raw(self.raw, Self::format())
+    }
+
+    /// Converts from the dynamic [`Fixed`] representation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FixedError::FormatMismatch`] if `value` is not tagged with
+    /// exactly this type's format.
+    pub fn from_fixed(value: Fixed) -> Result<Self, FixedError> {
+        if value.format() != Self::format() {
+            return Err(FixedError::FormatMismatch {
+                lhs: value.format(),
+                rhs: Self::format(),
+            });
+        }
+        Ok(Self { raw: value.raw() })
+    }
+
+    /// Saturating addition. Formats always match by construction — a mismatch
+    /// is a type error, not a runtime error.
+    pub const fn saturating_add(self, rhs: Self) -> Self {
+        Self::from_raw_saturating(self.raw + rhs.raw)
+    }
+
+    /// Saturating subtraction. Formats always match by construction.
+    pub const fn saturating_sub(self, rhs: Self) -> Self {
+        Self::from_raw_saturating(self.raw - rhs.raw)
+    }
+
+    /// Full-precision multiplication. The result format must be the
+    /// element-wise sum of the operand formats; anything else is a compile
+    /// error (see the [module docs](self)). Like [`Fixed::mul_full`], the
+    /// product is not clamped: the only representable operands whose product
+    /// exceeds the declared range are both format minima.
+    pub fn mul_full<const RI: u32, const RF: u32, const PI: u32, const PF: u32>(
+        self,
+        rhs: Q<RI, RF>,
+    ) -> Q<PI, PF> {
+        let _proof: () = AssertProductFormat::<INT, FRAC, RI, RF, PI, PF>::OK;
+        Q {
+            raw: self.raw * rhs.raw,
+        }
+    }
+
+    /// Reinterprets this value in a wider (or equal) format without changing
+    /// its numerical value; compiles to a constant left shift. Narrowing on
+    /// either side is a compile error:
+    ///
+    /// ```compile_fail
+    /// use a3_fixed::Q;
+    /// let x: Q<8, 8> = Q::quantize(1.5);
+    /// let narrow: Q<8, 4> = x.extend(); // dropping fraction bits: rejected
+    /// ```
+    pub fn extend<const TI: u32, const TF: u32>(self) -> Q<TI, TF> {
+        let _proof: () = AssertExtendFormat::<INT, FRAC, TI, TF>::OK;
+        Q {
+            raw: self.raw << (TF - FRAC),
+        }
+    }
+
+    /// Rounds to an arbitrary target format: round-half-up on dropped fraction
+    /// bits, saturating on the integer side. Bit-identical to
+    /// [`Fixed::round_to`].
+    pub fn round_to<const TI: u32, const TF: u32>(self) -> Q<TI, TF> {
+        if TF >= FRAC {
+            Q::<TI, TF>::from_raw_saturating(self.raw << (TF - FRAC))
+        } else {
+            let shift = FRAC - TF;
+            let half = 1i64 << (shift - 1);
+            Q::<TI, TF>::from_raw_saturating((self.raw + half) >> shift)
+        }
+    }
+
+    /// Fixed-point division with the same semantics as [`Fixed::div_weight`]:
+    /// the result keeps this value's format, which is exact enough whenever the
+    /// divisor is at least one (the paper's softmax normalisation case).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero.
+    pub fn div_weight<const RI: u32, const RF: u32>(self, rhs: Q<RI, RF>) -> Self {
+        assert!(rhs.raw != 0, "fixed-point division by zero");
+        let numerator = self.raw << RF;
+        Self::from_raw_saturating(numerator / rhs.raw)
+    }
+
+    /// Returns true if this value is negative.
+    pub const fn is_negative(self) -> bool {
+        self.raw < 0
+    }
+
+    /// Returns true if this value is zero.
+    pub const fn is_zero(self) -> bool {
+        self.raw == 0
+    }
+}
+
+impl<const INT: u32, const FRAC: u32> fmt::Display for Q<INT, FRAC> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (Q{}.{})", self.to_f64(), INT, FRAC)
+    }
+}
+
+impl<const INT: u32, const FRAC: u32> Default for Q<INT, FRAC> {
+    fn default() -> Self {
+        Self::zero()
+    }
+}
+
+/// The exponent lookup table with its input and output formats lifted into the
+/// type. Evaluation is infallible: a wrong-format input is a *type* error
+/// rather than a [`FixedError::FormatMismatch`], and a positive input cannot
+/// reach the table because the pipeline subtracts the running maximum before
+/// this stage (a stray positive raw value is clamped to zero, mirroring
+/// [`ExpLut::eval_f64`]).
+///
+/// ```compile_fail
+/// use a3_fixed::{Q, TypedExpLut};
+/// let lut: TypedExpLut<15, 8, 0, 8> = TypedExpLut::paper();
+/// let x: Q<4, 4> = Q::quantize(-1.0);
+/// let y = lut.eval(x); // wrong input format: rejected at compile time
+/// ```
+///
+/// ```
+/// use a3_fixed::{Q, TypedExpLut};
+/// let lut: TypedExpLut<15, 8, 0, 8> = TypedExpLut::paper();
+/// let x: Q<15, 8> = Q::quantize(-1.0);
+/// let y: Q<0, 8> = lut.eval(x);
+/// assert!((y.to_f64() - (-1.0f64).exp()).abs() < 0.01);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TypedExpLut<const II: u32, const IF: u32, const OI: u32, const OF: u32> {
+    lut: ExpLut,
+    /// Fully expanded tables when the input format is narrow enough
+    /// ([`ExpLut::MAX_MATERIALIZED_INPUT_BITS`]); otherwise evaluation falls
+    /// back to the bit-identical lazy path on `lut`.
+    tables: Option<ExpLutTables>,
+}
+
+impl<const II: u32, const IF: u32, const OI: u32, const OF: u32> TypedExpLut<II, IF, OI, OF> {
+    /// Builds the paper's two-half table configuration (4 entry guard bits)
+    /// for this type's formats. When the input format is narrow enough the
+    /// tables are fully materialized so that evaluation is two lookups, one
+    /// multiply and one rounding shift; wider formats evaluate entries lazily
+    /// with identical results.
+    pub fn paper() -> Self {
+        let lut = ExpLut::two_half(QFormat::new(II, IF), QFormat::new(OI, OF));
+        let tables = lut.materialize();
+        Self { lut, tables }
+    }
+
+    /// Evaluates `exp(x)`, bit-identically to the dynamic
+    /// [`ExpLut::eval`] on the same formats.
+    pub fn eval(&self, x: Q<II, IF>) -> Q<OI, OF> {
+        let raw = x.raw().min(0);
+        let out = match &self.tables {
+            Some(tables) => tables.eval_nonpos_raw(raw),
+            None => self.lut.eval_nonpos_raw(raw),
+        };
+        Q::from_raw_saturating(out)
+    }
+
+    /// Number of entries in the (upper, lower) tables, as reported by the
+    /// hardware area model.
+    pub fn table_entries(&self) -> (u64, u64) {
+        self.lut.table_entries()
+    }
+
+    /// Whether evaluation uses fully materialized tables (true for every
+    /// realistic pipeline format) or the lazy fallback.
+    pub fn is_materialized(&self) -> bool {
+        self.tables.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantize_matches_fixed() {
+        for value in [-100.0, -16.0, -0.7, -0.03, 0.0, 0.03, 0.7, 15.9375, 100.0] {
+            let typed: Q<4, 4> = Q::quantize(value);
+            let dynamic = Fixed::quantize(value, QFormat::new(4, 4));
+            assert_eq!(typed.raw(), dynamic.raw(), "value {value}");
+        }
+    }
+
+    #[test]
+    fn constants_match_dynamic_format() {
+        assert_eq!(Q::<4, 4>::MAX_RAW, QFormat::new(4, 4).max_raw());
+        assert_eq!(Q::<4, 4>::MIN_RAW, QFormat::new(4, 4).min_raw());
+        assert_eq!(Q::<0, 8>::TOTAL_BITS, 8);
+        assert_eq!(Q::<4, 4>::format(), QFormat::new(4, 4));
+    }
+
+    #[test]
+    fn saturating_ops_clamp() {
+        let max: Q<4, 4> = Q::max();
+        let one: Q<4, 4> = Q::quantize(1.0);
+        assert_eq!(max.saturating_add(one), Q::max());
+        let min: Q<4, 4> = Q::min();
+        assert_eq!(min.saturating_sub(one), Q::min());
+    }
+
+    #[test]
+    fn mul_extend_round_div_mirror_fixed() {
+        let fmt = QFormat::new(4, 4);
+        let a_d = Fixed::quantize(1.25, fmt);
+        let b_d = Fixed::quantize(-0.5, fmt);
+        let a: Q<4, 4> = Q::from_fixed(a_d).unwrap();
+        let b: Q<4, 4> = Q::from_fixed(b_d).unwrap();
+
+        let p: Q<8, 8> = a.mul_full(b);
+        assert_eq!(p.raw(), a_d.mul_full(b_d).raw());
+
+        let ext: Q<10, 12> = p.extend();
+        assert_eq!(
+            ext.raw(),
+            a_d.mul_full(b_d).extend_to(QFormat::new(10, 12)).raw()
+        );
+
+        let back: Q<4, 4> = ext.round_to();
+        assert_eq!(
+            back.raw(),
+            a_d.mul_full(b_d)
+                .extend_to(QFormat::new(10, 12))
+                .round_to(fmt)
+                .raw()
+        );
+
+        let score: Q<0, 8> = Q::quantize(0.5);
+        let sum: Q<9, 8> = Q::quantize(2.0);
+        let w = score.div_weight(sum);
+        let w_d = Fixed::quantize(0.5, QFormat::new(0, 8))
+            .div_weight(Fixed::quantize(2.0, QFormat::new(9, 8)));
+        assert_eq!(w.raw(), w_d.raw());
+    }
+
+    #[test]
+    fn from_fixed_rejects_other_format() {
+        let x = Fixed::quantize(1.0, QFormat::new(8, 8));
+        assert!(matches!(
+            Q::<4, 4>::from_fixed(x),
+            Err(FixedError::FormatMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn try_quantize_rejects_overflow() {
+        assert!(Q::<4, 4>::try_quantize(100.0).is_err());
+        assert!(Q::<4, 4>::try_quantize(1.0).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the range")]
+    fn from_raw_out_of_range_panics() {
+        let _ = Q::<4, 4>::from_raw(1_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        let one: Q<4, 4> = Q::quantize(1.0);
+        let _ = one.div_weight(Q::<9, 8>::zero());
+    }
+
+    #[test]
+    fn typed_lut_matches_dynamic_lut() {
+        let typed: TypedExpLut<8, 6, 0, 6> = TypedExpLut::paper();
+        let dynamic = ExpLut::two_half(QFormat::new(8, 6), QFormat::new(0, 6));
+        let input = QFormat::new(8, 6);
+        for raw in (input.min_raw()..=0).step_by(7) {
+            let expected = dynamic.eval(Fixed::from_raw(raw, input)).unwrap();
+            let got = typed.eval(Q::from_raw(raw));
+            assert_eq!(got.raw(), expected.raw(), "raw input {raw}");
+        }
+        // The extreme negative raw value exercises the upper table's sentinel
+        // entry (magnitude 2^total has one more bit than any other input).
+        let expected = dynamic
+            .eval(Fixed::from_raw(input.min_raw(), input))
+            .unwrap();
+        assert_eq!(
+            typed.eval(Q::from_raw(input.min_raw())).raw(),
+            expected.raw()
+        );
+    }
+
+    #[test]
+    fn typed_lut_clamps_stray_positive_input() {
+        let typed: TypedExpLut<8, 6, 0, 6> = TypedExpLut::paper();
+        let one_ish = typed.eval(Q::from_raw(5));
+        assert_eq!(one_ish, typed.eval(Q::zero()));
+    }
+
+    #[test]
+    fn display_shows_format() {
+        let x: Q<4, 4> = Q::quantize(1.5);
+        assert_eq!(x.to_string(), "1.5 (Q4.4)");
+        assert_eq!(Q::<4, 4>::default(), Q::<4, 4>::zero());
+    }
+}
