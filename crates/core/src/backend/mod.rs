@@ -47,6 +47,8 @@
 //! ```
 
 mod cache;
+#[cfg(target_arch = "x86_64")]
+pub mod quantized_simd;
 mod shard;
 pub mod simd;
 
@@ -584,17 +586,46 @@ impl ComputeBackend for ApproximateBackend {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct QuantizedBackend {
     input_format: QFormat,
+    /// Pin the typed pipeline to its scalar datapath even when the AVX2
+    /// vector kernels (`backend::quantized_simd`) are available.
+    force_scalar: bool,
 }
 
 impl QuantizedBackend {
-    /// Creates a quantized backend with the given input format.
+    /// Creates a quantized backend with the given input format. On AVX2
+    /// hosts, deployed shapes take the vectorised integer datapath
+    /// automatically (bit-identical to the scalar pipelines).
     pub fn new(input_format: QFormat) -> Self {
-        Self { input_format }
+        Self {
+            input_format,
+            force_scalar: false,
+        }
     }
 
     /// The paper's `Q4.4` input quantization.
     pub fn paper() -> Self {
         Self::new(a3_fixed::paper_input_format())
+    }
+
+    /// Creates a quantized backend pinned to the scalar datapath even when
+    /// the AVX2 vector kernels are available. Bit-identical to
+    /// [`QuantizedBackend::new`]; exists so differential tests and benchmarks
+    /// can measure both datapaths side by side.
+    pub fn scalar(input_format: QFormat) -> Self {
+        Self {
+            input_format,
+            force_scalar: true,
+        }
+    }
+
+    /// The paper's `Q4.4` input quantization, pinned to the scalar datapath.
+    pub fn paper_scalar() -> Self {
+        Self::scalar(a3_fixed::paper_input_format())
+    }
+
+    /// Whether this backend pins the scalar datapath.
+    pub fn is_forced_scalar(&self) -> bool {
+        self.force_scalar
     }
 
     /// The input quantization format.
@@ -615,11 +646,21 @@ impl QuantizedBackend {
 
 impl ComputeBackend for QuantizedBackend {
     fn name(&self) -> String {
-        format!("quantized({})", self.input_format)
+        // The two names keep vector- and scalar-prepared memories apart in a
+        // `MemoryCache` (which keys on the backend name).
+        if self.force_scalar {
+            format!("quantized-scalar({})", self.input_format)
+        } else {
+            format!("quantized({})", self.input_format)
+        }
     }
 
     fn prepare(&self, keys: &Matrix, values: &Matrix) -> Result<PreparedMemory, AttentionError> {
-        let quantized = QuantizedMemory::prepare(self.input_format, keys, values)?;
+        let quantized = if self.force_scalar {
+            QuantizedMemory::prepare_scalar(self.input_format, keys, values)?
+        } else {
+            QuantizedMemory::prepare(self.input_format, keys, values)?
+        };
         let ops = quantized.preprocess_ops();
         PreparedMemory::new(
             keys,
@@ -647,7 +688,13 @@ impl ComputeBackend for QuantizedBackend {
     ) -> Result<AttentionResult, AttentionError> {
         // One-shot: quantize on the fly without cloning the float matrices into a
         // PreparedMemory (bit-identical to the prepared path).
-        QuantizedAttention::new(self.input_format).attend(keys, values, query)
+        if self.force_scalar {
+            keys.validate_attention(values, query)?;
+            let memory = QuantizedMemory::prepare_scalar(self.input_format, keys, values)?;
+            QuantizedAttention::new(self.input_format).attend_memory(&memory, query)
+        } else {
+            QuantizedAttention::new(self.input_format).attend(keys, values, query)
+        }
     }
 }
 
@@ -680,6 +727,7 @@ mod tests {
             Box::new(ApproximateBackend::conservative()),
             Box::new(ApproximateBackend::aggressive()),
             Box::new(QuantizedBackend::paper()),
+            Box::new(QuantizedBackend::paper_scalar()),
         ]
     }
 

@@ -555,14 +555,19 @@ mod x86 {
     }
 }
 
+/// Shared helpers for tests that touch process-global dispatch state.
+#[cfg(test)]
+pub(crate) mod test_support {
+    /// Serialises the tests — here and in `quantized_simd` — that mutate
+    /// [`super::FORCE_SCALAR_ENV`] (process-global state).
+    pub(crate) static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+}
+
 #[cfg(test)]
 mod tests {
+    use super::test_support::ENV_LOCK;
     use super::*;
     use crate::backend::ExactBackend;
-    use std::sync::Mutex;
-
-    /// Serialises the tests that mutate [`FORCE_SCALAR_ENV`] (process-global state).
-    static ENV_LOCK: Mutex<()> = Mutex::new(());
 
     /// Deterministic pseudo-random memory with awkward shapes.
     fn case(n: usize, d: usize, seed: u64) -> (Matrix, Matrix, Vec<f32>) {

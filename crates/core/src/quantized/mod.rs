@@ -109,7 +109,23 @@ impl QuantizedMemory {
         keys: &Matrix,
         values: &Matrix,
     ) -> Result<Self, AttentionError> {
-        Self::prepare_inner(input_format, keys, values, true)
+        Self::prepare_inner(input_format, keys, values, true, true)
+    }
+
+    /// Like [`QuantizedMemory::prepare`], but keeps the typed pipeline on its
+    /// scalar datapath even when the AVX2 vector kernels are available. The
+    /// two datapaths are bit-identical; this constructor exists so
+    /// differential tests and benchmarks can measure both.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the memory is empty or the key/value shapes disagree.
+    pub fn prepare_scalar(
+        input_format: QFormat,
+        keys: &Matrix,
+        values: &Matrix,
+    ) -> Result<Self, AttentionError> {
+        Self::prepare_inner(input_format, keys, values, true, false)
     }
 
     /// Like [`QuantizedMemory::prepare`], but always selects the dynamic-format
@@ -125,7 +141,7 @@ impl QuantizedMemory {
         keys: &Matrix,
         values: &Matrix,
     ) -> Result<Self, AttentionError> {
-        Self::prepare_inner(input_format, keys, values, false)
+        Self::prepare_inner(input_format, keys, values, false, false)
     }
 
     fn prepare_inner(
@@ -133,6 +149,7 @@ impl QuantizedMemory {
         keys: &Matrix,
         values: &Matrix,
         allow_typed: bool,
+        allow_vector: bool,
     ) -> Result<Self, AttentionError> {
         if keys.is_empty() {
             return Err(AttentionError::EmptyMemory);
@@ -154,7 +171,7 @@ impl QuantizedMemory {
         let formats = PipelineFormats::new(input_format, n, d);
         let exp_lut = ExpLut::two_half(formats.shifted_dot_product(), formats.score());
         let pipeline = if allow_typed {
-            typed::build_typed_pipeline(input_format, n, d, keys, values)
+            typed::build_typed_pipeline(input_format, n, d, keys, values, allow_vector)
         } else {
             None
         };
@@ -198,6 +215,19 @@ impl QuantizedMemory {
     /// deployed shapes) or the dynamic-format fallback.
     pub fn is_typed(&self) -> bool {
         matches!(self.pipeline, PreparedPipeline::Typed(_))
+    }
+
+    /// Whether the typed pipeline dispatched to the AVX2 vector kernels at
+    /// prepare time (`quantized_simd`). False on non-AVX2 hosts, under the
+    /// `A3_FORCE_SCALAR` override, for [`QuantizedMemory::prepare_scalar`] /
+    /// [`QuantizedMemory::prepare_dynamic`] memories, and for shapes outside
+    /// the vector eligibility gates; all of those run the bit-identical
+    /// scalar datapath.
+    pub fn is_vectorized(&self) -> bool {
+        match &self.pipeline {
+            PreparedPipeline::Typed(typed) => typed.is_vectorized(),
+            PreparedPipeline::Dynamic(_) => false,
+        }
     }
 
     /// Number of element-level preprocessing operations performed: one quantization

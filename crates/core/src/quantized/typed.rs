@@ -33,6 +33,10 @@ pub(crate) trait TypedQuantizedPipeline: Send + Sync + fmt::Debug {
     /// Runs the fixed-point pipeline for one query over the selected rows
     /// (all indices already validated to be in range).
     fn attend_rows(&self, query: &[f32], rows: &[usize]) -> AttentionResult;
+
+    /// Whether prepare-time dispatch selected the AVX2 vector kernels
+    /// (`backend::quantized_simd`) for this instantiation.
+    fn is_vectorized(&self) -> bool;
 }
 
 /// The quantized attention pipeline with every stage format in the type.
@@ -65,6 +69,10 @@ pub(crate) struct TypedPipeline<
     keys: Vec<Q<I, F>>,
     values: Vec<Q<I, F>>,
     lut: TypedExpLut<XI, XF, SI, SF>,
+    /// The AVX2 vector datapath, when prepare-time dispatch selected it;
+    /// `None` runs the scalar datapath below (bit-identical either way).
+    #[cfg(target_arch = "x86_64")]
+    vector: Option<crate::backend::quantized_simd::QuantizedSimdPipeline>,
     n: usize,
     d: usize,
 }
@@ -126,7 +134,16 @@ impl<
 
     /// Quantizes a key/value memory into this instantiation's input format and
     /// materializes its exponent tables. Shapes were validated by the caller.
-    pub(crate) fn prepare(keys: &Matrix, values: &Matrix, n: usize, d: usize) -> Self {
+    /// With `allow_vector`, hands the quantized operands to the AVX2 module
+    /// (`backend::quantized_simd`), whose prepare-time dispatch may decline —
+    /// either way the scalar datapath stays available and bit-identical.
+    pub(crate) fn prepare(
+        keys: &Matrix,
+        values: &Matrix,
+        n: usize,
+        d: usize,
+        allow_vector: bool,
+    ) -> Self {
         let _proof: () = Self::FORMATS_OK;
         let quantize_all = |m: &Matrix| -> Vec<Q<I, F>> {
             m.as_slice()
@@ -134,13 +151,49 @@ impl<
                 .map(|&x| Q::quantize(f64::from(x)))
                 .collect()
         };
+        let keys = quantize_all(keys);
+        let values = quantize_all(values);
+        let lut = TypedExpLut::paper();
+        #[cfg(target_arch = "x86_64")]
+        let vector = if allow_vector {
+            Self::build_vector(&keys, &values, &lut, n, d)
+        } else {
+            None
+        };
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = allow_vector;
         Self {
-            keys: quantize_all(keys),
-            values: quantize_all(values),
-            lut: TypedExpLut::paper(),
+            keys,
+            values,
+            lut,
+            #[cfg(target_arch = "x86_64")]
+            vector,
             n,
             d,
         }
+    }
+
+    /// Re-expresses the quantized raws and materialized tables in the AVX2
+    /// module's lane layout. `None` (scalar datapath) when the tables are not
+    /// materialized or the vector dispatch declines the host or the formats.
+    #[cfg(target_arch = "x86_64")]
+    fn build_vector(
+        keys: &[Q<I, F>],
+        values: &[Q<I, F>],
+        lut: &TypedExpLut<XI, XF, SI, SF>,
+        n: usize,
+        d: usize,
+    ) -> Option<crate::backend::quantized_simd::QuantizedSimdPipeline> {
+        let tables = lut.tables()?;
+        let formats = PipelineFormats::new(QFormat::new(I, F), n, d);
+        let raw_keys: Vec<i64> = keys.iter().map(|q| q.raw()).collect();
+        let raw_values: Vec<i64> = values.iter().map(|q| q.raw()).collect();
+        crate::backend::quantized_simd::QuantizedSimdPipeline::prepare(
+            &formats,
+            tables,
+            &raw_keys,
+            &raw_values,
+        )
     }
 
     fn key_row(&self, r: usize) -> &[Q<I, F>] {
@@ -173,6 +226,14 @@ impl<
     for TypedPipeline<I, F, PI, PF, DI, DF, XI, XF, SI, SF, EI, EF, OI, OF, WI, WF>
 {
     fn attend_rows(&self, query: &[f32], rows: &[usize]) -> AttentionResult {
+        // Vector datapath, when prepare-time dispatch selected it. The scalar
+        // code below is the bit-identity reference it is property-tested
+        // against.
+        #[cfg(target_arch = "x86_64")]
+        if let Some(vector) = &self.vector {
+            return vector.attend_rows(query, rows);
+        }
+
         // Quantize the query once (it is reused by every row).
         let q: Vec<Q<I, F>> = query.iter().map(|&x| Q::quantize(f64::from(x))).collect();
 
@@ -236,6 +297,17 @@ impl<
             output,
         }
     }
+
+    fn is_vectorized(&self) -> bool {
+        #[cfg(target_arch = "x86_64")]
+        {
+            self.vector.is_some()
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            false
+        }
+    }
 }
 
 impl<
@@ -282,6 +354,7 @@ macro_rules! typed_pipelines {
             d: usize,
             keys: &Matrix,
             values: &Matrix,
+            allow_vector: bool,
         ) -> Option<Arc<dyn TypedQuantizedPipeline>> {
             let ld = ceil_log2(d);
             let ln = ceil_log2(n);
@@ -304,7 +377,7 @@ macro_rules! typed_pipelines {
                         debug_assert!(false, "typed dispatch format drift for ({n}, {d})");
                         return None;
                     }
-                    return Some(Arc::new(Chosen::prepare(keys, values, n, d)));
+                    return Some(Arc::new(Chosen::prepare(keys, values, n, d, allow_vector)));
                 }
             )*
             None
@@ -369,7 +442,7 @@ mod tests {
             assert_eq!(ceil_log2(n), ln);
             let keys = Matrix::zeros(n, d);
             let values = Matrix::zeros(n, d);
-            let built = build_typed_pipeline(QFormat::new(i, f), n, d, &keys, &values);
+            let built = build_typed_pipeline(QFormat::new(i, f), n, d, &keys, &values, true);
             assert!(
                 built.is_some(),
                 "instantiation (Q{i}.{f}, log2d={ld}, log2n={ln}) failed to dispatch"
@@ -381,7 +454,7 @@ mod tests {
     fn paper_shape_dispatches_to_typed() {
         let keys = Matrix::zeros(320, 64);
         let values = Matrix::zeros(320, 64);
-        let built = build_typed_pipeline(QFormat::new(4, 4), 320, 64, &keys, &values);
+        let built = build_typed_pipeline(QFormat::new(4, 4), 320, 64, &keys, &values, true);
         assert!(built.is_some());
     }
 
@@ -390,9 +463,9 @@ mod tests {
         let keys = Matrix::zeros(4, 1024);
         let values = Matrix::zeros(4, 1024);
         // log2(d) = 10 is not in the deployed grid.
-        assert!(build_typed_pipeline(QFormat::new(4, 4), 4, 1024, &keys, &values).is_none());
+        assert!(build_typed_pipeline(QFormat::new(4, 4), 4, 1024, &keys, &values, true).is_none());
         // Neither is a Q7.1 input format.
         let small = Matrix::zeros(4, 4);
-        assert!(build_typed_pipeline(QFormat::new(7, 1), 4, 4, &small, &small).is_none());
+        assert!(build_typed_pipeline(QFormat::new(7, 1), 4, 4, &small, &small, true).is_none());
     }
 }

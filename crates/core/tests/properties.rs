@@ -12,6 +12,7 @@ use a3_core::backend::{
 use a3_core::quantized::{QuantizedAttention, QuantizedMemory};
 use a3_core::serve::{AttentionServer, BatchPolicy, Request, Response};
 use a3_core::Matrix;
+use a3_fixed::QFormat;
 use proptest::prelude::*;
 
 /// The full backend line-up served through the unified `ComputeBackend` trait.
@@ -24,7 +25,20 @@ fn all_backends() -> Vec<Box<dyn ComputeBackend>> {
         Box::new(ApproximateBackend::conservative()),
         Box::new(ApproximateBackend::aggressive()),
         Box::new(QuantizedBackend::paper()),
+        Box::new(QuantizedBackend::paper_scalar()),
     ]
+}
+
+/// Input formats for the quantized vector-vs-scalar differential tests: the
+/// paper's `Q4.4`, the quantization-study formats, and one undeployed format
+/// (always dynamic/scalar, where the property holds trivially).
+fn quantized_format() -> impl Strategy<Value = QFormat> {
+    (0usize..4).prop_map(|i| match i {
+        0 => QFormat::new(4, 4),
+        1 => QFormat::new(4, 2),
+        2 => QFormat::new(4, 6),
+        _ => QFormat::new(5, 3),
+    })
 }
 
 /// Strategy producing a random (keys, values, query) triple with `n` in 2..40 and
@@ -153,13 +167,14 @@ fn single_row_memory_shards_bit_identically() {
     }
 }
 
-/// The three backends the serving front-end must serve bit-identically.
+/// The backends the serving front-end must serve bit-identically.
 fn served_backends() -> Vec<Box<dyn ComputeBackend>> {
     vec![
         Box::new(ExactBackend),
         Box::new(SimdBackend::new()),
         Box::new(ApproximateBackend::conservative()),
         Box::new(QuantizedBackend::paper()),
+        Box::new(QuantizedBackend::paper_scalar()),
     ]
 }
 
@@ -500,6 +515,55 @@ proptest! {
         let a = model.attend_memory_rows(&typed, &query, &rows).unwrap();
         let b = model.attend_memory_rows(&dynamic, &query, &rows).unwrap();
         prop_assert_eq!(&a, &b);
+    }
+
+    /// The AVX2 vector datapath and the scalar quantized datapath are
+    /// bit-identical on random memories, queries, shapes and input formats —
+    /// full attends and candidate-subset attends alike. The `simd_case` shapes
+    /// include `n = 1` and dimensions that are not a multiple of the 8/16-lane
+    /// widths, so every kernel tail length is exercised. (On non-AVX2 hosts,
+    /// under `A3_FORCE_SCALAR=1`, and for shapes or formats outside the vector
+    /// eligibility gates, both memories run the same scalar code and the
+    /// property holds trivially.)
+    #[test]
+    fn vector_and_scalar_quantized_datapaths_are_bit_identical(
+        (keys, values, query) in simd_case(),
+        fmt in quantized_format(),
+        stride in 1usize..4,
+    ) {
+        let model = QuantizedAttention::new(fmt);
+        let auto = QuantizedMemory::prepare(fmt, &keys, &values).unwrap();
+        let scalar = QuantizedMemory::prepare_scalar(fmt, &keys, &values).unwrap();
+        prop_assert!(!scalar.is_vectorized());
+
+        let a = model.attend_memory(&auto, &query).unwrap();
+        let b = model.attend_memory(&scalar, &query).unwrap();
+        prop_assert_eq!(&a, &b);
+
+        let rows: Vec<usize> = (0..keys.rows()).step_by(stride).collect();
+        let a = model.attend_memory_rows(&auto, &query, &rows).unwrap();
+        let b = model.attend_memory_rows(&scalar, &query, &rows).unwrap();
+        prop_assert_eq!(&a, &b);
+    }
+
+    /// The sharded log-sum-exp merge built on vector-datapath partials is
+    /// bit-identical to the same merge built on scalar-datapath partials, on
+    /// random memories and shard counts that do not divide `n` evenly — the
+    /// vectorised quantized kernels thread through sharded serving unchanged.
+    #[test]
+    fn quantized_sharded_merge_is_identical_for_vector_and_scalar_datapaths(
+        (keys, values, query) in simd_case(),
+        shards in 2usize..5,
+    ) {
+        let vector = QuantizedBackend::paper();
+        let scalar = QuantizedBackend::paper_scalar();
+        let plan = ShardPlan::new(shards).unwrap();
+        let vector_sharded = ShardedMemory::prepare(&vector, plan, &keys, &values).unwrap();
+        let scalar_sharded = ShardedMemory::prepare(&scalar, plan, &keys, &values).unwrap();
+        prop_assert_eq!(
+            &vector.attend_sharded(&vector_sharded, &query).unwrap(),
+            &scalar.attend_sharded(&scalar_sharded, &query).unwrap()
+        );
     }
 
     /// The `AttentionServer` front-end is bit-identical to direct per-query

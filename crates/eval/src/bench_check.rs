@@ -245,14 +245,23 @@ pub fn measure(effort: Effort) -> Vec<Metric> {
     let mut metrics = Vec::new();
 
     // -- Simulator cycle counts: deterministic, gated at the same tolerance. -----
-    let cycle_lineup: [(&str, Box<dyn ComputeBackend>, A3Config); 4] = [
+    let cycle_lineup: [(&str, Box<dyn ComputeBackend>, A3Config); 5] = [
         (
             "cycles/exact_batch_320x64",
             Box::new(ExactBackend),
             A3Config::paper_base(),
         ),
         (
+            // The scalar quantized datapath; the vectorised one is the
+            // `quantized_simd` entry below. The simulator's cycle model is
+            // datapath-agnostic, so the two cycle counts must stay equal —
+            // gating both pins that invariant.
             "cycles/quantized_batch_320x64",
+            Box::new(QuantizedBackend::paper_scalar()),
+            A3Config::paper_base(),
+        ),
+        (
+            "cycles/quantized_simd_batch_320x64",
             Box::new(QuantizedBackend::paper()),
             A3Config::paper_base(),
         ),
@@ -322,6 +331,40 @@ pub fn measure(effort: Effort) -> Vec<Metric> {
         false,
     ));
 
+    let quantized = QuantizedBackend::paper();
+    let quantized_memory = quantized.prepare(&keys, &values).expect("valid shapes");
+    let quantized_ns = median_ns(effort, || {
+        std::hint::black_box(
+            quantized
+                .attend_batch_prepared(&quantized_memory, std::hint::black_box(&rows))
+                .expect("valid shapes"),
+        );
+    });
+    metrics.push(Metric::new(
+        "wall_ns/quantized_simd_batch_320x64",
+        MetricUnit::Nanos,
+        quantized_ns,
+        false,
+    ));
+
+    let quantized_scalar = QuantizedBackend::paper_scalar();
+    let quantized_scalar_memory = quantized_scalar
+        .prepare(&keys, &values)
+        .expect("valid shapes");
+    let quantized_scalar_ns = median_ns(effort, || {
+        std::hint::black_box(
+            quantized_scalar
+                .attend_batch_prepared(&quantized_scalar_memory, std::hint::black_box(&rows))
+                .expect("valid shapes"),
+        );
+    });
+    metrics.push(Metric::new(
+        "wall_ns/quantized_batch_320x64",
+        MetricUnit::Nanos,
+        quantized_scalar_ns,
+        false,
+    ));
+
     let approx = ApproximateBackend::conservative();
     let approx_memory = approx.prepare(&keys, &values).expect("valid shapes");
     let approx_ns = median_ns(effort, || {
@@ -375,6 +418,34 @@ pub fn measure(effort: Effort) -> Vec<Metric> {
                     );
                 },
                 exact_batch,
+            ),
+            true,
+        ));
+        // The integer-kernel win over the scalar quantized datapath; like the
+        // simd ratio, meaningless on scalar hosts where dispatch makes both
+        // sides the same code.
+        metrics.push(Metric::new(
+            "ratio/quantized_simd_vs_quantized_batch",
+            MetricUnit::Ratio,
+            median_interleaved_ratio(
+                effort,
+                || {
+                    std::hint::black_box(
+                        quantized
+                            .attend_batch_prepared(&quantized_memory, std::hint::black_box(&rows))
+                            .expect("valid shapes"),
+                    );
+                },
+                || {
+                    std::hint::black_box(
+                        quantized_scalar
+                            .attend_batch_prepared(
+                                &quantized_scalar_memory,
+                                std::hint::black_box(&rows),
+                            )
+                            .expect("valid shapes"),
+                    );
+                },
             ),
             true,
         ));

@@ -32,8 +32,16 @@ fn lineup() -> Vec<(&'static str, Box<dyn ComputeBackend>, A3Config)> {
             A3Config::paper_base(),
         ),
         (
-            "Quantized (Q4.4 LUT)",
+            // Runtime dispatch: AVX2 integer kernels on capable hosts. Its
+            // task metrics must equal the scalar row's exactly — the two
+            // datapaths are bit-identical.
+            "Quantized SIMD (Q4.4, runtime dispatch)",
             Box::new(QuantizedBackend::paper()),
+            A3Config::paper_base(),
+        ),
+        (
+            "Quantized scalar (Q4.4 LUT)",
+            Box::new(QuantizedBackend::paper_scalar()),
             A3Config::paper_base(),
         ),
         (
@@ -127,9 +135,14 @@ mod tests {
         let tables = backend_comparison(&EvalSettings::fast());
         assert_eq!(tables.len(), 2);
         let accuracy = &tables[0];
-        assert_eq!(accuracy.len(), 5, "one row per backend");
+        assert_eq!(accuracy.len(), 6, "one row per backend");
         let cycles = &tables[1];
-        assert_eq!(cycles.len(), 5 * 3, "one row per backend per workload");
+        assert_eq!(cycles.len(), 6 * 3, "one row per backend per workload");
+        // The vector and scalar quantized rows must report identical task
+        // metrics: the datapaths are bit-identical by contract.
+        for col in 1..=3 {
+            assert_eq!(accuracy.cell(2, col), accuracy.cell(3, col));
+        }
         // Warm batches must never cost more than cold batches (the cache win).
         for row in 0..cycles.len() {
             let cold: u64 = cycles.cell(row, 5).unwrap().parse().unwrap();

@@ -354,6 +354,38 @@ impl ExpLutTables {
         rounded.min(self.out_max_raw)
     }
 
+    /// Number of low-order magnitude bits that index the lower table — the
+    /// split point of the two-half decomposition. Vector kernels need it to
+    /// derive gather indices the same way [`ExpLutTables::eval_nonpos_raw`]
+    /// does.
+    pub fn lower_bits(&self) -> u32 {
+        self.lower_bits
+    }
+
+    /// The rounding shift applied to each upper-times-lower entry product
+    /// (`2 * entry_frac - out_frac`).
+    pub fn round_shift(&self) -> u32 {
+        self.round_shift
+    }
+
+    /// The output format's saturation bound applied after the rounding shift.
+    pub fn out_max_raw(&self) -> i64 {
+        self.out_max_raw
+    }
+
+    /// The raw upper-table entries in index order, including the sentinel entry
+    /// for the most negative representable input (lane-friendly: a gather over
+    /// `magnitude >> lower_bits` reads exactly this layout).
+    pub fn upper_entries(&self) -> &[i64] {
+        &self.upper
+    }
+
+    /// The raw lower-table entries in index order (lane-friendly: a gather over
+    /// `magnitude & (2^lower_bits - 1)` reads exactly this layout).
+    pub fn lower_entries(&self) -> &[i64] {
+        &self.lower
+    }
+
     /// Number of entries in the (upper, lower) tables as the hardware area model
     /// counts them (the implementation's sentinel entry for the most negative input
     /// is an artifact of modelling in software, not a stored ROM word).

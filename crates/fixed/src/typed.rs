@@ -101,6 +101,14 @@ impl<const INT: u32, const FRAC: u32> Q<INT, FRAC> {
     /// The largest representable raw (scaled integer) value, `2^(INT+FRAC) - 1`.
     pub const MAX_RAW: i64 = (1i64 << Self::TOTAL_BITS) - 1;
 
+    /// Whether every representable raw value of this format fits a 16-bit SIMD
+    /// lane (`i16`), sign included — the precondition for packing quantized
+    /// operands into int16 kernel layouts.
+    pub const FITS_I16_LANES: bool = INT + FRAC <= 15;
+
+    /// Whether every representable raw value fits a 32-bit SIMD lane (`i32`).
+    pub const FITS_I32_LANES: bool = INT + FRAC <= 31;
+
     /// The smallest representable raw (scaled integer) value, `-2^(INT+FRAC)`.
     pub const MIN_RAW: i64 = -(1i64 << Self::TOTAL_BITS);
 
@@ -364,6 +372,14 @@ impl<const II: u32, const IF: u32, const OI: u32, const OF: u32> TypedExpLut<II,
         Q::from_raw_saturating(out)
     }
 
+    /// The materialized two-half tables, when the input format is narrow
+    /// enough to expand ([`ExpLut::MAX_MATERIALIZED_INPUT_BITS`]). Vector
+    /// kernels gather directly against this layout; `None` means evaluation
+    /// uses the (bit-identical, scalar) lazy path.
+    pub fn tables(&self) -> Option<&ExpLutTables> {
+        self.tables.as_ref()
+    }
+
     /// Number of entries in the (upper, lower) tables, as reported by the
     /// hardware area model.
     pub fn table_entries(&self) -> (u64, u64) {
@@ -488,6 +504,51 @@ mod tests {
             typed.eval(Q::from_raw(input.min_raw())).raw(),
             expected.raw()
         );
+    }
+
+    #[test]
+    fn lane_fit_constants_follow_total_bits() {
+        // Evaluated at compile time: a wrong lane-fit constant fails the build
+        // of this test module rather than the test run.
+        const _: () = assert!(Q::<4, 4>::FITS_I16_LANES);
+        const _: () = assert!(Q::<7, 8>::FITS_I16_LANES);
+        const _: () = assert!(!Q::<8, 8>::FITS_I16_LANES);
+        const _: () = assert!(Q::<15, 8>::FITS_I32_LANES);
+        const _: () = assert!(!Q::<16, 16>::FITS_I32_LANES);
+    }
+
+    #[test]
+    fn table_accessors_reconstruct_eval() {
+        // The lane-friendly accessors must expose exactly the state
+        // `eval_nonpos_raw` consumes: recomputing the two-lookup evaluation
+        // from them matches the canonical path bit for bit.
+        let lut: TypedExpLut<8, 6, 0, 6> = TypedExpLut::paper();
+        let tables = lut.tables().expect("Q8.6 input materializes");
+        let total = 14u32;
+        assert_eq!(tables.lower_bits(), total / 2);
+        assert_eq!(
+            tables.upper_entries().len(),
+            (1usize << (total - tables.lower_bits())) + 1
+        );
+        assert_eq!(tables.lower_entries().len(), 1usize << tables.lower_bits());
+        assert_eq!(tables.out_max_raw(), QFormat::new(0, 6).max_raw());
+        for raw in (QFormat::new(8, 6).min_raw()..=0).step_by(97) {
+            let magnitude = raw.unsigned_abs();
+            let mask = (1u64 << tables.lower_bits()) - 1;
+            let lo = tables.lower_entries()[(magnitude & mask) as usize];
+            let hi = tables.upper_entries()[(magnitude >> tables.lower_bits()) as usize];
+            let product = hi * lo;
+            let rounded = if tables.round_shift() == 0 {
+                product
+            } else {
+                (product + (1i64 << (tables.round_shift() - 1))) >> tables.round_shift()
+            };
+            assert_eq!(
+                rounded.min(tables.out_max_raw()),
+                tables.eval_nonpos_raw(raw),
+                "raw {raw}"
+            );
+        }
     }
 
     #[test]

@@ -13,7 +13,7 @@ use std::time::Instant;
 
 use a3::core::approx::{ApproxConfig, ApproximateAttention};
 use a3::core::attention::attention_batch;
-use a3::core::backend::{ApproximateBackend, ComputeBackend, SimdBackend};
+use a3::core::backend::{ApproximateBackend, ComputeBackend, QuantizedBackend, SimdBackend};
 use a3::core::serve::{AttentionServer, BatchPolicy, Request};
 use a3::sim::{A3Config, MemoryCache, PipelineModel};
 use a3::workloads::kvmemn2n::KvMemN2N;
@@ -64,6 +64,53 @@ fn main() {
             assert!((a - b).abs() < 1e-5, "simd output diverged: {a} vs {b}");
         }
     }
+
+    // The quantized fixed-point datapath, in both implementations: the scalar
+    // typed pipeline and the runtime-dispatched integer AVX2 kernels
+    // (`backend::quantized_simd`). Together with the exact and simd runs above,
+    // the demo now compares all four datapaths on the same batch. Unlike the
+    // f32 SIMD comparison (within 1e-5), the two quantized paths must be
+    // *bit-identical*: the vector kernels replicate the fixed-point
+    // arithmetic exactly.
+    let rows: Vec<&[f32]> = queries.iter().map(Vec::as_slice).collect();
+    let quantized = QuantizedBackend::paper();
+    let quantized_memory = quantized
+        .prepare(&memory.keys, &memory.values)
+        .expect("valid shapes");
+    let start = Instant::now();
+    let quantized_batch = quantized
+        .attend_batch_prepared(&quantized_memory, &rows)
+        .expect("valid shapes");
+    let vectorized = quantized_memory
+        .quantized()
+        .is_some_and(|m| m.is_vectorized());
+    println!(
+        "quantized batch  : {} outputs in {:?} (datapath: {})",
+        quantized_batch.len(),
+        start.elapsed(),
+        if vectorized {
+            "avx2 int16/int32"
+        } else {
+            "scalar"
+        }
+    );
+    let quantized_scalar = QuantizedBackend::paper_scalar();
+    let scalar_memory = quantized_scalar
+        .prepare(&memory.keys, &memory.values)
+        .expect("valid shapes");
+    let start = Instant::now();
+    let scalar_batch = quantized_scalar
+        .attend_batch_prepared(&scalar_memory, &rows)
+        .expect("valid shapes");
+    println!(
+        "quantized scalar : {} outputs in {:?}",
+        scalar_batch.len(),
+        start.elapsed()
+    );
+    assert_eq!(
+        quantized_batch, scalar_batch,
+        "vector and scalar quantized datapaths diverged"
+    );
 
     // Approximate batched attention: one preprocessing pass for the whole batch.
     let approx = ApproximateAttention::new(ApproxConfig::conservative());

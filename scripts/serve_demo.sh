@@ -1,12 +1,15 @@
 #!/usr/bin/env bash
-# Runs the request-oriented serving demo end-to-end: builds the workspace and
-# replays the deterministic open-loop request trace of examples/request_serving.rs
-# (deadline-miss rate vs. batch window over two memories, plus the software
-# front-end bit-identity check).
+# Runs the serving demos end-to-end: builds the workspace, replays the batched
+# multi-query demo of examples/batched_serving.rs (exact, SIMD-f32, vectorised
+# quantized and scalar quantized datapaths on the same batch, plus cache and
+# scheduler checks), then the deterministic open-loop request trace of
+# examples/request_serving.rs (deadline-miss rate vs. batch window over two
+# memories, plus the software front-end bit-identity check).
 #
 # Usage: scripts/serve_demo.sh
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
+cargo run --release --example batched_serving
 cargo run --release --example request_serving "$@"
