@@ -1,5 +1,5 @@
-//! `a3-analyze`: a dependency-free, source-level invariant checker for the A3
-//! workspace.
+//! `a3-analyze`: a source-level invariant checker and range prover for the A3
+//! workspace (no external dependencies beyond the workspace's own `a3-fixed`).
 //!
 //! It parses every tracked `.rs` file into a masked code view
 //! ([`source::SourceFile`]) and runs a fixed set of [`lints::LINTS`] over it:
@@ -8,10 +8,17 @@
 //! Findings can be suppressed per file/line through the allowlist files in
 //! `crates/analyze/allowlists/` ([`allowlist`]).
 //!
+//! Beyond the lints, the [`range`] subsystem proves — by abstract
+//! interpretation over the real `a3-fixed` formats — that every deployed
+//! quantized pipeline shape is free of early saturation and lane overflow,
+//! and pins the proof in a committed certificate whose drift is a finding
+//! like any other ([`range::certificate`]).
+//!
 //! The companion binary (`cargo run -p a3-analyze -- --deny-all`) gates CI.
 
 pub mod allowlist;
 pub mod lints;
+pub mod range;
 pub mod selftest;
 pub mod source;
 
@@ -96,6 +103,12 @@ pub fn analyze(root: &Path, only: Option<&str>) -> io::Result<Analysis> {
                 }
             }
         }
+    }
+
+    // Full runs also re-verify the range-proof certificate; drift or a
+    // semantic proof failure is a finding like any other.
+    if only.is_none() {
+        analysis.findings.extend(range::certificate::check(root));
     }
 
     for (idx, list) in &lists {

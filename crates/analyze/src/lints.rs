@@ -49,7 +49,8 @@ pub const LINTS: &[LintInfo] = &[
     LintInfo {
         name: "hotpath-no-panic",
         description: "no unwrap/expect/panic!/slice-indexing on the serving hot path \
-                      (crates/core/src/serve/, crates/core/src/backend/)",
+                      (crates/core/src/serve/, crates/core/src/backend/, \
+                      crates/core/src/quantized/, crates/fixed/src/)",
         fix_hint: "return a ServeError/AttentionError instead of panicking; replace \
                    `xs[i]` with `xs.get(i)` and handle the None case",
     },
@@ -202,6 +203,8 @@ fn unsafe_allowlist(file: &SourceFile, findings: &mut Vec<Finding>) {
 fn is_hotpath(rel_path: &str) -> bool {
     rel_path.starts_with("crates/core/src/serve/")
         || rel_path.starts_with("crates/core/src/backend/")
+        || rel_path.starts_with("crates/core/src/quantized/")
+        || rel_path.starts_with("crates/fixed/src/")
 }
 
 /// Column of a slice-indexing `[` on this masked line, if any: a `[` directly

@@ -1,0 +1,312 @@
+//! The committed, machine-readable range-proof certificate.
+//!
+//! `crates/analyze/certificates/range-proof.json` pins the prover's verdict
+//! for every deployed shape (all obligations with their derived intervals),
+//! the verified gate table, and the grid sweep summary. [`check`] re-proves
+//! everything from the current sources and byte-compares against the
+//! committed file, so *any* drift — a new `typed_pipelines!` tuple, a changed
+//! gate, a changed transfer function — fails `a3-analyze --deny-all` until
+//! `a3-analyze range-proof --update-certificate` is re-run and the refreshed
+//! certificate is reviewed and committed.
+//!
+//! The renderer is deterministic by construction: obligation order is the
+//! op-graph order, shape order is the `typed_pipelines!` source order, and no
+//! timestamps or environment data are embedded, so the certificate is
+//! byte-reproducible on every host.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::lints::Finding;
+
+use super::pipeline::{self, CrossCheck, ShapeProof};
+use super::shapes;
+
+/// Repository-relative path of the committed certificate.
+pub const CERTIFICATE_PATH: &str = "crates/analyze/certificates/range-proof.json";
+
+/// Everything the certificate certifies, re-proved from the current sources.
+pub struct RangeReport {
+    /// One proof per deployed `typed_pipelines!` shape, in source order.
+    pub deployed: Vec<ShapeProof>,
+    /// The exhaustive gate-vs-prover sweep over the admissible grid.
+    pub sweep: CrossCheck,
+    /// Failures from cross-checking the deployed gate table against the
+    /// prover's required gates (empty means verified).
+    pub gate_failures: Vec<String>,
+}
+
+impl RangeReport {
+    /// Human-readable problems that must fail CI regardless of certificate
+    /// freshness: unproved deployed shapes, gate-table mismatches, soundness
+    /// holes. (Completeness gaps are reported in the certificate, not fatal.)
+    pub fn problems(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        for proof in &self.deployed {
+            if let Some(failed) = proof.counterexample() {
+                problems.push(format!(
+                    "deployed shape {} fails obligation `{}`",
+                    proof.shape, failed.name
+                ));
+            }
+        }
+        for failure in &self.gate_failures {
+            problems.push(format!("gate table: {failure}"));
+        }
+        for hole in &self.sweep.soundness_holes {
+            problems.push(format!("soundness hole: {hole}"));
+        }
+        problems
+    }
+}
+
+/// Re-proves the deployed shapes and sweeps the grid for the workspace at
+/// `root`.
+///
+/// # Errors
+///
+/// Returns an error when the `typed_pipelines!` invocation cannot be read or
+/// parsed.
+pub fn report(root: &Path) -> io::Result<RangeReport> {
+    let deployed = shapes::deployed_shapes(root)?
+        .iter()
+        .map(pipeline::prove)
+        .collect();
+    Ok(RangeReport {
+        deployed,
+        sweep: pipeline::cross_check(pipeline::deployed_gates),
+        gate_failures: pipeline::verify_gates(pipeline::deployed_gates),
+    })
+}
+
+fn json_string(out: &mut String, value: &str) {
+    out.push('"');
+    for ch in value.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn json_string_array(out: &mut String, indent: &str, values: &[String]) {
+    if values.is_empty() {
+        out.push_str("[]");
+        return;
+    }
+    out.push('[');
+    for (i, value) in values.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('\n');
+        out.push_str(indent);
+        out.push_str("  ");
+        json_string(out, value);
+    }
+    out.push('\n');
+    out.push_str(indent);
+    out.push(']');
+}
+
+/// Renders a report into the canonical certificate text.
+///
+/// Interval bounds are emitted as plain JSON numbers; every bound the
+/// deployed shapes and the admissible grid can produce is below `2^53`, so
+/// the numbers are exact in any JSON reader. Container bounds are emitted as
+/// their descriptions, not as numbers, for the same reason in reverse
+/// (`i64::MAX` is not exactly representable in an `f64`-based reader).
+pub fn render_report(report: &RangeReport) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"certificate\": \"a3 range proof\",\n");
+    out.push_str("  \"version\": 1,\n");
+    let _ = writeln!(out, "  \"source\": \"{}\",", shapes::TYPED_PIPELINES_PATH);
+
+    // The verified gate table (shape-independent metadata from the paper
+    // shape; `gate_failures` below certifies it matches the prover on every
+    // grid shape).
+    out.push_str("  \"gates\": [\n");
+    let paper = pipeline::Shape::new(4, 4, 6, 9);
+    let gates = pipeline::deployed_gates(&paper);
+    for (i, gate) in gates.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"name\": \"{}\", \"expression\": \"{}\", \"container\": \"{}\", \"limit\": {}}}",
+            gate.name, gate.expression, gate.container, gate.limit
+        );
+        out.push_str(if i + 1 < gates.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"gate_failures\": ");
+    json_string_array(&mut out, "  ", &report.gate_failures);
+    out.push_str(",\n");
+
+    // The sweep summary.
+    let sweep = &report.sweep;
+    out.push_str("  \"sweep\": {\n");
+    out.push_str("    \"grid\": \"int_bits 0..=8, frac_bits 1..=8, ld 0..=6, ln 0..=9\",\n");
+    let _ = writeln!(out, "    \"checked\": {},", sweep.checked);
+    let _ = writeln!(out, "    \"simd_eligible\": {},", sweep.simd_eligible);
+    let _ = writeln!(out, "    \"scalar_proved\": {},", sweep.scalar_proved);
+    out.push_str("    \"soundness_holes\": ");
+    json_string_array(&mut out, "    ", &sweep.soundness_holes);
+    out.push_str(",\n");
+    out.push_str("    \"completeness_gaps\": ");
+    json_string_array(&mut out, "    ", &sweep.completeness_gaps);
+    out.push('\n');
+    out.push_str("  },\n");
+
+    // Per-shape proofs.
+    out.push_str("  \"deployed\": [\n");
+    for (si, proof) in report.deployed.iter().enumerate() {
+        out.push_str("    {\n");
+        let _ = writeln!(out, "      \"shape\": \"{}\",", proof.shape);
+        let _ = writeln!(out, "      \"n_max\": {},", proof.n_max);
+        let _ = writeln!(out, "      \"d_max\": {},", proof.d_max);
+        let _ = writeln!(out, "      \"proved\": {},", proof.all_proved());
+        out.push_str("      \"obligations\": [\n");
+        for (oi, ob) in proof.obligations.iter().enumerate() {
+            let _ = write!(
+                out,
+                "        {{\"name\": \"{}\", \"scope\": \"{}\", \"lo\": {}, \"hi\": {}, \
+                 \"required\": \"{}\", \"proved\": {}}}",
+                ob.name,
+                ob.scope.name(),
+                ob.derived.lo(),
+                ob.derived.hi(),
+                ob.required_desc,
+                ob.proved()
+            );
+            out.push_str(if oi + 1 < proof.obligations.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("      ]\n");
+        out.push_str(if si + 1 < report.deployed.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    out.push_str("  ]\n");
+    out.push_str("}\n");
+    out
+}
+
+/// Renders the canonical certificate for the workspace at `root`.
+///
+/// # Errors
+///
+/// Propagates [`report`] errors.
+pub fn render(root: &Path) -> io::Result<String> {
+    Ok(render_report(&report(root)?))
+}
+
+fn finding(message: String) -> Finding {
+    Finding {
+        lint: "range-certificate",
+        path: CERTIFICATE_PATH.to_owned(),
+        line: 1,
+        message,
+        snippet: "run `cargo run -p a3-analyze -- range-proof --update-certificate`".to_owned(),
+    }
+}
+
+/// Verifies the committed certificate against a fresh proof run.
+///
+/// Returns findings for (a) semantic problems — unproved deployed shapes,
+/// gate-table mismatches, soundness holes — and (b) certificate drift
+/// (missing or byte-different file). Returns nothing when the workspace at
+/// `root` has no `typed_pipelines!` source at all (foreign trees, lint test
+/// fixtures).
+pub fn check(root: &Path) -> Vec<Finding> {
+    if !root.join(shapes::TYPED_PIPELINES_PATH).exists() {
+        return Vec::new();
+    }
+    let report = match report(root) {
+        Ok(r) => r,
+        Err(e) => return vec![finding(format!("cannot re-prove range certificate: {e}"))],
+    };
+    let mut findings: Vec<Finding> = report.problems().into_iter().map(finding).collect();
+    let expected = render_report(&report);
+    match fs::read_to_string(root.join(CERTIFICATE_PATH)) {
+        Ok(actual) if actual == expected => {}
+        Ok(_) => findings.push(finding(
+            "stale range-proof certificate: committed file differs from a fresh proof run"
+                .to_owned(),
+        )),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => {
+            findings.push(finding("missing range-proof certificate".to_owned()))
+        }
+        Err(e) => findings.push(finding(format!("unreadable range-proof certificate: {e}"))),
+    }
+    findings
+}
+
+/// Rewrites the committed certificate from a fresh proof run.
+///
+/// # Errors
+///
+/// Propagates proof and filesystem errors.
+pub fn update(root: &Path) -> io::Result<()> {
+    let text = render(root)?;
+    let path = root.join(CERTIFICATE_PATH);
+    if let Some(dir) = path.parent() {
+        fs::create_dir_all(dir)?;
+    }
+    fs::write(path, text)
+}
+
+#[cfg(test)]
+mod tests {
+    use std::path::Path;
+
+    use crate::find_workspace_root;
+
+    use super::*;
+
+    fn repo_root() -> std::path::PathBuf {
+        find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("workspace root")
+    }
+
+    #[test]
+    fn committed_certificate_is_fresh_and_clean() {
+        assert_eq!(
+            check(&repo_root())
+                .iter()
+                .map(|f| f.message.clone())
+                .collect::<Vec<_>>(),
+            Vec::<String>::new()
+        );
+    }
+
+    #[test]
+    fn render_is_deterministic() {
+        let root = repo_root();
+        assert_eq!(render(&root).unwrap(), render(&root).unwrap());
+    }
+
+    #[test]
+    fn check_skips_trees_without_the_pipeline_source() {
+        let dir = std::env::temp_dir().join("a3-range-cert-skip-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(check(&dir).is_empty());
+    }
+
+    #[test]
+    fn report_problems_are_empty_on_the_real_tree() {
+        let report = report(&repo_root()).unwrap();
+        assert_eq!(report.problems(), Vec::<String>::new());
+        assert!(!report.deployed.is_empty());
+    }
+}

@@ -1,0 +1,136 @@
+//! The deployed shape set, sourced from the code itself.
+//!
+//! The range prover must cover exactly the pipelines the workspace deploys.
+//! Rather than maintaining a manifest that can drift, this module parses the
+//! `typed_pipelines![...]` invocation in `crates/core/src/quantized/typed.rs`
+//! (whose tuples *are* the deployment list — each one instantiates a typed
+//! pipeline) through the same comment/string-masking machinery the lints use,
+//! so commented-out tuples are ignored and any edit to the invocation is
+//! picked up on the next prover run. The committed certificate then pins the
+//! parsed set: adding a shape without re-running `a3-analyze range-proof
+//! --update-certificate` fails `--deny-all` on certificate drift.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::source::mask_source;
+
+use super::pipeline::Shape;
+
+/// Repository-relative path of the file holding the `typed_pipelines!`
+/// invocation.
+pub const TYPED_PIPELINES_PATH: &str = "crates/core/src/quantized/typed.rs";
+
+/// Reads and parses the deployed shape set from the workspace at `root`.
+///
+/// # Errors
+///
+/// Returns an error if the source file cannot be read or the invocation
+/// cannot be parsed (see [`parse_typed_pipelines`]).
+pub fn deployed_shapes(root: &Path) -> io::Result<Vec<Shape>> {
+    let path = root.join(TYPED_PIPELINES_PATH);
+    let source = fs::read_to_string(&path)?;
+    parse_typed_pipelines(&source)
+        .map_err(|message| io::Error::new(io::ErrorKind::InvalidData, message))
+}
+
+/// Parses the `typed_pipelines![...]` invocation out of `source`.
+///
+/// The parser masks comments and strings first, finds the bracketed
+/// invocation (the macro *definition* uses braces and is skipped), and
+/// collects the integer literals inside it in groups of four
+/// `(int_bits, frac_bits, ld, ln)`, which is the full grammar of the
+/// invocation.
+///
+/// # Errors
+///
+/// Returns a description if the invocation is missing, empty, or its literal
+/// count is not a multiple of four (all of which mean the deployment list
+/// changed shape and the parser — the prover's ground truth — must be
+/// updated deliberately).
+pub fn parse_typed_pipelines(source: &str) -> Result<Vec<Shape>, String> {
+    let masked = mask_source(source);
+    let needle = "typed_pipelines!";
+    let mut search_from = 0;
+    let mut body: Option<&str> = None;
+    while let Some(pos) = masked[search_from..].find(needle) {
+        let at = search_from + pos;
+        let after = &masked[at + needle.len()..];
+        let trimmed = after.trim_start();
+        if let Some(rest) = trimmed.strip_prefix('[') {
+            let close = rest
+                .find(']')
+                .ok_or("typed_pipelines! invocation is not closed")?;
+            body = Some(&rest[..close]);
+            break;
+        }
+        search_from = at + needle.len();
+    }
+    let body = body.ok_or("no typed_pipelines![...] invocation found")?;
+    let mut literals: Vec<u32> = Vec::new();
+    let mut digits = String::new();
+    for ch in body.chars().chain(std::iter::once(' ')) {
+        if ch.is_ascii_digit() {
+            digits.push(ch);
+        } else if !digits.is_empty() {
+            let value: u32 = digits
+                .parse()
+                .map_err(|e| format!("bad integer literal `{digits}`: {e}"))?;
+            literals.push(value);
+            digits.clear();
+        }
+    }
+    if literals.is_empty() {
+        return Err("typed_pipelines! invocation contains no shapes".to_string());
+    }
+    if literals.len() % 4 != 0 {
+        return Err(format!(
+            "typed_pipelines! invocation holds {} integer literals, not a multiple of 4",
+            literals.len()
+        ));
+    }
+    let shapes: Vec<Shape> = literals
+        .chunks_exact(4)
+        .map(|quad| Shape::new(quad[0], quad[1], quad[2], quad[3]))
+        .collect();
+    for shape in &shapes {
+        if shape.int_bits > 16 || shape.frac_bits > 16 || shape.ld > 16 || shape.ln > 16 {
+            return Err(format!(
+                "parsed implausible shape {} — grammar drift in typed_pipelines!?",
+                shape.label()
+            ));
+        }
+    }
+    Ok(shapes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SNIPPET: &str = r#"
+        macro_rules! typed_pipelines {
+            [$(($i:literal, $f:literal, $ld:literal, $ln:literal)),+ $(,)?] => { };
+        }
+        // typed_pipelines![(9, 9, 9, 9)] in a comment is not deployed.
+        typed_pipelines![
+            (4, 4, 6, 9),
+            // (8, 8, 1, 1),
+            (4, 2, 6, 9),
+        ];
+    "#;
+
+    #[test]
+    fn parses_tuples_and_ignores_comments() {
+        let shapes = parse_typed_pipelines(SNIPPET).unwrap();
+        assert_eq!(shapes, vec![Shape::new(4, 4, 6, 9), Shape::new(4, 2, 6, 9)]);
+    }
+
+    #[test]
+    fn rejects_missing_and_malformed_invocations() {
+        assert!(parse_typed_pipelines("fn main() {}").is_err());
+        assert!(parse_typed_pipelines("typed_pipelines![];").is_err());
+        assert!(parse_typed_pipelines("typed_pipelines![(1, 2, 3)];").is_err());
+    }
+}

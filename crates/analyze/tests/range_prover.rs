@@ -1,0 +1,101 @@
+//! Property-based validation of the range prover against concrete execution.
+//!
+//! The contract under test: the prover's verdict and the debug saturation
+//! counter agree. A shape the prover proves safe must run the real `a3-fixed`
+//! scalar datapath with **zero** counted clamps on any memory of in-range
+//! values; a shape the prover rejects must come with a concrete witness
+//! memory that saturates early. Both directions are exercised on random
+//! admissible `(format, ld, ln)` shapes.
+
+use a3_analyze::range::pipeline::{prove, prove_sized, Shape};
+use a3_analyze::range::witness::{drive_pipeline, find_witness, random_memory, MisSizedCase};
+use a3_fixed::saturation_counting_enabled;
+use proptest::prelude::*;
+
+fn admissible_shape() -> impl Strategy<Value = Shape> {
+    // Kept a little smaller than the certificate grid so the concrete drives
+    // (O(n * d) fixed-point ops each) stay fast; the full grid is swept
+    // exhaustively by the certificate check.
+    (0u32..=6, 1u32..=6, 0u32..=4, 0u32..=5).prop_map(|(i, f, ld, ln)| Shape::new(i, f, ld, ln))
+}
+
+proptest! {
+    /// Soundness of the "safe" verdict: a scalar-proved shape performs no
+    /// counted saturation on random in-range memories at its nominal sizing.
+    #[test]
+    fn proved_shapes_never_saturate_on_random_memories(
+        shape in admissible_shape(),
+        seed in 1u64..u64::MAX,
+    ) {
+        let proof = prove(&shape);
+        prop_assert!(proof.scalar_proved(), "grid shape {} should prove", shape);
+        if saturation_counting_enabled() {
+            let n = usize::try_from(shape.n_max()).unwrap();
+            let d = usize::try_from(shape.d_max()).unwrap();
+            let (keys, values, query) = random_memory(&shape, n, d, seed);
+            let events = drive_pipeline(&shape, n, d, &keys, &values, &query);
+            prop_assert!(events == 0, "proved shape {} saturated (seed {})", shape, seed);
+        }
+    }
+
+    /// The SIMD eligibility gates are sound against the prover on random
+    /// shapes: whatever the gates admit, the prover proves in full.
+    #[test]
+    fn eligible_shapes_prove_in_full(shape in admissible_shape()) {
+        if shape.formats().lanes_eligible() {
+            let proof = prove(&shape);
+            prop_assert!(
+                proof.all_proved(),
+                "gates admit {} but obligation {:?} fails",
+                shape,
+                proof.counterexample().map(|o| o.name)
+            );
+        }
+    }
+
+    /// Completeness of the rejection path: driving a shape at twice its
+    /// designed reduction length is rejected by the prover *and* reproduced
+    /// by a concrete witness memory.
+    #[test]
+    fn oversized_reductions_are_rejected_with_witnesses(shape in admissible_shape()) {
+        let case = MisSizedCase {
+            shape,
+            n: shape.n_max(),
+            d: 2 * shape.d_max(),
+        };
+        let proof = prove_sized(&case.shape, case.n, case.d);
+        prop_assert!(
+            !proof.scalar_proved(),
+            "over-long reduction on {} should not prove", shape
+        );
+        if saturation_counting_enabled() {
+            let witness = find_witness(&case);
+            prop_assert!(
+                witness.as_ref().is_some_and(|w| w.saturation_events > 0),
+                "no concrete witness for over-long reduction on {}", shape
+            );
+        }
+    }
+
+    /// Same for an over-tall column: the exponent sum must clamp.
+    #[test]
+    fn oversized_columns_are_rejected_with_witnesses(shape in admissible_shape()) {
+        let case = MisSizedCase {
+            shape,
+            n: 2 * shape.n_max(),
+            d: shape.d_max(),
+        };
+        let proof = prove_sized(&case.shape, case.n, case.d);
+        prop_assert!(
+            !proof.scalar_proved(),
+            "over-tall column on {} should not prove", shape
+        );
+        if saturation_counting_enabled() {
+            let witness = find_witness(&case);
+            prop_assert!(
+                witness.as_ref().is_some_and(|w| w.saturation_events > 0),
+                "no concrete witness for over-tall column on {}", shape
+            );
+        }
+    }
+}

@@ -203,10 +203,14 @@ impl fmt::Debug for QuantizedSimdPipeline {
 /// no-early-saturation proofs (module docs) hold. Shapes or formats outside
 /// this set stay on the scalar pipelines (which are bit-identical anyway, so
 /// the gate costs correctness nothing).
+///
+/// The four lane-width inequalities live in exactly one place —
+/// [`PipelineFormats::lane_gates`], whose doc table documents each gate — and
+/// are shared verbatim with the `a3-analyze` range prover, which machine-checks
+/// that every gate implies its interval-arithmetic overflow obligation.
 fn formats_eligible(formats: &PipelineFormats) -> bool {
     let input = formats.input();
     let (i, f) = (input.int_bits(), input.frac_bits());
-    let t = input.total_bits();
     let ld = ceil_log2(formats.d());
     let ln = ceil_log2(formats.n());
     // The Section III-B format relations every proof premise references.
@@ -217,15 +221,7 @@ fn formats_eligible(formats: &PipelineFormats) -> bool {
         && formats.weight() == QFormat::new(0, 2 * f)
         && formats.exp_sum() == QFormat::new(ln, 2 * f)
         && formats.output() == QFormat::new(i + ln, 3 * f);
-    plan_matches
-        // Key/query raws (|raw| <= 2^t) must fit i16 lanes.
-        && (1..=15).contains(&t)
-        // Dot sums (|sum| <= 2^(2t+ld)) must stay exact in i32 lanes.
-        && 2 * t + ld <= 30
-        // Weight-times-value products (< 2^(2f+t)) must fit i32 lanes.
-        && 2 * f + t <= 30
-        // Output accumulators (|acc| <= 2^(i+3f) <= format bound) in i32.
-        && i + ln + 3 * f <= 31
+    plan_matches && formats.lanes_eligible()
 }
 
 /// Narrows raw table entries to `i32` gather lanes; `None` if any entry

@@ -364,8 +364,12 @@ impl DynamicPipeline {
         let mut scores_out = vec![0.0f32; n];
         let mut weights_out = vec![0.0f32; n];
         for ((&r, &dot), &w) in rows.iter().zip(&dot_products).zip(&weights) {
-            scores_out[r] = (dot as f64 * dot_res) as f32;
-            weights_out[r] = (w as f64 * weight_res) as f32;
+            if let Some(slot) = scores_out.get_mut(r) {
+                *slot = (dot as f64 * dot_res) as f32;
+            }
+            if let Some(slot) = weights_out.get_mut(r) {
+                *slot = (w as f64 * weight_res) as f32;
+            }
         }
         let output = output_acc
             .iter()

@@ -287,8 +287,12 @@ impl<
         let mut scores_out = vec![0.0f32; self.n];
         let mut weights_out = vec![0.0f32; self.n];
         for ((&r, dot), weight) in rows.iter().zip(&dot_products).zip(&weights) {
-            scores_out[r] = dot.to_f64() as f32;
-            weights_out[r] = weight.to_f64() as f32;
+            if let Some(slot) = scores_out.get_mut(r) {
+                *slot = dot.to_f64() as f32;
+            }
+            if let Some(slot) = weights_out.get_mut(r) {
+                *slot = weight.to_f64() as f32;
+            }
         }
         let output = output_acc.iter().map(|x| x.to_f64() as f32).collect();
         AttentionResult {

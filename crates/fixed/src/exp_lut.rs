@@ -163,6 +163,23 @@ impl ExpLut {
         (a + b) * u64::from(self.entry_format.storage_bits())
     }
 
+    /// The fixed-point format of the stored ROM entries
+    /// (`Q1.(output_frac + guard)` for the paper configuration). Range-prover
+    /// metadata: together with [`ExpLut::max_entry_raw`] it bounds every table
+    /// lookup without enumerating the tables.
+    pub fn entry_format(&self) -> QFormat {
+        self.entry_format
+    }
+
+    /// The largest raw value any table entry can take: `exp(0) = 1` quantized
+    /// to the entry format, i.e. exactly `2^entry_frac`. Every other entry is
+    /// `exp(x)` for some `x < 0` and therefore strictly smaller; all entries
+    /// are non-negative. The range prover uses this analytic bound for formats
+    /// too wide to materialize.
+    pub fn max_entry_raw(&self) -> i64 {
+        Fixed::quantize(1.0, self.entry_format).raw()
+    }
+
     /// Evaluates `exp(x)` for a non-positive fixed-point `x` in the configured input
     /// format, returning the score in the configured output format.
     ///
@@ -257,11 +274,12 @@ impl ExpLut {
     /// returns the result as `f64`. This is the convenience path used by the software
     /// model of the approximate pipeline.
     pub fn eval_f64(&self, x: f64) -> f64 {
+        // Quantizing the clamped (hence non-positive, NaN maps to zero) value always
+        // lands inside the input format's range, so this takes the shared raw path
+        // directly — bit-identical to `eval` without its fallible checks.
         let clamped = x.min(0.0);
         let q = Fixed::quantize(clamped, self.config.input_format);
-        self.eval(q)
-            .expect("quantized non-positive input must be accepted")
-            .to_f64()
+        Fixed::from_raw(self.eval_nonpos_raw(q.raw()), self.config.output_format).to_f64()
     }
 
     /// The floating-point value a raw input encodes.
@@ -397,6 +415,26 @@ impl ExpLutTables {
     pub fn physical_entries(&self) -> u64 {
         cast::len_as_u64(self.upper.len()) + cast::len_as_u64(self.lower.len())
     }
+
+    /// `(min, max)` over the raw upper-table entries, sentinel included.
+    /// Range-prover metadata: lets the interval domain bound a table lookup by
+    /// the table's actual contents instead of its declared entry format.
+    pub fn upper_range(&self) -> (i64, i64) {
+        entry_range(&self.upper)
+    }
+
+    /// `(min, max)` over the raw lower-table entries.
+    pub fn lower_range(&self) -> (i64, i64) {
+        entry_range(&self.lower)
+    }
+}
+
+/// `(min, max)` of a non-empty entry table (`(0, 0)` for an empty one, which
+/// materialization never produces).
+fn entry_range(entries: &[i64]) -> (i64, i64) {
+    let min = entries.iter().copied().min().unwrap_or(0);
+    let max = entries.iter().copied().max().unwrap_or(0);
+    (min, max)
 }
 
 #[cfg(test)]
@@ -414,6 +452,23 @@ mod tests {
         let y = lut.eval(x).unwrap();
         // Q0.8 cannot hold exactly 1.0; it saturates to 255/256.
         assert!(y.to_f64() >= 1.0 - 2.0 / 256.0);
+    }
+
+    #[test]
+    fn table_ranges_respect_analytic_entry_bound() {
+        let lut = paper_lut();
+        let tables = lut.materialize().unwrap();
+        let bound = lut.max_entry_raw();
+        // exp(0) = 1 in Q1.12 (out_frac 8 + 4 guard bits): raw 2^12.
+        assert_eq!(bound, 1 << 12);
+        assert_eq!(lut.entry_format(), QFormat::new(1, 12));
+        for (min, max) in [tables.upper_range(), tables.lower_range()] {
+            assert!(min >= 0, "exp entries are non-negative");
+            assert!(max <= bound, "no entry may exceed quantize(exp(0))");
+        }
+        // Both tables contain the index-0 entry exp(0), so the bound is tight.
+        assert_eq!(tables.upper_range().1, bound);
+        assert_eq!(tables.lower_range().1, bound);
     }
 
     #[test]

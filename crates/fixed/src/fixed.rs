@@ -93,6 +93,23 @@ impl Fixed {
         Self { raw, format }
     }
 
+    /// Constructs a fixed-point value from a raw scaled integer, clamping it into the
+    /// representable range of `format` instead of panicking.
+    ///
+    /// Unlike [`Q::from_raw_saturating`](crate::Q::from_raw_saturating) this records a
+    /// saturation event (see the `satcount` module) when the clamp engages: it exists
+    /// for the range prover's differential witness harness, which mirrors the typed
+    /// pipeline's unclamped widening (`Q::extend` is a pure shift whose result may
+    /// transiently exceed the target container) followed by a saturating step.
+    pub fn saturating_from_raw(raw: i64, format: QFormat) -> Self {
+        let clamped = raw.clamp(format.min_raw(), format.max_raw());
+        crate::satcount::note_clamp(clamped != raw);
+        Self {
+            raw: clamped,
+            format,
+        }
+    }
+
     /// The raw scaled-integer representation.
     pub fn raw(&self) -> i64 {
         self.raw
@@ -140,7 +157,9 @@ impl Fixed {
         if target.frac_bits() >= self.format.frac_bits() {
             // Widening (or equal) fraction: just extend then saturate integer part.
             let shift = target.frac_bits() - self.format.frac_bits();
-            let raw = (self.raw << shift).clamp(target.min_raw(), target.max_raw());
+            let extended = self.raw << shift;
+            let raw = extended.clamp(target.min_raw(), target.max_raw());
+            crate::satcount::note_clamp(raw != extended);
             return Self {
                 raw,
                 format: target,
@@ -150,6 +169,7 @@ impl Fixed {
         let half = 1i64 << (shift - 1);
         let rounded = (self.raw + half) >> shift;
         let raw = rounded.clamp(target.min_raw(), target.max_raw());
+        crate::satcount::note_clamp(raw != rounded);
         Self {
             raw,
             format: target,
@@ -171,7 +191,17 @@ impl Fixed {
     ///
     /// Panics if the formats differ; use [`Fixed::checked_add`] for a fallible variant.
     pub fn saturating_add(&self, rhs: Fixed) -> Fixed {
-        self.checked_add(rhs).expect("fixed-point format mismatch")
+        assert_eq!(
+            self.format, rhs.format,
+            "fixed-point format mismatch in addition"
+        );
+        let sum = self.raw + rhs.raw;
+        let raw = sum.clamp(self.format.min_raw(), self.format.max_raw());
+        crate::satcount::note_clamp(raw != sum);
+        Fixed {
+            raw,
+            format: self.format,
+        }
     }
 
     /// Saturating addition returning an error on format mismatch.
@@ -186,7 +216,9 @@ impl Fixed {
                 rhs: rhs.format,
             });
         }
-        let raw = (self.raw + rhs.raw).clamp(self.format.min_raw(), self.format.max_raw());
+        let sum = self.raw + rhs.raw;
+        let raw = sum.clamp(self.format.min_raw(), self.format.max_raw());
+        crate::satcount::note_clamp(raw != sum);
         Ok(Fixed {
             raw,
             format: self.format,
@@ -203,7 +235,9 @@ impl Fixed {
             self.format, rhs.format,
             "fixed-point format mismatch in subtraction"
         );
-        let raw = (self.raw - rhs.raw).clamp(self.format.min_raw(), self.format.max_raw());
+        let diff = self.raw - rhs.raw;
+        let raw = diff.clamp(self.format.min_raw(), self.format.max_raw());
+        crate::satcount::note_clamp(raw != diff);
         Fixed {
             raw,
             format: self.format,

@@ -44,13 +44,15 @@ mod exp_lut;
 mod fixed;
 mod pipeline_formats;
 mod qformat;
+mod satcount;
 mod typed;
 
 pub use error::FixedError;
 pub use exp_lut::{ExpLut, ExpLutConfig, ExpLutKind, ExpLutReport, ExpLutTables};
 pub use fixed::Fixed;
-pub use pipeline_formats::PipelineFormats;
+pub use pipeline_formats::{LaneGate, PipelineFormats};
 pub use qformat::{ceil_log2, QFormat};
+pub use satcount::{reset_saturation_count, saturation_count, saturation_counting_enabled};
 pub use typed::{TypedExpLut, Q};
 
 /// Number of integer bits used for all paper evaluations (Section VI-D).

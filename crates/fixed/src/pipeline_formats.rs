@@ -6,6 +6,32 @@ use crate::cast;
 use crate::qformat::ceil_log2;
 use crate::QFormat;
 
+/// One of the four lane-width eligibility inequalities returned by
+/// [`PipelineFormats::lane_gates`], evaluated for a concrete format plan.
+///
+/// A gate holds when `lhs <= limit`. The `name` is a stable identifier shared
+/// with the `a3-analyze` range prover's proof obligations and certificate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaneGate {
+    /// Stable identifier (also the name of the prover obligation this gate guards).
+    pub name: &'static str,
+    /// The inequality in human-readable form, with `t = i + f`.
+    pub expression: &'static str,
+    /// The vector container whose width the gate protects.
+    pub container: &'static str,
+    /// Left-hand side of the inequality, computed from this format plan.
+    pub lhs: u32,
+    /// Inclusive upper bound `lhs` must not exceed.
+    pub limit: u32,
+}
+
+impl LaneGate {
+    /// Whether the inequality holds for the plan it was computed from.
+    pub fn holds(&self) -> bool {
+        self.lhs <= self.limit
+    }
+}
+
 /// The fixed-point formats used at every stage of the A3 pipeline, derived from the
 /// input format `(i, f)`, the number of rows `n` and the embedding dimension `d`
 /// exactly as Section III-B of the paper prescribes.
@@ -124,6 +150,73 @@ impl PipelineFormats {
         self.d
     }
 
+    /// The four lane-width gate inequalities that decide whether this format
+    /// plan is eligible for the integer SIMD datapath. **This is the single
+    /// authoritative statement of the gates**: the AVX2 backend's
+    /// `formats_eligible` check in `crates/core/src/backend/quantized_simd.rs`
+    /// and the `a3-analyze` range prover both evaluate exactly this function,
+    /// so the implementation and its machine-checked proof cannot drift apart.
+    ///
+    /// With `t = i + f` input bits, `ld = ceil_log2(d)` and `ln = ceil_log2(n)`:
+    ///
+    /// | # | name | inequality | container | what it protects |
+    /// |---|------|------------|-----------|------------------|
+    /// | 1 | `input-raws-fit-i16`       | `t <= 15`          | `i16` | input raws lie in `[-2^t, 2^t - 1]`, so key/query/value lanes fit |
+    /// | 2 | `dot-sums-fit-i32`         | `2t + ld <= 30`    | `i32` | the exact (pre-clamp) dot sum magnitude is at most `d * 2^(2t) = 2^(2t + ld)` |
+    /// | 3 | `weight-products-fit-i32`  | `2f + t <= 30`     | `i32` | weight-times-value product magnitude is below `2^(2f) * 2^t = 2^(2f + t)` |
+    /// | 4 | `output-acc-fits-i32`      | `i + ln + 3f <= 31`| `i32` | the output accumulator format's full raw range `[-2^(i+ln+3f), 2^(i+ln+3f) - 1]` |
+    ///
+    /// Gates 1–3 keep every widened intermediate of the vector kernels exact
+    /// inside its lanes; gate 4 lets the output accumulators clamp at the
+    /// scalar pipeline's format bounds inside `i32` lanes. The range prover
+    /// additionally verifies (over an exhaustive format grid) that each gate
+    /// implies its interval-arithmetic obligation — see
+    /// `crates/analyze/src/range/`.
+    pub fn lane_gates(&self) -> [LaneGate; 4] {
+        let i = self.input.int_bits();
+        let f = self.input.frac_bits();
+        let t = self.input.total_bits();
+        let ld = ceil_log2(self.d);
+        let ln = ceil_log2(self.n);
+        [
+            LaneGate {
+                name: "input-raws-fit-i16",
+                expression: "t <= 15",
+                container: "i16",
+                lhs: t,
+                limit: 15,
+            },
+            LaneGate {
+                name: "dot-sums-fit-i32",
+                expression: "2t + ld <= 30",
+                container: "i32",
+                lhs: 2 * t + ld,
+                limit: 30,
+            },
+            LaneGate {
+                name: "weight-products-fit-i32",
+                expression: "2f + t <= 30",
+                container: "i32",
+                lhs: 2 * f + t,
+                limit: 30,
+            },
+            LaneGate {
+                name: "output-acc-fits-i32",
+                expression: "i + ln + 3f <= 31",
+                container: "i32",
+                lhs: i + ln + 3 * f,
+                limit: 31,
+            },
+        ]
+    }
+
+    /// Whether every [`PipelineFormats::lane_gates`] inequality holds and the
+    /// input format is at least one bit wide (a zero-bit input has no lanes to
+    /// vectorize). This is the format-plan half of the SIMD eligibility check.
+    pub fn lanes_eligible(&self) -> bool {
+        self.input.total_bits() >= 1 && self.lane_gates().iter().all(LaneGate::holds)
+    }
+
     /// Total number of register bits needed for the dot-product outcome register file
     /// (`n` entries in the dot-product format). Used by the energy/area model.
     pub fn dot_product_register_bits(&self) -> u64 {
@@ -186,5 +279,30 @@ mod tests {
     #[test]
     fn default_is_paper_default() {
         assert_eq!(PipelineFormats::default(), PipelineFormats::paper_default());
+    }
+
+    #[test]
+    fn paper_default_passes_every_lane_gate() {
+        let f = PipelineFormats::paper_default();
+        // Q4.4, n = 320 (ln = 9), d = 64 (ld = 6):
+        // t = 8, 2t + ld = 22, 2f + t = 16, i + ln + 3f = 25.
+        let lhs: Vec<u32> = f.lane_gates().iter().map(|g| g.lhs).collect();
+        assert_eq!(lhs, vec![8, 22, 16, 25]);
+        assert!(f.lane_gates().iter().all(LaneGate::holds));
+        assert!(f.lanes_eligible());
+    }
+
+    #[test]
+    fn too_wide_plans_fail_the_gates() {
+        // Q8.8 inputs: t = 16 > 15 and 2t + ld = 38 > 30.
+        let wide = PipelineFormats::new(QFormat::new(8, 8), 320, 64);
+        assert!(!wide.lanes_eligible());
+        let gates = wide.lane_gates();
+        assert!(!gates[0].holds());
+        assert!(!gates[1].holds());
+        // A zero-bit input passes every inequality but has no lanes.
+        let empty = PipelineFormats::new(QFormat::new(0, 0), 2, 2);
+        assert!(empty.lane_gates().iter().all(LaneGate::holds));
+        assert!(!empty.lanes_eligible());
     }
 }

@@ -230,13 +230,19 @@ impl<const INT: u32, const FRAC: u32> Q<INT, FRAC> {
 
     /// Saturating addition. Formats always match by construction — a mismatch
     /// is a type error, not a runtime error.
-    pub const fn saturating_add(self, rhs: Self) -> Self {
-        Self::from_raw_saturating(self.raw + rhs.raw)
+    pub fn saturating_add(self, rhs: Self) -> Self {
+        let sum = self.raw + rhs.raw;
+        let out = Self::from_raw_saturating(sum);
+        crate::satcount::note_clamp(out.raw != sum);
+        out
     }
 
     /// Saturating subtraction. Formats always match by construction.
-    pub const fn saturating_sub(self, rhs: Self) -> Self {
-        Self::from_raw_saturating(self.raw - rhs.raw)
+    pub fn saturating_sub(self, rhs: Self) -> Self {
+        let diff = self.raw - rhs.raw;
+        let out = Self::from_raw_saturating(diff);
+        crate::satcount::note_clamp(out.raw != diff);
+        out
     }
 
     /// Full-precision multiplication. The result format must be the
@@ -275,11 +281,17 @@ impl<const INT: u32, const FRAC: u32> Q<INT, FRAC> {
     /// [`Fixed::round_to`].
     pub fn round_to<const TI: u32, const TF: u32>(self) -> Q<TI, TF> {
         if TF >= FRAC {
-            Q::<TI, TF>::from_raw_saturating(self.raw << (TF - FRAC))
+            let extended = self.raw << (TF - FRAC);
+            let out = Q::<TI, TF>::from_raw_saturating(extended);
+            crate::satcount::note_clamp(out.raw != extended);
+            out
         } else {
             let shift = FRAC - TF;
             let half = 1i64 << (shift - 1);
-            Q::<TI, TF>::from_raw_saturating((self.raw + half) >> shift)
+            let rounded = (self.raw + half) >> shift;
+            let out = Q::<TI, TF>::from_raw_saturating(rounded);
+            crate::satcount::note_clamp(out.raw != rounded);
+            out
         }
     }
 
