@@ -204,6 +204,7 @@ fn is_hotpath(rel_path: &str) -> bool {
     rel_path.starts_with("crates/core/src/serve/")
         || rel_path.starts_with("crates/core/src/backend/")
         || rel_path.starts_with("crates/core/src/quantized/")
+        || rel_path.starts_with("crates/core/src/approx/incremental.rs")
         || rel_path.starts_with("crates/fixed/src/")
 }
 

@@ -1,0 +1,112 @@
+//! Streaming-memory benchmark: incremental append/update vs full re-prepare.
+//!
+//! Measures the software cost of maintaining a prepared memory under streamed
+//! mutation for every backend family: a single-row `append_rows` and a
+//! single-row `update_row` through the incremental path, against the full
+//! `prepare` of the grown memory a pre-incremental server would re-run per
+//! token. The gated CI twin of this measurement is
+//! `ratio/incremental_append_vs_full_prepare` in `BENCH_BASELINE.json`.
+
+use a3_bench::skewed_memory;
+use a3_core::backend::{ApproximateBackend, ComputeBackend, ExactBackend, QuantizedBackend};
+use a3_core::Matrix;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+/// Rows appended per timed pool entry (amortizes the untimed pool refill).
+const BURST: usize = 8;
+
+fn lineup() -> Vec<(&'static str, Box<dyn ComputeBackend>)> {
+    vec![
+        ("exact", Box::new(ExactBackend)),
+        (
+            "approx_conservative",
+            Box::new(ApproximateBackend::conservative()),
+        ),
+        ("quantized_q44", Box::new(QuantizedBackend::paper())),
+    ]
+}
+
+fn bench_streaming_append(c: &mut Criterion) {
+    let n = 320;
+    let d = 64;
+    let (keys, values, _query) = skewed_memory(n + BURST, d, 11);
+    let slice = |m: &Matrix, lo: usize, hi: usize| {
+        Matrix::from_rows((lo..hi).map(|r| m.row(r).to_vec()).collect()).expect("non-empty")
+    };
+    let (base_keys, base_values) = (slice(&keys, 0, n), slice(&values, 0, n));
+    let extra_rows: Vec<(Matrix, Matrix)> = (n..n + BURST)
+        .map(|r| (slice(&keys, r, r + 1), slice(&values, r, r + 1)))
+        .collect();
+
+    let mut group = c.benchmark_group("streaming_append");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    group.sample_size(20);
+
+    for (name, backend) in &lineup() {
+        let base = backend
+            .prepare(&base_keys, &base_values)
+            .expect("valid shapes");
+
+        // Incremental: eight in-place single-row appends on a pre-cloned memory
+        // (the clone models the server's uniquely-owned Arc and is re-created
+        // per iteration, so divide the reported time by BURST + one clone).
+        group.bench_with_input(
+            BenchmarkId::new("incremental_append_burst8", name),
+            &base,
+            |b, base| {
+                b.iter(|| {
+                    let mut m = base.clone();
+                    for (extra_keys, extra_values) in &extra_rows {
+                        backend
+                            .append_rows(&mut m, black_box(extra_keys), black_box(extra_values))
+                            .expect("valid shapes");
+                    }
+                    black_box(m);
+                })
+            },
+        );
+
+        // Single-row in-place update at a fixed interior row.
+        let (update_keys, update_values) = &extra_rows[0];
+        group.bench_with_input(
+            BenchmarkId::new("incremental_update_row", name),
+            &base,
+            |b, base| {
+                b.iter(|| {
+                    let mut m = base.clone();
+                    backend
+                        .update_row(
+                            &mut m,
+                            black_box(n / 2),
+                            black_box(update_keys.row(0)),
+                            black_box(update_values.row(0)),
+                        )
+                        .expect("valid shapes");
+                    black_box(m);
+                })
+            },
+        );
+
+        // The rebuild a pre-incremental server runs after every appended token.
+        group.bench_with_input(
+            BenchmarkId::new("full_prepare_grown", name),
+            &keys,
+            |b, grown_keys| {
+                b.iter(|| {
+                    black_box(
+                        backend
+                            .prepare(black_box(grown_keys), black_box(&values))
+                            .expect("valid shapes"),
+                    );
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_streaming_append);
+criterion_main!(benches);

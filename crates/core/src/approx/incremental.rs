@@ -1,0 +1,260 @@
+//! Incremental maintenance of [`SortedKeyColumns`] for streaming memories.
+//!
+//! The paper sorts every key column once at comprehension time; these routines
+//! keep that sorted structure valid as rows are appended or updated in place,
+//! in `O(d log n)` per single-row change instead of the `O(d n log n)` full
+//! re-sort. The maintained structure is **bit-identical** to what
+//! [`SortedKeyColumns::preprocess`] would produce on the mutated matrix:
+//! `preprocess` uses a stable sort over `(value, ascending row)` input, so the
+//! resulting column order is exactly lexicographic by
+//! `(value.total_cmp, row)` — which is the insertion key used here.
+
+use super::preprocess::{SortedEntry, SortedKeyColumns};
+use crate::Matrix;
+
+/// Position at which `(value, row)` belongs in a column that is sorted
+/// lexicographically by `(value.total_cmp, row)`.
+fn insertion_point(col: &[SortedEntry], value: f32, row: u32) -> usize {
+    col.partition_point(|e| match e.value.total_cmp(&value) {
+        std::cmp::Ordering::Less => true,
+        std::cmp::Ordering::Equal => e.row < row,
+        std::cmp::Ordering::Greater => false,
+    })
+}
+
+/// Ceiling of `log2(n)`, with `ceil_log2(0) = ceil_log2(1) = 0`.
+fn ceil_log2(n: usize) -> u64 {
+    u64::from((n.max(1)).next_power_of_two().trailing_zeros())
+}
+
+/// Merges the rows of `new_keys` (logical rows `sorted.rows()..`) into every
+/// sorted column, preserving bit-identity with a fresh
+/// [`SortedKeyColumns::preprocess`] of the concatenated matrix.
+///
+/// A single appended row uses per-column binary insertion
+/// (`O(d * (log n + n))` worst case for the `Vec::insert` shift, `O(d log n)`
+/// comparisons); a batch uses one stable two-pointer merge per column
+/// (`O(d * (n + delta))`). Returns the number of comparison/move operations
+/// charged to the analytic cost model. Does **not** bump the thread-local
+/// [`preprocess_count`](super::preprocess_count): no full column sort runs.
+pub(crate) fn append_rows_sorted(sorted: &mut SortedKeyColumns, new_keys: &Matrix) -> u64 {
+    let old_n = sorted.rows();
+    let delta = new_keys.rows();
+    let d = sorted.dim() as u64;
+    let new_n = old_n + delta;
+    if delta == 0 {
+        return 0;
+    }
+    if delta == 1 {
+        let row = old_n as u32;
+        let key = new_keys.row(0);
+        for (c, col) in sorted.columns_mut().iter_mut().enumerate() {
+            let value = key.get(c).copied().unwrap_or(0.0);
+            let at = insertion_point(col, value, row);
+            col.insert(at, SortedEntry { value, row });
+        }
+        sorted.set_rows(new_n);
+        return d * ceil_log2(new_n);
+    }
+    for (c, col) in sorted.columns_mut().iter_mut().enumerate() {
+        // The appended rows have strictly larger row indices than every
+        // existing entry, so a stable merge of (sorted old) x (sorted new,
+        // ties in row order) reproduces the stable full sort exactly.
+        let mut incoming: Vec<SortedEntry> = new_keys
+            .column(c)
+            .enumerate()
+            .map(|(i, value)| SortedEntry {
+                value,
+                row: (old_n + i) as u32,
+            })
+            .collect();
+        incoming.sort_by(|a, b| a.value.total_cmp(&b.value).then(a.row.cmp(&b.row)));
+        let old = std::mem::take(col);
+        let mut merged = Vec::with_capacity(old.len() + incoming.len());
+        let mut old_it = old.into_iter().peekable();
+        let mut new_it = incoming.into_iter().peekable();
+        loop {
+            match (old_it.peek(), new_it.peek()) {
+                // Old entries win ties: their row indices are strictly smaller.
+                (Some(a), Some(b)) => {
+                    if a.value.total_cmp(&b.value).is_le() {
+                        merged.extend(old_it.next());
+                    } else {
+                        merged.extend(new_it.next());
+                    }
+                }
+                (Some(_), None) => {
+                    merged.extend(old_it);
+                    break;
+                }
+                (None, _) => {
+                    merged.extend(new_it);
+                    break;
+                }
+            }
+        }
+        *col = merged;
+    }
+    sorted.set_rows(new_n);
+    d * (old_n as u64 + delta as u64)
+}
+
+/// Replaces row `row`'s entries (old key `old_key`, new key `new_key`) in
+/// every sorted column, preserving bit-identity with a fresh preprocess of
+/// the mutated matrix.
+///
+/// Returns the operation count charged to the cost model, or `None` if the
+/// old entry could not be located (stale `old_key`) — in which case the
+/// structure is left untouched and the caller must fall back to a full
+/// re-prepare.
+pub(crate) fn update_row_sorted(
+    sorted: &mut SortedKeyColumns,
+    row: usize,
+    old_key: &[f32],
+    new_key: &[f32],
+) -> Option<u64> {
+    let n = sorted.rows();
+    let d = sorted.dim();
+    if row >= n || old_key.len() != d || new_key.len() != d {
+        return None;
+    }
+    let row = row as u32;
+    // Locate every old entry first so a miss leaves the structure untouched.
+    let mut removals = Vec::with_capacity(d);
+    for (c, col) in sorted.columns_mut().iter_mut().enumerate() {
+        let value = *old_key.get(c)?;
+        let at = insertion_point(col, value, row);
+        match col.get(at) {
+            Some(e) if e.row == row && e.value.total_cmp(&value).is_eq() => removals.push(at),
+            _ => return None,
+        }
+    }
+    for ((col, &at), &value) in sorted.columns_mut().iter_mut().zip(&removals).zip(new_key) {
+        col.remove(at);
+        let insert_at = insertion_point(col, value, row);
+        col.insert(insert_at, SortedEntry { value, row });
+    }
+    Some(2 * d as u64 * ceil_log2(n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(n: usize, d: usize, seed: u64) -> Matrix {
+        Matrix::from_rows(
+            (0..n)
+                .map(|i| {
+                    (0..d)
+                        .map(|j| {
+                            let x = (seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(
+                                ((i * d + j) as u64).wrapping_mul(0x2545_f491_4f6c_dd1d),
+                            )) % 4001;
+                            (x as f32 - 2000.0) / 500.0
+                        })
+                        .collect()
+                })
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    fn concat(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut m = a.clone();
+        m.append_rows(b).unwrap();
+        m
+    }
+
+    #[test]
+    fn single_append_is_bit_identical_to_full_preprocess() {
+        for seed in 0..8 {
+            let base = keys(17, 5, seed);
+            let extra = keys(1, 5, seed + 100);
+            let mut incremental = SortedKeyColumns::preprocess(&base);
+            let ops = append_rows_sorted(&mut incremental, &extra);
+            assert!(ops > 0);
+            let full = SortedKeyColumns::preprocess(&concat(&base, &extra));
+            assert_eq!(incremental, full);
+        }
+    }
+
+    #[test]
+    fn batch_append_is_bit_identical_to_full_preprocess() {
+        for delta in [2usize, 3, 7, 16] {
+            let base = keys(13, 4, 42);
+            let extra = keys(delta, 4, 7 + delta as u64);
+            let mut incremental = SortedKeyColumns::preprocess(&base);
+            append_rows_sorted(&mut incremental, &extra);
+            let full = SortedKeyColumns::preprocess(&concat(&base, &extra));
+            assert_eq!(incremental, full);
+        }
+    }
+
+    #[test]
+    fn append_with_duplicate_values_preserves_stable_tie_order() {
+        // Entire matrix is a single repeated value: order must be by row.
+        let base = Matrix::from_rows(vec![vec![1.5, 1.5]; 6]).unwrap();
+        let extra = Matrix::from_rows(vec![vec![1.5, 1.5]; 3]).unwrap();
+        let mut incremental = SortedKeyColumns::preprocess(&base);
+        append_rows_sorted(&mut incremental, &extra);
+        let full = SortedKeyColumns::preprocess(&concat(&base, &extra));
+        assert_eq!(incremental, full);
+        let rows: Vec<u32> = incremental.column(0).iter().map(|e| e.row).collect();
+        assert_eq!(rows, (0..9).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn update_is_bit_identical_to_full_preprocess() {
+        for row in [0usize, 5, 10] {
+            let base = keys(11, 3, 9);
+            let mut mutated = base.clone();
+            let new_key = vec![0.25, -1.75, 3.0];
+            let old_key = base.row(row).to_vec();
+            mutated.set_row(row, &new_key).unwrap();
+            let mut incremental = SortedKeyColumns::preprocess(&base);
+            let ops = update_row_sorted(&mut incremental, row, &old_key, &new_key);
+            assert!(ops.is_some());
+            assert_eq!(incremental, SortedKeyColumns::preprocess(&mutated));
+        }
+    }
+
+    #[test]
+    fn update_to_duplicate_value_keeps_row_tie_order() {
+        let base = Matrix::from_rows(vec![
+            vec![2.0, 2.0],
+            vec![2.0, 2.0],
+            vec![0.0, 0.0],
+            vec![2.0, 2.0],
+        ])
+        .unwrap();
+        let mut mutated = base.clone();
+        mutated.set_row(2, &[2.0, 2.0]).unwrap();
+        let mut incremental = SortedKeyColumns::preprocess(&base);
+        let old = base.row(2).to_vec();
+        assert!(update_row_sorted(&mut incremental, 2, &old, &[2.0, 2.0]).is_some());
+        assert_eq!(incremental, SortedKeyColumns::preprocess(&mutated));
+    }
+
+    #[test]
+    fn update_with_stale_old_key_is_rejected_and_leaves_state_untouched() {
+        let base = keys(9, 3, 1);
+        let mut incremental = SortedKeyColumns::preprocess(&base);
+        let before = incremental.clone();
+        let stale = vec![99.0, 99.0, 99.0];
+        assert!(update_row_sorted(&mut incremental, 4, &stale, &[0.0, 0.0, 0.0]).is_none());
+        assert_eq!(incremental, before);
+        assert!(update_row_sorted(&mut incremental, 99, base.row(0), &[0.0, 0.0, 0.0]).is_none());
+        assert_eq!(incremental, before);
+    }
+
+    #[test]
+    fn incremental_maintenance_never_bumps_preprocess_count() {
+        let base = keys(8, 2, 3);
+        let mut incremental = SortedKeyColumns::preprocess(&base);
+        let before = super::super::preprocess_count();
+        append_rows_sorted(&mut incremental, &keys(2, 2, 5));
+        let old = base.row(1).to_vec();
+        let _ = update_row_sorted(&mut incremental, 1, &old, &[1.0, -1.0]);
+        assert_eq!(super::super::preprocess_count(), before);
+    }
+}

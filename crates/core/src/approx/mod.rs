@@ -17,6 +17,7 @@
 pub mod candidate;
 pub mod candidate_naive;
 mod config;
+pub(crate) mod incremental;
 pub mod post_scoring;
 mod preprocess;
 

@@ -116,6 +116,20 @@ impl SortedKeyColumns {
         self.rows * self.dim() * 4
     }
 
+    /// Mutable access to the per-column entry vectors, for the incremental
+    /// maintenance routines in [`crate::approx::incremental`]. Callers must
+    /// preserve the sorted-permutation invariant and keep [`Self::set_rows`]
+    /// in sync.
+    pub(crate) fn columns_mut(&mut self) -> &mut [Vec<SortedEntry>] {
+        &mut self.columns
+    }
+
+    /// Updates the recorded row count after an incremental append, for the
+    /// incremental maintenance routines in [`crate::approx::incremental`].
+    pub(crate) fn set_rows(&mut self, rows: usize) {
+        self.rows = rows;
+    }
+
     /// Number of comparisons a column-wise merge sort would need, used by the analytic
     /// preprocessing-cost model (`d * n log2 n`).
     pub fn preprocess_comparisons(&self) -> u64 {

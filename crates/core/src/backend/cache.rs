@@ -49,6 +49,7 @@ pub struct MemoryCache {
     clock: u64,
     hits: u64,
     misses: u64,
+    updates: u64,
 }
 
 impl MemoryCache {
@@ -65,6 +66,7 @@ impl MemoryCache {
             clock: 0,
             hits: 0,
             misses: 0,
+            updates: 0,
         }
     }
 
@@ -128,6 +130,50 @@ impl MemoryCache {
         Ok((memory, false))
     }
 
+    /// Removes and returns the entry for (`backend_name`, `fingerprint`), if
+    /// resident.
+    ///
+    /// This is the first half of an **in-place cache update**: a streaming caller
+    /// takes the entry out, mutates the prepared memory incrementally (so
+    /// [`Arc::make_mut`] sees a unique reference and does not deep-clone), and
+    /// re-inserts it under the memory's new fingerprint via
+    /// [`MemoryCache::insert_updated`]. Neither half moves the hit/miss counters:
+    /// an append is a cache *update*, not a lookup.
+    pub fn take(&mut self, backend_name: &str, fingerprint: u64) -> Option<Arc<PreparedMemory>> {
+        self.entries
+            .remove(&(backend_name.to_owned(), fingerprint))
+            .map(|entry| entry.memory)
+    }
+
+    /// Re-inserts a prepared memory under its post-mutation fingerprint,
+    /// counting it as an update rather than a miss.
+    ///
+    /// The entry becomes the most recently used. A pass-through cache
+    /// (capacity 0) still counts the update but stores nothing.
+    pub fn insert_updated(
+        &mut self,
+        backend_name: &str,
+        fingerprint: u64,
+        memory: Arc<PreparedMemory>,
+    ) {
+        self.updates += 1;
+        if self.capacity == 0 {
+            return;
+        }
+        self.clock += 1;
+        let key = (backend_name.to_owned(), fingerprint);
+        if !self.entries.contains_key(&key) && self.entries.len() >= self.capacity {
+            self.evict_lru();
+        }
+        self.entries.insert(
+            key,
+            CacheEntry {
+                memory,
+                last_used: self.clock,
+            },
+        );
+    }
+
     fn evict_lru(&mut self) {
         if let Some(key) = self
             .entries
@@ -149,6 +195,11 @@ impl MemoryCache {
         self.misses
     }
 
+    /// Number of in-place entry updates ([`MemoryCache::insert_updated`]).
+    pub fn updates(&self) -> u64 {
+        self.updates
+    }
+
     /// Number of prepared memories currently resident.
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -164,12 +215,13 @@ impl MemoryCache {
         self.capacity
     }
 
-    /// Drops every resident entry and resets the hit/miss counters.
+    /// Drops every resident entry and resets the hit/miss/update counters.
     pub fn clear(&mut self) {
         self.entries.clear();
         self.clock = 0;
         self.hits = 0;
         self.misses = 0;
+        self.updates = 0;
     }
 }
 
@@ -339,8 +391,57 @@ mod tests {
         let mut cache = MemoryCache::default();
         assert_eq!(cache.capacity(), 16);
         cache.get_or_prepare(&ExactBackend, &keys, &values).unwrap();
+        cache.insert_updated(
+            "exact",
+            7,
+            Arc::new(ExactBackend.prepare(&keys, &values).unwrap()),
+        );
         cache.clear();
         assert!(cache.is_empty());
-        assert_eq!((cache.hits(), cache.misses()), (0, 0));
+        assert_eq!((cache.hits(), cache.misses(), cache.updates()), (0, 0, 0));
+    }
+
+    #[test]
+    fn take_and_insert_updated_move_an_entry_without_counting_lookups() {
+        let backend = ExactBackend;
+        let (keys, values) = memory(0.0);
+        let mut cache = MemoryCache::new(4);
+        let fingerprint = memory_fingerprint(&keys, &values);
+        cache.get_or_prepare(&backend, &keys, &values).unwrap();
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+
+        let taken = cache.take(&backend.name(), fingerprint).expect("resident");
+        assert!(cache.is_empty(), "take removes the entry");
+        assert!(cache.take(&backend.name(), fingerprint).is_none());
+
+        cache.insert_updated(&backend.name(), fingerprint + 1, taken);
+        assert_eq!(cache.len(), 1);
+        assert_eq!((cache.hits(), cache.misses(), cache.updates()), (0, 1, 1));
+
+        // The re-inserted entry is found under the new fingerprint only.
+        assert!(cache.take(&backend.name(), fingerprint).is_none());
+        assert!(cache.take(&backend.name(), fingerprint + 1).is_some());
+    }
+
+    #[test]
+    fn insert_updated_respects_capacity_and_pass_through() {
+        let backend = ExactBackend;
+        let (k0, v0) = memory(0.0);
+        let (k1, v1) = memory(1.0);
+        let mut cache = MemoryCache::new(1);
+        cache.get_or_prepare(&backend, &k0, &v0).unwrap();
+        let fresh = Arc::new(backend.prepare(&k1, &v1).unwrap());
+        cache.insert_updated(&backend.name(), 42, fresh);
+        assert_eq!(cache.len(), 1, "insert_updated must evict to stay bounded");
+        assert!(cache.take(&backend.name(), 42).is_some());
+
+        let mut pass_through = MemoryCache::new(0);
+        let fresh = Arc::new(backend.prepare(&k1, &v1).unwrap());
+        pass_through.insert_updated(&backend.name(), 42, fresh);
+        assert!(
+            pass_through.is_empty(),
+            "a pass-through cache stores nothing"
+        );
+        assert_eq!(pass_through.updates(), 1);
     }
 }

@@ -53,7 +53,10 @@ mod shard;
 pub mod simd;
 
 pub use cache::MemoryCache;
-pub use shard::{merge_partial_softmax, MemoryShard, ShardPlan, ShardPrepareStats, ShardedMemory};
+pub use shard::{
+    merge_partial_softmax, MemoryShard, ShardMutationStats, ShardPlan, ShardPrepareStats,
+    ShardedMemory,
+};
 pub use simd::{SimdBackend, SimdLevel};
 
 use rayon::prelude::*;
@@ -207,28 +210,244 @@ fn validate_memory(keys: &Matrix, values: &Matrix) -> Result<(), AttentionError>
     Ok(())
 }
 
-/// FNV-1a fingerprint of a (keys, values) memory: shape plus every element's bit
-/// pattern. Used as the [`MemoryCache`] identity, so a mutated memory (any element
-/// changed) produces a different fingerprint and therefore a cache miss.
-pub fn memory_fingerprint(keys: &Matrix, values: &Matrix) -> u64 {
-    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const PRIME: u64 = 0x0000_0100_0000_01b3;
-    let mut hash = OFFSET;
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a hash of the memory shape (the non-row-local fingerprint component).
+fn shape_hash(rows: usize, dim: usize) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for word in [rows as u64, dim as u64] {
+        for byte in word.to_le_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(FNV_PRIME);
+        }
+    }
+    hash
+}
+
+/// FNV-1a hash of one memory row: its index plus the bit patterns of its key
+/// and value elements.
+fn row_hash(row: usize, key: &[f32], value: &[f32]) -> u64 {
+    let mut hash = FNV_OFFSET;
     let mut mix = |word: u64| {
         for byte in word.to_le_bytes() {
             hash ^= u64::from(byte);
-            hash = hash.wrapping_mul(PRIME);
+            hash = hash.wrapping_mul(FNV_PRIME);
         }
     };
-    mix(keys.rows() as u64);
-    mix(keys.dim() as u64);
-    for &x in keys.as_slice() {
+    mix(row as u64);
+    for &x in key {
         mix(u64::from(x.to_bits()));
     }
-    for &x in values.as_slice() {
+    for &x in value {
         mix(u64::from(x.to_bits()));
     }
     hash
+}
+
+/// Fingerprint of a (keys, values) memory: shape plus every element's bit
+/// pattern. Used as the [`MemoryCache`] identity, so a mutated memory (any
+/// element changed) produces a different fingerprint and therefore a cache
+/// miss.
+///
+/// The fingerprint is a **commutative sum of per-row FNV-1a hashes** (each
+/// covering the row index and the row's key/value bits) plus a shape hash.
+/// The structure makes it *deltable*: [`fingerprint_append`] and
+/// [`fingerprint_update`] advance a fingerprint across a streaming mutation in
+/// `O(delta * d)` — touching only the changed rows — and produce exactly the
+/// value this function computes over the mutated matrices, which is what lets
+/// the serving layer turn an append into a cache *update* instead of a miss.
+pub fn memory_fingerprint(keys: &Matrix, values: &Matrix) -> u64 {
+    let mut fp = shape_hash(keys.rows(), keys.dim());
+    for (row, (key, value)) in keys.iter_rows().zip(values.iter_rows()).enumerate() {
+        fp = fp.wrapping_add(row_hash(row, key, value));
+    }
+    fp
+}
+
+/// Advances a [`memory_fingerprint`] across an append of `new_keys` /
+/// `new_values` rows to a memory that previously had `old_rows` rows of
+/// dimension `dim`. `O(new rows * d)`: only the appended rows are hashed.
+/// Returns exactly `memory_fingerprint` of the concatenated matrices.
+pub fn fingerprint_append(
+    old_fingerprint: u64,
+    old_rows: usize,
+    dim: usize,
+    new_keys: &Matrix,
+    new_values: &Matrix,
+) -> u64 {
+    let new_rows = old_rows + new_keys.rows();
+    let mut fp = old_fingerprint
+        .wrapping_sub(shape_hash(old_rows, dim))
+        .wrapping_add(shape_hash(new_rows, dim));
+    for (i, (key, value)) in new_keys.iter_rows().zip(new_values.iter_rows()).enumerate() {
+        fp = fp.wrapping_add(row_hash(old_rows + i, key, value));
+    }
+    fp
+}
+
+/// Advances a [`memory_fingerprint`] across an in-place overwrite of row
+/// `row` (`old_key`/`old_value` -> `new_key`/`new_value`). `O(d)`. Returns
+/// exactly `memory_fingerprint` of the mutated matrices.
+pub fn fingerprint_update(
+    old_fingerprint: u64,
+    row: usize,
+    old_key: &[f32],
+    old_value: &[f32],
+    new_key: &[f32],
+    new_value: &[f32],
+) -> u64 {
+    old_fingerprint
+        .wrapping_sub(row_hash(row, old_key, old_value))
+        .wrapping_add(row_hash(row, new_key, new_value))
+}
+
+/// Outcome of one incremental-prepare mutation
+/// ([`ComputeBackend::append_rows`] / [`ComputeBackend::update_row`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IncrementalPrepareStats {
+    /// Element-level operations the mutation performed (ordered insertions,
+    /// row re-quantizations, ...). After a full re-prepare this is the full
+    /// preprocessing cost; the simulator charges the two cases distinctly.
+    pub incremental_ops: u64,
+    /// Whether the backend fell back to preparing the mutated memory from
+    /// scratch (format-boundary crossing, mismatched prepared state, ...)
+    /// instead of maintaining the prepared state in place.
+    pub full_reprepare: bool,
+}
+
+impl IncrementalPrepareStats {
+    fn incremental(incremental_ops: u64) -> Self {
+        Self {
+            incremental_ops,
+            full_reprepare: false,
+        }
+    }
+
+    fn rebuilt(incremental_ops: u64) -> Self {
+        Self {
+            incremental_ops,
+            full_reprepare: true,
+        }
+    }
+}
+
+/// Validates an append request against a prepared memory's shape.
+fn validate_append(
+    memory: &PreparedMemory,
+    new_keys: &Matrix,
+    new_values: &Matrix,
+) -> Result<(), AttentionError> {
+    if new_keys.rows() != new_values.rows() {
+        return Err(AttentionError::RowCountMismatch {
+            keys: new_keys.rows(),
+            values: new_values.rows(),
+        });
+    }
+    for dim in [new_keys.dim(), new_values.dim()] {
+        if dim != memory.d() {
+            return Err(AttentionError::DimensionMismatch {
+                expected: memory.d(),
+                actual: dim,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Validates a row-update request against a prepared memory's shape.
+fn validate_update(
+    memory: &PreparedMemory,
+    row: usize,
+    key: &[f32],
+    value: &[f32],
+) -> Result<(), AttentionError> {
+    if row >= memory.n() {
+        return Err(AttentionError::InvalidParameter {
+            name: "row",
+            constraint: "row index must be within the memory",
+        });
+    }
+    for len in [key.len(), value.len()] {
+        if len != memory.d() {
+            return Err(AttentionError::DimensionMismatch {
+                expected: memory.d(),
+                actual: len,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Append fallback: concatenate and re-run the backend's full prepare.
+fn rebuild_append<B: ComputeBackend + ?Sized>(
+    backend: &B,
+    memory: &mut PreparedMemory,
+    new_keys: &Matrix,
+    new_values: &Matrix,
+) -> Result<IncrementalPrepareStats, AttentionError> {
+    let mut keys = memory.keys.clone();
+    let mut values = memory.values.clone();
+    keys.append_rows(new_keys)?;
+    values.append_rows(new_values)?;
+    *memory = backend.prepare(&keys, &values)?;
+    Ok(IncrementalPrepareStats::rebuilt(memory.preprocess_ops))
+}
+
+/// Update fallback: overwrite the row and re-run the backend's full prepare.
+fn rebuild_update<B: ComputeBackend + ?Sized>(
+    backend: &B,
+    memory: &mut PreparedMemory,
+    row: usize,
+    key: &[f32],
+    value: &[f32],
+) -> Result<IncrementalPrepareStats, AttentionError> {
+    let mut keys = memory.keys.clone();
+    let mut values = memory.values.clone();
+    keys.set_row(row, key)?;
+    values.set_row(row, value)?;
+    *memory = backend.prepare(&keys, &values)?;
+    Ok(IncrementalPrepareStats::rebuilt(memory.preprocess_ops))
+}
+
+/// Append for backends whose prepared state is [`PreparedState::Exact`]
+/// (shared by [`ExactBackend`] and [`SimdBackend`]): extending the raw
+/// matrices *is* the whole maintenance. Falls back to a full re-prepare on a
+/// foreign prepared state.
+pub(crate) fn append_rows_exact_state<B: ComputeBackend + ?Sized>(
+    backend: &B,
+    memory: &mut PreparedMemory,
+    new_keys: &Matrix,
+    new_values: &Matrix,
+) -> Result<IncrementalPrepareStats, AttentionError> {
+    validate_append(memory, new_keys, new_values)?;
+    if new_keys.is_empty() {
+        return Ok(IncrementalPrepareStats::default());
+    }
+    if !matches!(memory.state, PreparedState::Exact) {
+        return rebuild_append(backend, memory, new_keys, new_values);
+    }
+    memory.keys.append_rows(new_keys)?;
+    memory.values.append_rows(new_values)?;
+    Ok(IncrementalPrepareStats::incremental(0))
+}
+
+/// Row update for backends whose prepared state is [`PreparedState::Exact`]
+/// (shared by [`ExactBackend`] and [`SimdBackend`]).
+pub(crate) fn update_row_exact_state<B: ComputeBackend + ?Sized>(
+    backend: &B,
+    memory: &mut PreparedMemory,
+    row: usize,
+    key: &[f32],
+    value: &[f32],
+) -> Result<IncrementalPrepareStats, AttentionError> {
+    validate_update(memory, row, key, value)?;
+    if !matches!(memory.state, PreparedState::Exact) {
+        return rebuild_update(backend, memory, row, key, value);
+    }
+    memory.keys.set_row(row, key)?;
+    memory.values.set_row(row, value)?;
+    Ok(IncrementalPrepareStats::incremental(0))
 }
 
 /// Data-dependent work counts of one query, reported by backends whose per-query work
@@ -273,6 +492,58 @@ pub trait ComputeBackend: Send + Sync {
     /// Returns an error if the key/value shapes are inconsistent or the memory is
     /// empty.
     fn prepare(&self, keys: &Matrix, values: &Matrix) -> Result<PreparedMemory, AttentionError>;
+
+    /// Appends rows to a prepared memory, maintaining the backend's prepared
+    /// state **incrementally** where the backend supports it (amortized
+    /// `O(delta * d)`-ish work instead of the `O(n * d)` full re-prepare).
+    /// The mutated memory is always exactly equivalent to
+    /// `self.prepare(grown keys, grown values)` — bit-identical prepared
+    /// state for the exact/SIMD/quantized backends, attend-result-equivalent
+    /// sorted state for the approximate backend — the returned stats only say
+    /// how much work it took to get there. An empty `new_keys` is a no-op.
+    ///
+    /// The default implementation rebuilds from scratch (correct for any
+    /// backend); the built-in backends override it with true incremental
+    /// maintenance and fall back to the rebuild at format boundaries or on a
+    /// foreign [`PreparedState`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the new rows disagree with the memory's dimension,
+    /// if `new_keys` and `new_values` disagree on the row count, or if a
+    /// fallback re-prepare fails.
+    fn append_rows(
+        &self,
+        memory: &mut PreparedMemory,
+        new_keys: &Matrix,
+        new_values: &Matrix,
+    ) -> Result<IncrementalPrepareStats, AttentionError> {
+        validate_append(memory, new_keys, new_values)?;
+        if new_keys.is_empty() {
+            return Ok(IncrementalPrepareStats::default());
+        }
+        rebuild_append(self, memory, new_keys, new_values)
+    }
+
+    /// Overwrites one row of a prepared memory in place, maintaining the
+    /// backend's prepared state incrementally where the backend supports it
+    /// (same contract as [`ComputeBackend::append_rows`], with `O(d log n)`
+    /// -ish incremental work).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `row` is out of bounds, if `key`/`value` do not
+    /// have the memory's dimension, or if a fallback re-prepare fails.
+    fn update_row(
+        &self,
+        memory: &mut PreparedMemory,
+        row: usize,
+        key: &[f32],
+        value: &[f32],
+    ) -> Result<IncrementalPrepareStats, AttentionError> {
+        validate_update(memory, row, key, value)?;
+        rebuild_update(self, memory, row, key, value)
+    }
 
     /// Computes attention of `query` over a prepared memory.
     ///
@@ -422,6 +693,25 @@ impl ComputeBackend for ExactBackend {
         PreparedMemory::new(keys, values, 0, PreparedState::Exact)
     }
 
+    fn append_rows(
+        &self,
+        memory: &mut PreparedMemory,
+        new_keys: &Matrix,
+        new_values: &Matrix,
+    ) -> Result<IncrementalPrepareStats, AttentionError> {
+        append_rows_exact_state(self, memory, new_keys, new_values)
+    }
+
+    fn update_row(
+        &self,
+        memory: &mut PreparedMemory,
+        row: usize,
+        key: &[f32],
+        value: &[f32],
+    ) -> Result<IncrementalPrepareStats, AttentionError> {
+        update_row_exact_state(self, memory, row, key, value)
+    }
+
     fn attend_prepared(
         &self,
         memory: &PreparedMemory,
@@ -520,6 +810,52 @@ impl ComputeBackend for ApproximateBackend {
         let sorted = SortedKeyColumns::preprocess(keys);
         let ops = sorted.preprocess_comparisons();
         PreparedMemory::new(keys, values, ops, PreparedState::Sorted(sorted))
+    }
+
+    fn append_rows(
+        &self,
+        memory: &mut PreparedMemory,
+        new_keys: &Matrix,
+        new_values: &Matrix,
+    ) -> Result<IncrementalPrepareStats, AttentionError> {
+        validate_append(memory, new_keys, new_values)?;
+        if new_keys.is_empty() {
+            return Ok(IncrementalPrepareStats::default());
+        }
+        let PreparedState::Sorted(sorted) = &mut memory.state else {
+            return rebuild_append(self, memory, new_keys, new_values);
+        };
+        // Merge the new rows into every sorted column (bit-identical to a
+        // fresh preprocess of the grown matrix), then keep the analytic
+        // preprocessing-cost model — which is a function of (n, d) only —
+        // consistent with the grown shape.
+        let ops = crate::approx::incremental::append_rows_sorted(sorted, new_keys);
+        let comparisons = sorted.preprocess_comparisons();
+        memory.keys.append_rows(new_keys)?;
+        memory.values.append_rows(new_values)?;
+        memory.preprocess_ops = comparisons;
+        Ok(IncrementalPrepareStats::incremental(ops))
+    }
+
+    fn update_row(
+        &self,
+        memory: &mut PreparedMemory,
+        row: usize,
+        key: &[f32],
+        value: &[f32],
+    ) -> Result<IncrementalPrepareStats, AttentionError> {
+        validate_update(memory, row, key, value)?;
+        let old_key = memory.keys.row(row).to_vec();
+        let PreparedState::Sorted(sorted) = &mut memory.state else {
+            return rebuild_update(self, memory, row, key, value);
+        };
+        let Some(ops) = crate::approx::incremental::update_row_sorted(sorted, row, &old_key, key)
+        else {
+            return rebuild_update(self, memory, row, key, value);
+        };
+        memory.keys.set_row(row, key)?;
+        memory.values.set_row(row, value)?;
+        Ok(IncrementalPrepareStats::incremental(ops))
     }
 
     fn attend_prepared(
@@ -642,6 +978,19 @@ impl QuantizedBackend {
             actual: memory.state().label(),
         })
     }
+
+    /// Whether `memory`'s prepared state is one this backend configuration
+    /// would itself have produced, making in-place incremental maintenance
+    /// valid. A different input format — or a vectorised pipeline under a
+    /// scalar-pinned backend — must go through a full re-prepare instead.
+    fn owns_prepared_state(&self, memory: &PreparedMemory) -> bool {
+        match &memory.state {
+            PreparedState::Quantized(q) => {
+                q.input_format() == self.input_format && !(self.force_scalar && q.is_vectorized())
+            }
+            _ => false,
+        }
+    }
 }
 
 impl ComputeBackend for QuantizedBackend {
@@ -668,6 +1017,63 @@ impl ComputeBackend for QuantizedBackend {
             ops,
             PreparedState::Quantized(Box::new(quantized)),
         )
+    }
+
+    fn append_rows(
+        &self,
+        memory: &mut PreparedMemory,
+        new_keys: &Matrix,
+        new_values: &Matrix,
+    ) -> Result<IncrementalPrepareStats, AttentionError> {
+        validate_append(memory, new_keys, new_values)?;
+        if new_keys.is_empty() {
+            return Ok(IncrementalPrepareStats::default());
+        }
+        if !self.owns_prepared_state(memory) {
+            return rebuild_append(self, memory, new_keys, new_values);
+        }
+        let PreparedState::Quantized(q) = &mut memory.state else {
+            return rebuild_append(self, memory, new_keys, new_values);
+        };
+        // Row-local re-quantization: only the delta rows are quantized. The
+        // `ceil_log2(n)` gate inside `QuantizedMemory::append_rows` returns
+        // `None` exactly when the grown shape would change the format plan —
+        // full re-prepare then re-derives formats, tables and (with them) the
+        // range-proof saturation obligations from scratch.
+        match q.append_rows(new_keys, new_values)? {
+            Some(ops) => {
+                let preprocess = q.preprocess_ops();
+                memory.keys.append_rows(new_keys)?;
+                memory.values.append_rows(new_values)?;
+                memory.preprocess_ops = preprocess;
+                Ok(IncrementalPrepareStats::incremental(ops))
+            }
+            None => rebuild_append(self, memory, new_keys, new_values),
+        }
+    }
+
+    fn update_row(
+        &self,
+        memory: &mut PreparedMemory,
+        row: usize,
+        key: &[f32],
+        value: &[f32],
+    ) -> Result<IncrementalPrepareStats, AttentionError> {
+        validate_update(memory, row, key, value)?;
+        if !self.owns_prepared_state(memory) {
+            return rebuild_update(self, memory, row, key, value);
+        }
+        let PreparedState::Quantized(q) = &mut memory.state else {
+            return rebuild_update(self, memory, row, key, value);
+        };
+        match q.update_row(row, key, value)? {
+            Some(ops) => {
+                memory.keys.set_row(row, key)?;
+                memory.values.set_row(row, value)?;
+                Ok(IncrementalPrepareStats::incremental(ops))
+            }
+            None => rebuild_update(self, memory, row, key, value),
+        }
     }
 
     fn attend_prepared(

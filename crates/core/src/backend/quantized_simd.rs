@@ -187,6 +187,44 @@ impl QuantizedSimdPipeline {
             .collect();
         x86::attend(self, &q, rows)
     }
+
+    /// Appends already-quantized rows (raws in the input format, row-major
+    /// `delta x d` each) in place. Valid only while the caller's format plan
+    /// is unchanged — every bound in this struct depends on the formats and
+    /// `d`, never on `n` beyond the count itself — which
+    /// `QuantizedMemory::append_rows` guarantees via its `ceil_log2(n)` gate.
+    /// Returns `false` (leaving `self` untouched) if any raw exceeds its lane
+    /// width, in which case the caller must fall back to a full re-prepare.
+    pub(crate) fn append_rows(&mut self, keys: &[i64], values: &[i64]) -> bool {
+        debug_assert_eq!(keys.len(), values.len());
+        debug_assert_eq!(keys.len() % self.d.max(1), 0);
+        let (Some(k), Some(v)) = (narrow_lanes_i16(keys), narrow_lanes_i32(values)) else {
+            return false;
+        };
+        self.keys.extend_from_slice(&k);
+        self.values.extend_from_slice(&v);
+        self.n += keys.len() / self.d.max(1);
+        true
+    }
+
+    /// Overwrites row `row` with already-quantized raws in place (same
+    /// validity contract as [`Self::append_rows`]). Returns `false` without
+    /// mutating on an out-of-bounds row or a lane-width overflow.
+    pub(crate) fn update_row(&mut self, row: usize, key: &[i64], value: &[i64]) -> bool {
+        debug_assert_eq!(key.len(), self.d);
+        debug_assert_eq!(value.len(), self.d);
+        let (Some(k), Some(v)) = (narrow_lanes_i16(key), narrow_lanes_i32(value)) else {
+            return false;
+        };
+        let range = row * self.d..(row + 1) * self.d;
+        let (Some(ks), Some(vs)) = (self.keys.get_mut(range.clone()), self.values.get_mut(range))
+        else {
+            return false;
+        };
+        ks.copy_from_slice(&k);
+        vs.copy_from_slice(&v);
+        true
+    }
 }
 
 impl fmt::Debug for QuantizedSimdPipeline {

@@ -36,7 +36,10 @@ use crate::approx::{post_scoring_select, select_candidates};
 use crate::attention::{stable_softmax, AttentionResult};
 use crate::{AttentionError, Matrix};
 
-use super::{memory_fingerprint, validate_memory, ComputeBackend, MemoryCache, PreparedMemory};
+use super::{
+    fingerprint_append, fingerprint_update, memory_fingerprint, validate_memory, ComputeBackend,
+    MemoryCache, PreparedMemory,
+};
 
 /// How to split one logical memory across shards (row-wise, contiguous, balanced).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -132,6 +135,23 @@ impl MemoryShard {
     }
 }
 
+/// Outcome of one streaming mutation ([`ShardedMemory::append_rows_cached`] or
+/// [`ShardedMemory::update_row_cached`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardMutationStats {
+    /// Incremental maintenance operations the backend charged (comparisons, moves,
+    /// element re-quantizations). Zero when the backend fell back to a full
+    /// re-prepare.
+    pub incremental_ops: u64,
+    /// Number of shards whose preparation was rebuilt from scratch (0 or 1 for a
+    /// single mutation; rebalancing re-prepares go through the cache and are not
+    /// counted here).
+    pub full_reprepares: u64,
+    /// True when an append grew the tail shard past the rebalance threshold and the
+    /// memory was re-split into balanced shards.
+    pub rebalanced: bool,
+}
+
 /// Cache outcome of one [`ShardedMemory::prepare_cached`] call.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ShardPrepareStats {
@@ -164,6 +184,7 @@ pub struct ShardPrepareStats {
 pub struct ShardedMemory {
     n: usize,
     d: usize,
+    plan: ShardPlan,
     shards: Vec<MemoryShard>,
 }
 
@@ -243,10 +264,139 @@ impl ShardedMemory {
             Self {
                 n: keys.rows(),
                 d: keys.dim(),
+                plan,
                 shards,
             },
             stats,
         ))
+    }
+
+    /// The split this memory was prepared with (kept for rebalancing appends).
+    pub fn plan(&self) -> ShardPlan {
+        self.plan
+    }
+
+    /// Appends rows to the logical memory by growing the **tail shard** in place
+    /// through the backend's incremental
+    /// [`append_rows`](ComputeBackend::append_rows), keeping the shard's cache
+    /// entry current via a delta fingerprint (a cache *update*, not a miss).
+    ///
+    /// When the tail shard grows past twice the balanced shard size
+    /// (`2 * ceil(n / plan shards)`), the memory is re-split; untouched shards
+    /// whose row ranges are unchanged by the re-split still hit the cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the new rows' shapes are inconsistent with the memory,
+    /// or if the backend's append (or the rebalancing re-prepare) fails.
+    pub fn append_rows_cached(
+        &mut self,
+        backend: &dyn ComputeBackend,
+        cache: &mut MemoryCache,
+        new_keys: &Matrix,
+        new_values: &Matrix,
+    ) -> Result<ShardMutationStats, AttentionError> {
+        if new_keys.rows() == 0 && new_values.rows() == 0 {
+            return Ok(ShardMutationStats::default());
+        }
+        let d = self.d;
+        let last = self
+            .shards
+            .last_mut()
+            .ok_or(AttentionError::InvalidParameter {
+                name: "shards",
+                constraint: "a sharded memory must hold at least one shard",
+            })?;
+        let old_fingerprint = last.fingerprint;
+        let old_rows = last.rows();
+        // Remove the cache's handle first so the in-place mutation below sees a
+        // unique Arc and does not deep-clone (and never leaves a stale entry).
+        let taken = cache.take(&backend.name(), old_fingerprint);
+        let stats = backend.append_rows(Arc::make_mut(&mut last.memory), new_keys, new_values)?;
+        let new_fingerprint =
+            fingerprint_append(old_fingerprint, old_rows, d, new_keys, new_values);
+        last.fingerprint = new_fingerprint;
+        if taken.is_some() {
+            cache.insert_updated(&backend.name(), new_fingerprint, Arc::clone(&last.memory));
+        }
+        self.n += new_keys.rows();
+        let mut mutation = ShardMutationStats {
+            incremental_ops: stats.incremental_ops,
+            full_reprepares: u64::from(stats.full_reprepare),
+            rebalanced: false,
+        };
+        let tail_rows = self.shards.last().map_or(0, MemoryShard::rows);
+        if tail_rows > 2 * self.n.div_ceil(self.plan.shards()) {
+            self.rebalance(backend, cache)?;
+            mutation.rebalanced = true;
+        }
+        Ok(mutation)
+    }
+
+    /// Overwrites one logical row in place through the backend's incremental
+    /// [`update_row`](ComputeBackend::update_row), keeping the owning shard's
+    /// cache entry current via a delta fingerprint. Row count and shard layout are
+    /// unchanged, so no rebalance can trigger.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `row` is out of range, the key/value dimensions are
+    /// inconsistent, or the backend's update (or fallback re-prepare) fails.
+    pub fn update_row_cached(
+        &mut self,
+        backend: &dyn ComputeBackend,
+        cache: &mut MemoryCache,
+        row: usize,
+        key: &[f32],
+        value: &[f32],
+    ) -> Result<ShardMutationStats, AttentionError> {
+        let (index, local) = self.locate(row).ok_or(AttentionError::InvalidParameter {
+            name: "row",
+            constraint: "row index must be within the sharded memory",
+        })?;
+        let shard = self
+            .shards
+            .get_mut(index)
+            .ok_or(AttentionError::InvalidParameter {
+                name: "row",
+                constraint: "row index must be within the sharded memory",
+            })?;
+        let old_fingerprint = shard.fingerprint;
+        let old_key = shard.memory.keys().row(local).to_vec();
+        let old_value = shard.memory.values().row(local).to_vec();
+        let taken = cache.take(&backend.name(), old_fingerprint);
+        let stats = backend.update_row(Arc::make_mut(&mut shard.memory), local, key, value)?;
+        let new_fingerprint =
+            fingerprint_update(old_fingerprint, local, &old_key, &old_value, key, value);
+        shard.fingerprint = new_fingerprint;
+        if taken.is_some() {
+            cache.insert_updated(&backend.name(), new_fingerprint, Arc::clone(&shard.memory));
+        }
+        Ok(ShardMutationStats {
+            incremental_ops: stats.incremental_ops,
+            full_reprepares: u64::from(stats.full_reprepare),
+            rebalanced: false,
+        })
+    }
+
+    /// Re-splits the logical memory into balanced shards under the stored plan,
+    /// re-preparing through the cache (shards whose rows are unchanged still hit).
+    fn rebalance(
+        &mut self,
+        backend: &dyn ComputeBackend,
+        cache: &mut MemoryCache,
+    ) -> Result<(), AttentionError> {
+        let mut keys_flat = Vec::with_capacity(self.n * self.d);
+        let mut values_flat = Vec::with_capacity(self.n * self.d);
+        for shard in &self.shards {
+            keys_flat.extend_from_slice(shard.memory.keys().as_slice());
+            values_flat.extend_from_slice(shard.memory.values().as_slice());
+        }
+        let keys = Matrix::from_flat(keys_flat, self.n, self.d)?;
+        let values = Matrix::from_flat(values_flat, self.n, self.d)?;
+        let (rebuilt, _) = Self::prepare_cached(backend, self.plan, cache, &keys, &values)?;
+        *self = rebuilt;
+        Ok(())
     }
 
     /// Total number of logical rows (`n`).
@@ -769,6 +919,187 @@ mod tests {
             let unsharded = backend.attend(&keys, &values, &[1.0, 1.0]).unwrap();
             assert_eq!(merged, unsharded, "{}", backend.name());
         }
+    }
+
+    #[test]
+    fn streaming_append_matches_fresh_prepare_for_every_backend() {
+        let (keys, values, query) = memory_case(12, 6);
+        let (extra_keys, extra_values, _) = memory_case(15, 6);
+        let mut grown_keys = keys.clone();
+        grown_keys.append_rows(&extra_keys).unwrap();
+        let mut grown_values = values.clone();
+        grown_values.append_rows(&extra_values).unwrap();
+        for backend in backends() {
+            // Single shard: the grown layout equals the fresh layout, so results
+            // must be bit-identical to preparing the concatenation from scratch.
+            let mut cache = MemoryCache::new(8);
+            let (mut sharded, _) = ShardedMemory::prepare_cached(
+                backend.as_ref(),
+                ShardPlan::single(),
+                &mut cache,
+                &keys,
+                &values,
+            )
+            .unwrap();
+            let stats = sharded
+                .append_rows_cached(backend.as_ref(), &mut cache, &extra_keys, &extra_values)
+                .unwrap();
+            assert!(!stats.rebalanced);
+            assert_eq!(sharded.n(), 27);
+            assert_eq!(cache.updates(), 1, "{}", backend.name());
+            let fresh = ShardedMemory::prepare(
+                backend.as_ref(),
+                ShardPlan::single(),
+                &grown_keys,
+                &grown_values,
+            )
+            .unwrap();
+            assert_eq!(
+                backend.attend_sharded(&sharded, &query).unwrap(),
+                backend.attend_sharded(&fresh, &query).unwrap(),
+                "{}",
+                backend.name()
+            );
+            // The delta fingerprint equals a from-scratch fingerprint of the
+            // grown memory, so the updated cache entry is addressable.
+            let tail = sharded.shards().last().unwrap();
+            assert_eq!(
+                tail.fingerprint(),
+                memory_fingerprint(&grown_keys, &grown_values)
+            );
+            assert!(cache.take(&backend.name(), tail.fingerprint()).is_some());
+        }
+    }
+
+    #[test]
+    fn streaming_append_on_sorted_backend_is_incremental_not_a_resort() {
+        let backend = ApproximateBackend::conservative();
+        let (keys, values, _) = memory_case(16, 4);
+        let (extra_keys, extra_values, _) = memory_case(1, 4);
+        let mut cache = MemoryCache::new(8);
+        let (mut sharded, _) = ShardedMemory::prepare_cached(
+            &backend,
+            ShardPlan::single(),
+            &mut cache,
+            &keys,
+            &values,
+        )
+        .unwrap();
+        let sorts_before = preprocess_count();
+        let stats = sharded
+            .append_rows_cached(&backend, &mut cache, &extra_keys, &extra_values)
+            .unwrap();
+        assert_eq!(stats.full_reprepares, 0);
+        assert!(stats.incremental_ops > 0);
+        assert_eq!(
+            preprocess_count(),
+            sorts_before,
+            "an incremental append must not re-sort the key columns"
+        );
+    }
+
+    #[test]
+    fn appends_past_the_threshold_rebalance_the_shards() {
+        let (keys, values, query) = memory_case(16, 4);
+        let backend = ExactBackend;
+        let plan = ShardPlan::new(4).unwrap();
+        let mut cache = MemoryCache::new(16);
+        let (mut sharded, _) =
+            ShardedMemory::prepare_cached(&backend, plan, &mut cache, &keys, &values).unwrap();
+        // One row at a time: the tail shard grows until it crosses
+        // 2 * ceil(n / 4) (tail 15 vs threshold 14 at the 11th append).
+        let (extra_keys, extra_values, _) = memory_case(12, 4);
+        let mut rebalances = 0;
+        for i in 0..12 {
+            let row_keys = Matrix::from_rows(vec![extra_keys.row(i).to_vec()]).unwrap();
+            let row_values = Matrix::from_rows(vec![extra_values.row(i).to_vec()]).unwrap();
+            let stats = sharded
+                .append_rows_cached(&backend, &mut cache, &row_keys, &row_values)
+                .unwrap();
+            rebalances += u32::from(stats.rebalanced);
+        }
+        assert!(rebalances >= 1, "growing 16->28 rows must rebalance");
+        assert_eq!(sharded.n(), 28);
+        assert_eq!(sharded.shard_count(), 4);
+        // Post-rebalance the shards are balanced again (sizes differ by <= 1).
+        let sizes: Vec<usize> = sharded.shards().iter().map(MemoryShard::rows).collect();
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+        // And the logical contents equal the concatenation, in order.
+        let mut grown_keys = keys.clone();
+        grown_keys.append_rows(&extra_keys).unwrap();
+        let mut grown_values = values.clone();
+        grown_values.append_rows(&extra_values).unwrap();
+        let fresh = ShardedMemory::prepare(&backend, plan, &grown_keys, &grown_values).unwrap();
+        assert_eq!(
+            backend.attend_sharded(&sharded, &query).unwrap(),
+            backend.attend_sharded(&fresh, &query).unwrap()
+        );
+    }
+
+    #[test]
+    fn streaming_update_matches_fresh_prepare_and_keeps_layout() {
+        let (keys, values, query) = memory_case(18, 5);
+        let new_key = vec![0.3, -0.6, 0.9, 0.0, -0.2];
+        let new_value = vec![0.1; 5];
+        for backend in backends() {
+            for k in [1usize, 3] {
+                let plan = ShardPlan::new(k).unwrap();
+                let mut cache = MemoryCache::new(8);
+                let (mut sharded, _) = ShardedMemory::prepare_cached(
+                    backend.as_ref(),
+                    plan,
+                    &mut cache,
+                    &keys,
+                    &values,
+                )
+                .unwrap();
+                let stats = sharded
+                    .update_row_cached(backend.as_ref(), &mut cache, 7, &new_key, &new_value)
+                    .unwrap();
+                assert!(!stats.rebalanced);
+                assert_eq!(sharded.n(), 18);
+                assert_eq!(sharded.shard_count(), k);
+                let mut mutated_keys = keys.clone();
+                mutated_keys.set_row(7, &new_key).unwrap();
+                let mut mutated_values = values.clone();
+                mutated_values.set_row(7, &new_value).unwrap();
+                let fresh =
+                    ShardedMemory::prepare(backend.as_ref(), plan, &mutated_keys, &mutated_values)
+                        .unwrap();
+                assert_eq!(
+                    backend.attend_sharded(&sharded, &query).unwrap(),
+                    backend.attend_sharded(&fresh, &query).unwrap(),
+                    "{} k={k}",
+                    backend.name()
+                );
+                // The owning shard's delta fingerprint matches a from-scratch
+                // fingerprint of its mutated rows.
+                let (s, _) = sharded.locate(7).unwrap();
+                let shard = &sharded.shards()[s];
+                let range = shard.start()..shard.end();
+                assert_eq!(
+                    shard.fingerprint(),
+                    memory_fingerprint(
+                        &submatrix(&mutated_keys, &range).unwrap(),
+                        &submatrix(&mutated_values, &range).unwrap()
+                    )
+                );
+                assert_eq!(cache.updates(), 1);
+            }
+        }
+        // Out-of-range rows are rejected.
+        let mut cache = MemoryCache::new(2);
+        let (mut sharded, _) = ShardedMemory::prepare_cached(
+            &ExactBackend,
+            ShardPlan::single(),
+            &mut cache,
+            &keys,
+            &values,
+        )
+        .unwrap();
+        assert!(sharded
+            .update_row_cached(&ExactBackend, &mut cache, 18, &new_key, &new_value)
+            .is_err());
     }
 
     #[test]

@@ -201,6 +201,25 @@ impl ComputeBackend for SimdBackend {
         PreparedMemory::new(keys, values, 0, PreparedState::Exact)
     }
 
+    fn append_rows(
+        &self,
+        memory: &mut PreparedMemory,
+        new_keys: &Matrix,
+        new_values: &Matrix,
+    ) -> Result<super::IncrementalPrepareStats, AttentionError> {
+        super::append_rows_exact_state(self, memory, new_keys, new_values)
+    }
+
+    fn update_row(
+        &self,
+        memory: &mut PreparedMemory,
+        row: usize,
+        key: &[f32],
+        value: &[f32],
+    ) -> Result<super::IncrementalPrepareStats, AttentionError> {
+        super::update_row_exact_state(self, memory, row, key, value)
+    }
+
     fn attend_prepared(
         &self,
         memory: &PreparedMemory,

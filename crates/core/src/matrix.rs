@@ -161,6 +161,51 @@ impl Matrix {
         }
     }
 
+    /// Appends every row of `other` to this matrix (the streaming-append
+    /// primitive: `O(other.rows() * dim)`, no reallocation of existing rows
+    /// beyond the usual amortized `Vec` growth).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttentionError::DimensionMismatch`] if `other` has a different
+    /// embedding dimension.
+    pub fn append_rows(&mut self, other: &Matrix) -> Result<(), AttentionError> {
+        if other.dim != self.dim {
+            return Err(AttentionError::DimensionMismatch {
+                expected: self.dim,
+                actual: other.dim,
+            });
+        }
+        self.data.extend_from_slice(&other.data);
+        self.rows += other.rows;
+        Ok(())
+    }
+
+    /// Overwrites row `index` with `row` (the streaming-update primitive).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttentionError::DimensionMismatch`] if `row` has the wrong
+    /// length and [`AttentionError::InvalidParameter`] if `index` is out of
+    /// bounds.
+    pub fn set_row(&mut self, index: usize, row: &[f32]) -> Result<(), AttentionError> {
+        if row.len() != self.dim {
+            return Err(AttentionError::DimensionMismatch {
+                expected: self.dim,
+                actual: row.len(),
+            });
+        }
+        let slot = self
+            .data
+            .get_mut(index * self.dim..(index + 1) * self.dim)
+            .ok_or(AttentionError::InvalidParameter {
+                name: "index",
+                constraint: "row index must be within the matrix",
+            })?;
+        slot.copy_from_slice(row);
+        Ok(())
+    }
+
     /// Validates that this (key) matrix, a value matrix and a query are mutually
     /// compatible for an attention operation.
     ///
@@ -289,6 +334,37 @@ mod tests {
     fn iter_rows_yields_all_rows() {
         let m = sample();
         assert_eq!(m.iter_rows().count(), 3);
+    }
+
+    #[test]
+    fn append_rows_extends_and_checks_dimension() {
+        let mut m = sample();
+        let extra = Matrix::from_rows(vec![vec![10.0, 11.0, 12.0]]).unwrap();
+        m.append_rows(&extra).unwrap();
+        assert_eq!(m.rows(), 4);
+        assert_eq!(m.row(3), &[10.0, 11.0, 12.0]);
+        assert_eq!(m.row(0), &[1.0, 2.0, 3.0]);
+        let wrong = Matrix::from_rows(vec![vec![1.0, 2.0]]).unwrap();
+        assert!(matches!(
+            m.append_rows(&wrong),
+            Err(AttentionError::DimensionMismatch { .. })
+        ));
+        assert_eq!(m.rows(), 4, "failed append must not change the matrix");
+    }
+
+    #[test]
+    fn set_row_overwrites_and_checks_bounds() {
+        let mut m = sample();
+        m.set_row(1, &[-1.0, -2.0, -3.0]).unwrap();
+        assert_eq!(m.row(1), &[-1.0, -2.0, -3.0]);
+        assert!(matches!(
+            m.set_row(1, &[0.0; 2]),
+            Err(AttentionError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            m.set_row(3, &[0.0; 3]),
+            Err(AttentionError::InvalidParameter { .. })
+        ));
     }
 
     #[test]

@@ -236,6 +236,126 @@ impl QuantizedMemory {
         let (lo, hi) = self.exp_lut.table_entries();
         (2 * self.n * self.d) as u64 + lo + hi
     }
+
+    /// Incrementally quantizes and appends rows in place — the streaming fast
+    /// path that quantizes only the `delta` new rows (`O(delta * d)` work)
+    /// instead of re-preparing the whole memory.
+    ///
+    /// Returns `Ok(Some(ops))` with the element-quantization count on
+    /// success. Returns `Ok(None)` — leaving the memory untouched — when the
+    /// grown row count crosses a `ceil_log2(n)` boundary: every stage format,
+    /// clamp bound and exponent table depends on `n` only through
+    /// `ceil_log2(n)`, so inside a boundary the existing prepared state is
+    /// exactly what a fresh prepare would build, and at a boundary the caller
+    /// must re-prepare from scratch so the format plan (and with it the
+    /// range-proof saturation certificate) stays honest.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the new key/value shapes disagree with each other
+    /// or with this memory's dimension.
+    pub fn append_rows(
+        &mut self,
+        new_keys: &Matrix,
+        new_values: &Matrix,
+    ) -> Result<Option<u64>, AttentionError> {
+        if new_keys.rows() != new_values.rows() {
+            return Err(AttentionError::RowCountMismatch {
+                keys: new_keys.rows(),
+                values: new_values.rows(),
+            });
+        }
+        for dim in [new_keys.dim(), new_values.dim()] {
+            if dim != self.d {
+                return Err(AttentionError::DimensionMismatch {
+                    expected: self.d,
+                    actual: dim,
+                });
+            }
+        }
+        let delta = new_keys.rows();
+        if delta == 0 {
+            return Ok(Some(0));
+        }
+        let new_n = self.n + delta;
+        if a3_fixed::ceil_log2(new_n) != a3_fixed::ceil_log2(self.n) {
+            return Ok(None);
+        }
+        match &mut self.pipeline {
+            PreparedPipeline::Typed(arc) => {
+                // Copy-on-write: prepared memories are shared behind `Arc`s by
+                // the cache and serving layers, so deep-clone when shared.
+                if Arc::get_mut(arc).is_none() {
+                    let fresh = arc.cloned();
+                    *arc = fresh;
+                }
+                let Some(pipeline) = Arc::get_mut(arc) else {
+                    return Ok(None);
+                };
+                if !pipeline.append_rows(new_keys, new_values) {
+                    return Ok(None);
+                }
+            }
+            PreparedPipeline::Dynamic(dynamic) => {
+                dynamic.append_rows(self.input_format, new_keys, new_values);
+            }
+        }
+        self.n = new_n;
+        self.formats = PipelineFormats::new(self.input_format, new_n, self.d);
+        Ok(Some((2 * delta * self.d) as u64))
+    }
+
+    /// Re-quantizes one row in place (`O(d)` work). The row count — and with
+    /// it every stage format — is unchanged, so unlike
+    /// [`QuantizedMemory::append_rows`] there is no format-boundary case;
+    /// `Ok(None)` (fall back to full re-prepare) occurs only if the in-place
+    /// pipeline mutation declines.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `row` is out of bounds or the key/value slices do
+    /// not have this memory's dimension.
+    pub fn update_row(
+        &mut self,
+        row: usize,
+        key: &[f32],
+        value: &[f32],
+    ) -> Result<Option<u64>, AttentionError> {
+        if row >= self.n {
+            return Err(AttentionError::InvalidParameter {
+                name: "row",
+                constraint: "row index must be within the memory",
+            });
+        }
+        for len in [key.len(), value.len()] {
+            if len != self.d {
+                return Err(AttentionError::DimensionMismatch {
+                    expected: self.d,
+                    actual: len,
+                });
+            }
+        }
+        match &mut self.pipeline {
+            PreparedPipeline::Typed(arc) => {
+                if Arc::get_mut(arc).is_none() {
+                    let fresh = arc.cloned();
+                    *arc = fresh;
+                }
+                let Some(pipeline) = Arc::get_mut(arc) else {
+                    return Ok(None);
+                };
+                if !pipeline.update_row(row, key, value) {
+                    return Ok(None);
+                }
+            }
+            PreparedPipeline::Dynamic(dynamic) => {
+                if !dynamic.update_row(self.input_format, row, key, value) {
+                    return Ok(None);
+                }
+            }
+        }
+        Ok(Some((2 * self.d) as u64))
+    }
 }
 
 impl DynamicPipeline {
@@ -275,6 +395,35 @@ impl DynamicPipeline {
             out_max: output.max_raw(),
             exp_sum_frac: exp_sum.frac_bits(),
         }
+    }
+
+    /// Appends already-validated rows, quantizing only the new elements. All
+    /// shift amounts and clamp bounds in this struct derive from the stage
+    /// formats, which the caller's `ceil_log2(n)` gate keeps unchanged.
+    fn append_rows(&mut self, input: QFormat, keys: &Matrix, values: &Matrix) {
+        let quantize = |x: &f32| Fixed::quantize(f64::from(*x), input).raw();
+        self.keys_q.extend(keys.as_slice().iter().map(quantize));
+        self.values_q.extend(values.as_slice().iter().map(quantize));
+    }
+
+    /// Re-quantizes one already-validated row in place; `false` (untouched)
+    /// if the row slice cannot be formed.
+    fn update_row(&mut self, input: QFormat, row: usize, key: &[f32], value: &[f32]) -> bool {
+        let d = key.len();
+        let range = row * d..(row + 1) * d;
+        let (Some(ks), Some(vs)) = (
+            self.keys_q.get_mut(range.clone()),
+            self.values_q.get_mut(range),
+        ) else {
+            return false;
+        };
+        for (slot, x) in ks.iter_mut().zip(key) {
+            *slot = Fixed::quantize(f64::from(*x), input).raw();
+        }
+        for (slot, x) in vs.iter_mut().zip(value) {
+            *slot = Fixed::quantize(f64::from(*x), input).raw();
+        }
+        true
     }
 
     fn key_row(&self, r: usize, d: usize) -> &[i64] {

@@ -37,6 +37,23 @@ pub(crate) trait TypedQuantizedPipeline: Send + Sync + fmt::Debug {
     /// Whether prepare-time dispatch selected the AVX2 vector kernels
     /// (`backend::quantized_simd`) for this instantiation.
     fn is_vectorized(&self) -> bool;
+
+    /// Quantizes and appends `new_keys`/`new_values` rows in place. Valid only
+    /// while the instantiation's format plan still matches the grown shape —
+    /// `QuantizedMemory::append_rows` guarantees this with its `ceil_log2(n)`
+    /// gate. Returns `false` without mutating when the in-place path cannot
+    /// proceed (vector lane overflow); the caller then re-prepares from
+    /// scratch.
+    fn append_rows(&mut self, new_keys: &Matrix, new_values: &Matrix) -> bool;
+
+    /// Re-quantizes one row in place (same validity contract as
+    /// [`Self::append_rows`]). Returns `false` without mutating on an
+    /// out-of-bounds row or when the in-place path cannot proceed.
+    fn update_row(&mut self, row: usize, key: &[f32], value: &[f32]) -> bool;
+
+    /// A deep copy behind a fresh `Arc`, for copy-on-write mutation of shared
+    /// prepared state.
+    fn cloned(&self) -> Arc<dyn TypedQuantizedPipeline>;
 }
 
 /// The quantized attention pipeline with every stage format in the type.
@@ -48,6 +65,7 @@ pub(crate) trait TypedQuantizedPipeline: Send + Sync + fmt::Debug {
 /// The `FORMATS_OK` const assertion pins the shape-independent derivation
 /// rules of Section III-B; the shape-dependent ones (`DI`, `EI`, `OI`) are
 /// verified against [`PipelineFormats`] when an instantiation is selected.
+#[derive(Clone)]
 pub(crate) struct TypedPipeline<
     const I: u32,
     const F: u32,
@@ -145,14 +163,8 @@ impl<
         allow_vector: bool,
     ) -> Self {
         let _proof: () = Self::FORMATS_OK;
-        let quantize_all = |m: &Matrix| -> Vec<Q<I, F>> {
-            m.as_slice()
-                .iter()
-                .map(|&x| Q::quantize(f64::from(x)))
-                .collect()
-        };
-        let keys = quantize_all(keys);
-        let values = quantize_all(values);
+        let keys = Self::quantize_all(keys.as_slice());
+        let values = Self::quantize_all(values.as_slice());
         let lut = TypedExpLut::paper();
         #[cfg(target_arch = "x86_64")]
         let vector = if allow_vector {
@@ -194,6 +206,11 @@ impl<
             &raw_keys,
             &raw_values,
         )
+    }
+
+    /// Quantizes a flat row-major `f32` buffer into the input format.
+    fn quantize_all(data: &[f32]) -> Vec<Q<I, F>> {
+        data.iter().map(|&x| Q::quantize(f64::from(x))).collect()
     }
 
     fn key_row(&self, r: usize) -> &[Q<I, F>] {
@@ -311,6 +328,54 @@ impl<
         {
             false
         }
+    }
+
+    fn append_rows(&mut self, new_keys: &Matrix, new_values: &Matrix) -> bool {
+        let k = Self::quantize_all(new_keys.as_slice());
+        let v = Self::quantize_all(new_values.as_slice());
+        // Mutate the vector datapath first: its narrowing can decline (never
+        // for deployed formats, but checked), and it mutates atomically, so a
+        // `false` here leaves the whole pipeline untouched.
+        #[cfg(target_arch = "x86_64")]
+        if let Some(vector) = &mut self.vector {
+            let raw_k: Vec<i64> = k.iter().map(|q| q.raw()).collect();
+            let raw_v: Vec<i64> = v.iter().map(|q| q.raw()).collect();
+            if !vector.append_rows(&raw_k, &raw_v) {
+                return false;
+            }
+        }
+        self.keys.extend_from_slice(&k);
+        self.values.extend_from_slice(&v);
+        self.n += new_keys.rows();
+        true
+    }
+
+    fn update_row(&mut self, row: usize, key: &[f32], value: &[f32]) -> bool {
+        if row >= self.n || key.len() != self.d || value.len() != self.d {
+            return false;
+        }
+        let k = Self::quantize_all(key);
+        let v = Self::quantize_all(value);
+        #[cfg(target_arch = "x86_64")]
+        if let Some(vector) = &mut self.vector {
+            let raw_k: Vec<i64> = k.iter().map(|q| q.raw()).collect();
+            let raw_v: Vec<i64> = v.iter().map(|q| q.raw()).collect();
+            if !vector.update_row(row, &raw_k, &raw_v) {
+                return false;
+            }
+        }
+        let range = row * self.d..(row + 1) * self.d;
+        let (Some(ks), Some(vs)) = (self.keys.get_mut(range.clone()), self.values.get_mut(range))
+        else {
+            return false;
+        };
+        ks.copy_from_slice(&k);
+        vs.copy_from_slice(&v);
+        true
+    }
+
+    fn cloned(&self) -> Arc<dyn TypedQuantizedPipeline> {
+        Arc::new(self.clone())
     }
 }
 

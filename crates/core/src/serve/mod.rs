@@ -242,6 +242,23 @@ impl SessionHandle {
     }
 }
 
+/// Outcome of one in-place session mutation ([`AttentionServer::append_to_session`]
+/// or [`AttentionServer::update_session_row`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionMutation {
+    /// Incremental maintenance operations the backend charged (comparisons, moves,
+    /// element re-quantizations). Zero when the backend fell back to a full
+    /// re-prepare.
+    pub incremental_ops: u64,
+    /// Number of prepared memories rebuilt from scratch (0 on the incremental path).
+    pub full_reprepares: u64,
+    /// True when the append re-split a sharded session's shards.
+    pub rebalanced: bool,
+    /// The session's new content fingerprint (maintained as a delta, identical to a
+    /// from-scratch fingerprint of the mutated memory).
+    pub fingerprint: u64,
+}
+
 /// One completed request: the attention result plus its scheduling history.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Response {
@@ -452,6 +469,191 @@ impl AttentionServer {
             },
         );
         Ok(id)
+    }
+
+    /// Appends rows to a live session's memory **in place**, through the backend's
+    /// incremental [`ComputeBackend::append_rows`] — no full re-sort/re-quantization
+    /// on the fast path — and keeps the server's [`MemoryCache`] entry current via a
+    /// delta fingerprint (a cache *update*, never a miss). The streaming analogue of
+    /// a decode step extending the attended context by one token.
+    ///
+    /// The mutated session serves exactly what re-registering the concatenated
+    /// memory would: bit-identical for the exact and quantized datapaths,
+    /// result-equivalent for the approximate datapath.
+    ///
+    /// # Errors
+    ///
+    /// * [`ServeError::UnknownSession`] if the session was never registered.
+    /// * [`ServeError::Attention`] if the new rows' shapes are inconsistent with the
+    ///   session memory, or the backend's append (or fallback re-prepare) fails.
+    pub fn append_to_session(
+        &mut self,
+        id: SessionId,
+        new_keys: &Matrix,
+        new_values: &Matrix,
+    ) -> Result<SessionMutation, ServeError> {
+        let handle = self
+            .sessions
+            .get_mut(&id)
+            .ok_or(ServeError::UnknownSession { session: id.raw() })?;
+        let old_fingerprint = handle.fingerprint;
+        let old_n = handle.memory.n();
+        let d = handle.memory.d();
+        let new_fingerprint =
+            crate::backend::fingerprint_append(old_fingerprint, old_n, d, new_keys, new_values);
+        let mutation = match &mut handle.memory {
+            SessionMemory::Whole(memory) => {
+                // Remove the cache's handle first so `Arc::make_mut` sees a unique
+                // reference and mutates in place instead of deep-cloning.
+                let taken = self.cache.take(&self.backend.name(), old_fingerprint);
+                let stats =
+                    self.backend
+                        .append_rows(Arc::make_mut(memory), new_keys, new_values)?;
+                debug_assert_eq!(
+                    new_fingerprint,
+                    crate::backend::memory_fingerprint(memory.keys(), memory.values()),
+                    "delta fingerprint must match a from-scratch fingerprint"
+                );
+                if taken.is_some() {
+                    self.cache.insert_updated(
+                        &self.backend.name(),
+                        new_fingerprint,
+                        Arc::clone(memory),
+                    );
+                }
+                SessionMutation {
+                    incremental_ops: stats.incremental_ops,
+                    full_reprepares: u64::from(stats.full_reprepare),
+                    rebalanced: false,
+                    fingerprint: new_fingerprint,
+                }
+            }
+            SessionMemory::Sharded(sharded) => {
+                let stats = Arc::make_mut(sharded).append_rows_cached(
+                    self.backend.as_ref(),
+                    &mut self.cache,
+                    new_keys,
+                    new_values,
+                )?;
+                SessionMutation {
+                    incremental_ops: stats.incremental_ops,
+                    full_reprepares: stats.full_reprepares,
+                    rebalanced: stats.rebalanced,
+                    fingerprint: new_fingerprint,
+                }
+            }
+        };
+        handle.fingerprint = new_fingerprint;
+        Ok(mutation)
+    }
+
+    /// Overwrites one row of a live session's memory **in place**, through the
+    /// backend's incremental [`ComputeBackend::update_row`], keeping the cache
+    /// entry current via a delta fingerprint. See
+    /// [`AttentionServer::append_to_session`] for the equivalence contract.
+    ///
+    /// # Errors
+    ///
+    /// * [`ServeError::UnknownSession`] if the session was never registered.
+    /// * [`ServeError::Attention`] if `row` is out of range, the key/value
+    ///   dimensions are inconsistent, or the backend's update fails.
+    pub fn update_session_row(
+        &mut self,
+        id: SessionId,
+        row: usize,
+        key: &[f32],
+        value: &[f32],
+    ) -> Result<SessionMutation, ServeError> {
+        let handle = self
+            .sessions
+            .get_mut(&id)
+            .ok_or(ServeError::UnknownSession { session: id.raw() })?;
+        if row >= handle.memory.n() {
+            return Err(ServeError::Attention(AttentionError::InvalidParameter {
+                name: "row",
+                constraint: "row index must be within the memory",
+            }));
+        }
+        let old_fingerprint = handle.fingerprint;
+        let mutation = match &mut handle.memory {
+            SessionMemory::Whole(memory) => {
+                let old_key = memory.keys().row(row).to_vec();
+                let old_value = memory.values().row(row).to_vec();
+                let taken = self.cache.take(&self.backend.name(), old_fingerprint);
+                let stats = self
+                    .backend
+                    .update_row(Arc::make_mut(memory), row, key, value)?;
+                let new_fingerprint = crate::backend::fingerprint_update(
+                    old_fingerprint,
+                    row,
+                    &old_key,
+                    &old_value,
+                    key,
+                    value,
+                );
+                debug_assert_eq!(
+                    new_fingerprint,
+                    crate::backend::memory_fingerprint(memory.keys(), memory.values()),
+                    "delta fingerprint must match a from-scratch fingerprint"
+                );
+                if taken.is_some() {
+                    self.cache.insert_updated(
+                        &self.backend.name(),
+                        new_fingerprint,
+                        Arc::clone(memory),
+                    );
+                }
+                SessionMutation {
+                    incremental_ops: stats.incremental_ops,
+                    full_reprepares: u64::from(stats.full_reprepare),
+                    rebalanced: false,
+                    fingerprint: new_fingerprint,
+                }
+            }
+            SessionMemory::Sharded(sharded) => {
+                let (s, local) = sharded.locate(row).ok_or(ServeError::Attention(
+                    AttentionError::InvalidParameter {
+                        name: "row",
+                        constraint: "row index must be within the memory",
+                    },
+                ))?;
+                let (old_key, old_value) = {
+                    let shard = sharded.shards().get(s).ok_or(ServeError::Attention(
+                        AttentionError::InvalidParameter {
+                            name: "row",
+                            constraint: "row index must be within the memory",
+                        },
+                    ))?;
+                    (
+                        shard.memory().keys().row(local).to_vec(),
+                        shard.memory().values().row(local).to_vec(),
+                    )
+                };
+                let stats = Arc::make_mut(sharded).update_row_cached(
+                    self.backend.as_ref(),
+                    &mut self.cache,
+                    row,
+                    key,
+                    value,
+                )?;
+                let new_fingerprint = crate::backend::fingerprint_update(
+                    old_fingerprint,
+                    row,
+                    &old_key,
+                    &old_value,
+                    key,
+                    value,
+                );
+                SessionMutation {
+                    incremental_ops: stats.incremental_ops,
+                    full_reprepares: stats.full_reprepares,
+                    rebalanced: false,
+                    fingerprint: new_fingerprint,
+                }
+            }
+        };
+        handle.fingerprint = mutation.fingerprint;
+        Ok(mutation)
     }
 
     /// The handle of a registered session.
@@ -862,6 +1064,186 @@ mod tests {
         assert_eq!((server.cache().hits(), server.cache().misses()), (4, 4));
         let sharded = server.session(second).unwrap().memory().sharded().unwrap();
         assert_eq!(sharded.shard_count(), 4);
+    }
+
+    fn concat(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut m = a.clone();
+        m.append_rows(b).unwrap();
+        m
+    }
+
+    #[test]
+    fn streaming_session_append_matches_reregistration_for_every_backend() {
+        for (backend, reference_backend) in all_backends().into_iter().zip(all_backends()) {
+            let name = backend.name();
+            let (keys, values) = memory(0.0, 12, 6);
+            let (extra_keys, extra_values) = memory(0.5, 3, 6);
+            let grown_keys = concat(&keys, &extra_keys);
+            let grown_values = concat(&values, &extra_values);
+
+            let mut server = AttentionServer::new(backend, BatchPolicy::new(1, 10).unwrap());
+            let session = server.register_memory(&keys, &values).unwrap();
+            let mutation = server
+                .append_to_session(session, &extra_keys, &extra_values)
+                .unwrap();
+            assert_eq!(server.session(session).unwrap().memory().n(), 15, "{name}");
+            assert_eq!(
+                mutation.fingerprint,
+                crate::backend::memory_fingerprint(&grown_keys, &grown_values),
+                "{name}: delta fingerprint must equal the from-scratch fingerprint"
+            );
+            assert_eq!(server.cache().updates(), 1, "{name}");
+            assert_eq!(server.cache().misses(), 1, "{name}");
+
+            // The mutated session answers exactly like a session registered over
+            // the concatenated memory from scratch.
+            let mut reference =
+                AttentionServer::new(reference_backend, BatchPolicy::new(1, 10).unwrap());
+            let ref_session = reference
+                .register_memory(&grown_keys, &grown_values)
+                .unwrap();
+            let q = query(6, 0.2);
+            server.submit(Request::new(session, q.clone(), 0)).unwrap();
+            reference
+                .submit(Request::new(ref_session, q.clone(), 0))
+                .unwrap();
+            let got = server.poll(0).unwrap();
+            let want = reference.poll(0).unwrap();
+            assert_eq!(
+                got[0].responses[0].result, want[0].responses[0].result,
+                "{name}"
+            );
+
+            // The cache entry was *updated*, not invalidated: re-registering the
+            // grown memory reuses the preparation without a miss.
+            let again = server.register_memory(&grown_keys, &grown_values).unwrap();
+            assert!(
+                server.session(again).unwrap().reused_preparation(),
+                "{name}: the appended session's cache entry must be addressable"
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_session_update_matches_reregistration() {
+        for backend in all_backends() {
+            let name = backend.name();
+            let (keys, values) = memory(0.0, 10, 4);
+            let new_key = vec![0.7, -0.3, 0.1, 0.5];
+            let new_value = vec![0.2; 4];
+            let mut mutated_keys = keys.clone();
+            mutated_keys.set_row(4, &new_key).unwrap();
+            let mut mutated_values = values.clone();
+            mutated_values.set_row(4, &new_value).unwrap();
+
+            let mut server = AttentionServer::new(backend, BatchPolicy::new(1, 10).unwrap());
+            let session = server.register_memory(&keys, &values).unwrap();
+            let mutation = server
+                .update_session_row(session, 4, &new_key, &new_value)
+                .unwrap();
+            assert_eq!(
+                mutation.fingerprint,
+                crate::backend::memory_fingerprint(&mutated_keys, &mutated_values),
+                "{name}"
+            );
+            assert_eq!(
+                server.session(session).unwrap().fingerprint(),
+                mutation.fingerprint
+            );
+            let reference = server
+                .backend()
+                .prepare(&mutated_keys, &mutated_values)
+                .unwrap();
+            let q = query(4, 0.1);
+            server.submit(Request::new(session, q.clone(), 0)).unwrap();
+            let got = server.poll(0).unwrap();
+            let direct = server.backend().attend_prepared(&reference, &q).unwrap();
+            assert_eq!(got[0].responses[0].result, direct, "{name}");
+        }
+    }
+
+    #[test]
+    fn streaming_mutations_on_sharded_sessions_stay_consistent() {
+        let (keys, values) = memory(0.0, 16, 4);
+        let (extra_keys, extra_values) = memory(0.3, 2, 4);
+        let plan = ShardPlan::new(4).unwrap();
+        let backend: Box<dyn ComputeBackend> = Box::new(ExactBackend);
+        let mut server = AttentionServer::new(backend, BatchPolicy::new(1, 10).unwrap());
+        let session = server
+            .register_memory_sharded(&keys, &values, plan)
+            .unwrap();
+        let mutation = server
+            .append_to_session(session, &extra_keys, &extra_values)
+            .unwrap();
+        assert_eq!(server.session(session).unwrap().memory().n(), 18);
+        assert_eq!(
+            mutation.fingerprint,
+            crate::backend::memory_fingerprint(
+                &concat(&keys, &extra_keys),
+                &concat(&values, &extra_values)
+            ),
+            "session fingerprint is the whole logical memory's, even sharded"
+        );
+
+        // An identically grown sharded memory answers bit-identically.
+        let mut cache = MemoryCache::new(16);
+        let (mut reference, _) =
+            ShardedMemory::prepare_cached(&ExactBackend, plan, &mut cache, &keys, &values).unwrap();
+        reference
+            .append_rows_cached(&ExactBackend, &mut cache, &extra_keys, &extra_values)
+            .unwrap();
+        let q = query(4, 0.0);
+        server.submit(Request::new(session, q.clone(), 0)).unwrap();
+        let got = server.poll(0).unwrap();
+        let direct = ExactBackend.attend_sharded(&reference, &q).unwrap();
+        assert_eq!(got[0].responses[0].result, direct);
+
+        // Row updates relocate through the shard map.
+        let update = server
+            .update_session_row(session, 17, &[1.0; 4], &[0.5; 4])
+            .unwrap();
+        assert!(!update.rebalanced);
+        let mut grown_keys = concat(&keys, &extra_keys);
+        grown_keys.set_row(17, &[1.0; 4]).unwrap();
+        let mut grown_values = concat(&values, &extra_values);
+        grown_values.set_row(17, &[0.5; 4]).unwrap();
+        assert_eq!(
+            update.fingerprint,
+            crate::backend::memory_fingerprint(&grown_keys, &grown_values)
+        );
+    }
+
+    #[test]
+    fn session_mutations_reject_unknown_sessions_and_bad_shapes() {
+        let (keys, values) = memory(0.0, 8, 4);
+        let mut server = AttentionServer::new(Box::new(ExactBackend), BatchPolicy::default());
+        let session = server.register_memory(&keys, &values).unwrap();
+        let (extra_keys, extra_values) = memory(0.1, 1, 4);
+        assert!(matches!(
+            server.append_to_session(SessionId::from_raw(99), &extra_keys, &extra_values),
+            Err(ServeError::UnknownSession { session: 99 })
+        ));
+        assert!(matches!(
+            server.update_session_row(SessionId::from_raw(99), 0, &[0.0; 4], &[0.0; 4]),
+            Err(ServeError::UnknownSession { session: 99 })
+        ));
+        // Out-of-range row and mismatched dimensions are attention errors.
+        assert!(server
+            .update_session_row(session, 8, &[0.0; 4], &[0.0; 4])
+            .is_err());
+        assert!(server
+            .update_session_row(session, 0, &[0.0; 3], &[0.0; 4])
+            .is_err());
+        let (bad_keys, _) = memory(0.2, 2, 3);
+        assert!(server
+            .append_to_session(session, &bad_keys, &bad_keys)
+            .is_err());
+        // The failed mutations must not have corrupted the session.
+        assert_eq!(server.session(session).unwrap().memory().n(), 8);
+        assert_eq!(
+            server.session(session).unwrap().fingerprint(),
+            crate::backend::memory_fingerprint(&keys, &values)
+        );
     }
 
     #[test]

@@ -1,0 +1,272 @@
+//! Property-based tests for incremental prepare: random append/update traces
+//! must leave every backend's prepared memory exactly equivalent to a fresh
+//! prepare of the final matrices, for whole memories and for every shard
+//! count, with delta fingerprints that match the from-scratch fingerprint.
+
+use a3_core::approx::{preprocess_count, ApproxConfig};
+use a3_core::backend::{
+    fingerprint_append, fingerprint_update, memory_fingerprint, ApproximateBackend, ComputeBackend,
+    ExactBackend, MemoryCache, QuantizedBackend, ShardPlan, ShardedMemory, SimdBackend,
+};
+use a3_core::serve::{AttentionServer, BatchPolicy};
+use a3_core::Matrix;
+use proptest::prelude::*;
+
+/// The full backend line-up, including the forced-scalar variants so the
+/// incremental contract is covered with and without the vector kernels.
+fn all_backends() -> Vec<Box<dyn ComputeBackend>> {
+    vec![
+        Box::new(ExactBackend),
+        Box::new(SimdBackend::new()),
+        Box::new(SimdBackend::scalar()),
+        Box::new(ApproximateBackend::new(ApproxConfig::none())),
+        Box::new(ApproximateBackend::conservative()),
+        Box::new(ApproximateBackend::aggressive()),
+        Box::new(QuantizedBackend::paper()),
+        Box::new(QuantizedBackend::paper_scalar()),
+    ]
+}
+
+/// One trace step: `kind` selects append (0) or update (1), `rows` carries the
+/// generated (key, value) row pairs (appends use all of them, updates use the
+/// first), and `select` picks the updated row index modulo the current size.
+type TraceOp = (u8, Vec<(Vec<f32>, Vec<f32>)>, u32);
+
+/// Strategy producing an initial memory, a random mutation trace over it, and
+/// a probe query: `n` in 2..10, `d` in 1..6, 1 to 5 trace steps of 1 to 3 rows.
+#[allow(clippy::type_complexity)]
+fn streaming_trace() -> impl Strategy<Value = (Matrix, Matrix, Vec<TraceOp>, Vec<f32>)> {
+    (2usize..10, 1usize..6).prop_flat_map(|(n, d)| {
+        (
+            prop::collection::vec(prop::collection::vec(-2.0f32..2.0, d..=d), n..=n),
+            prop::collection::vec(prop::collection::vec(-2.0f32..2.0, d..=d), n..=n),
+            prop::collection::vec(
+                (
+                    0u8..2,
+                    prop::collection::vec(
+                        (
+                            prop::collection::vec(-2.0f32..2.0, d..=d),
+                            prop::collection::vec(-2.0f32..2.0, d..=d),
+                        ),
+                        1..4,
+                    ),
+                    0u32..10_000,
+                ),
+                1..6,
+            ),
+            prop::collection::vec(-2.0f32..2.0, d..=d),
+        )
+            .prop_map(|(k, v, ops, q)| {
+                (
+                    Matrix::from_rows(k).unwrap(),
+                    Matrix::from_rows(v).unwrap(),
+                    ops,
+                    q,
+                )
+            })
+    })
+}
+
+/// Splits a trace step's row pairs into a (keys, values) matrix pair.
+fn rows_to_matrices(rows: &[(Vec<f32>, Vec<f32>)]) -> (Matrix, Matrix) {
+    let keys = Matrix::from_rows(rows.iter().map(|(k, _)| k.clone()).collect()).unwrap();
+    let values = Matrix::from_rows(rows.iter().map(|(_, v)| v.clone()).collect()).unwrap();
+    (keys, values)
+}
+
+proptest! {
+    /// Whole-memory contract: replaying any append/update trace through
+    /// [`ComputeBackend::append_rows`] / [`ComputeBackend::update_row`] leaves
+    /// the prepared memory attending bit-identically to a fresh
+    /// [`ComputeBackend::prepare`] of the final matrices, for every backend,
+    /// and the delta fingerprint chain lands on the from-scratch fingerprint.
+    #[test]
+    fn incremental_trace_matches_fresh_prepare((keys, values, ops, query) in streaming_trace()) {
+        for backend in all_backends() {
+            let mut memory = backend.prepare(&keys, &values).unwrap();
+            let mut fingerprint = memory_fingerprint(&keys, &values);
+            let mut mirror_keys: Vec<Vec<f32>> =
+                (0..keys.rows()).map(|r| keys.row(r).to_vec()).collect();
+            let mut mirror_values: Vec<Vec<f32>> =
+                (0..values.rows()).map(|r| values.row(r).to_vec()).collect();
+            for (kind, rows, select) in &ops {
+                if *kind == 0 {
+                    let (new_keys, new_values) = rows_to_matrices(rows);
+                    fingerprint = fingerprint_append(
+                        fingerprint,
+                        mirror_keys.len(),
+                        keys.dim(),
+                        &new_keys,
+                        &new_values,
+                    );
+                    backend.append_rows(&mut memory, &new_keys, &new_values).unwrap();
+                    for (k, v) in rows {
+                        mirror_keys.push(k.clone());
+                        mirror_values.push(v.clone());
+                    }
+                } else {
+                    let row = *select as usize % mirror_keys.len();
+                    let (key, value) = &rows[0];
+                    fingerprint = fingerprint_update(
+                        fingerprint,
+                        row,
+                        &mirror_keys[row],
+                        &mirror_values[row],
+                        key,
+                        value,
+                    );
+                    backend.update_row(&mut memory, row, key, value).unwrap();
+                    mirror_keys[row].clone_from(key);
+                    mirror_values[row].clone_from(value);
+                }
+            }
+            let final_keys = Matrix::from_rows(mirror_keys.clone()).unwrap();
+            let final_values = Matrix::from_rows(mirror_values.clone()).unwrap();
+            prop_assert_eq!(memory.n(), final_keys.rows());
+            prop_assert_eq!(memory.keys().as_slice(), final_keys.as_slice());
+            prop_assert_eq!(memory.values().as_slice(), final_values.as_slice());
+            prop_assert_eq!(fingerprint, memory_fingerprint(&final_keys, &final_values));
+            let fresh = backend.prepare(&final_keys, &final_values).unwrap();
+            prop_assert_eq!(
+                backend.attend_prepared(&memory, &query).unwrap(),
+                backend.attend_prepared(&fresh, &query).unwrap()
+            );
+        }
+    }
+
+    /// Sharded contract for 1 to 4 shards: replaying the trace through
+    /// [`ShardedMemory::append_rows_cached`] / [`ShardedMemory::update_row_cached`]
+    /// keeps every shard bit-identical to a fresh prepare of its own row range
+    /// (whatever layout the appends and rebalances produced), with per-shard
+    /// fingerprints that match the from-scratch fingerprints of the submatrices.
+    #[test]
+    fn sharded_trace_matches_fresh_prepare_per_shard(
+        (keys, values, ops, query) in streaming_trace(),
+        shards in 1usize..5,
+    ) {
+        for backend in [
+            Box::new(ExactBackend) as Box<dyn ComputeBackend>,
+            Box::new(ApproximateBackend::conservative()),
+            Box::new(QuantizedBackend::paper()),
+        ] {
+            let plan = ShardPlan::new(shards).unwrap();
+            let mut cache = MemoryCache::new(16);
+            let (mut sharded, _) =
+                ShardedMemory::prepare_cached(backend.as_ref(), plan, &mut cache, &keys, &values)
+                    .unwrap();
+            let mut mirror_keys: Vec<Vec<f32>> =
+                (0..keys.rows()).map(|r| keys.row(r).to_vec()).collect();
+            let mut mirror_values: Vec<Vec<f32>> =
+                (0..values.rows()).map(|r| values.row(r).to_vec()).collect();
+            for (kind, rows, select) in &ops {
+                if *kind == 0 {
+                    let (new_keys, new_values) = rows_to_matrices(rows);
+                    sharded
+                        .append_rows_cached(backend.as_ref(), &mut cache, &new_keys, &new_values)
+                        .unwrap();
+                    for (k, v) in rows {
+                        mirror_keys.push(k.clone());
+                        mirror_values.push(v.clone());
+                    }
+                } else {
+                    let row = *select as usize % mirror_keys.len();
+                    let (key, value) = &rows[0];
+                    sharded
+                        .update_row_cached(backend.as_ref(), &mut cache, row, key, value)
+                        .unwrap();
+                    mirror_keys[row].clone_from(key);
+                    mirror_values[row].clone_from(value);
+                }
+            }
+            prop_assert_eq!(sharded.n(), mirror_keys.len());
+            let covered: usize = sharded.shards().iter().map(|s| s.rows()).sum();
+            prop_assert_eq!(covered, mirror_keys.len());
+            for shard in sharded.shards() {
+                let sub_keys = Matrix::from_rows(
+                    mirror_keys[shard.start()..shard.end()].to_vec(),
+                ).unwrap();
+                let sub_values = Matrix::from_rows(
+                    mirror_values[shard.start()..shard.end()].to_vec(),
+                ).unwrap();
+                prop_assert_eq!(shard.fingerprint(), memory_fingerprint(&sub_keys, &sub_values));
+                let fresh = backend.prepare(&sub_keys, &sub_values).unwrap();
+                prop_assert_eq!(
+                    backend.attend_prepared(shard.memory(), &query).unwrap(),
+                    backend.attend_prepared(&fresh, &query).unwrap()
+                );
+            }
+        }
+    }
+}
+
+/// Regression pin for cache churn under a mutate/re-register loop: streaming
+/// appends keep the cache entry current (a cache *update*), so re-registering
+/// the grown memory is always a hit and the sorted preprocessing pass runs
+/// exactly once — the delta-fingerprint path does zero full re-prepares.
+#[test]
+fn mutate_reregister_churn_stays_on_the_delta_path() {
+    let d = 8;
+    let keys = Matrix::from_rows(
+        (0..12)
+            .map(|r| (0..d).map(|c| ((r * d + c) as f32).sin()).collect())
+            .collect(),
+    )
+    .unwrap();
+    let values = Matrix::from_rows(
+        (0..12)
+            .map(|r| (0..d).map(|c| ((r * d + c) as f32).cos()).collect())
+            .collect(),
+    )
+    .unwrap();
+    let sorts_before = preprocess_count();
+    let mut server = AttentionServer::with_cache_capacity(
+        Box::new(ApproximateBackend::conservative()),
+        BatchPolicy::per_request(),
+        4,
+    );
+    let session = server.register_memory(&keys, &values).unwrap();
+
+    let mut grown_keys: Vec<Vec<f32>> = (0..keys.rows()).map(|r| keys.row(r).to_vec()).collect();
+    let mut grown_values: Vec<Vec<f32>> =
+        (0..values.rows()).map(|r| values.row(r).to_vec()).collect();
+    for step in 0..5 {
+        let key: Vec<f32> = (0..d)
+            .map(|c| ((step * d + c) as f32 * 0.37).sin())
+            .collect();
+        let value: Vec<f32> = (0..d)
+            .map(|c| ((step * d + c) as f32 * 0.53).cos())
+            .collect();
+        let new_keys = Matrix::from_rows(vec![key.clone()]).unwrap();
+        let new_values = Matrix::from_rows(vec![value.clone()]).unwrap();
+        let mutation = server
+            .append_to_session(session, &new_keys, &new_values)
+            .unwrap();
+        assert_eq!(
+            mutation.full_reprepares, 0,
+            "streaming append fell back to a full re-prepare at step {step}"
+        );
+        grown_keys.push(key);
+        grown_values.push(value);
+
+        // Re-registering the grown memory must find the *updated* cache entry.
+        let gk = Matrix::from_rows(grown_keys.clone()).unwrap();
+        let gv = Matrix::from_rows(grown_values.clone()).unwrap();
+        let reregistered = server.register_memory(&gk, &gv).unwrap();
+        let handle = server.session(reregistered).unwrap();
+        assert!(
+            handle.reused_preparation(),
+            "re-registration missed the cache at step {step}"
+        );
+    }
+
+    // One initial miss, five re-registration hits, five in-place updates, and
+    // exactly one full sorted-preprocessing pass for the whole loop.
+    assert_eq!(server.cache().misses(), 1);
+    assert_eq!(server.cache().hits(), 5);
+    assert_eq!(server.cache().updates(), 5);
+    assert_eq!(
+        preprocess_count() - sorts_before,
+        1,
+        "churn loop should never re-run the full sorted prepare"
+    );
+}

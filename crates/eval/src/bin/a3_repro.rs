@@ -8,7 +8,7 @@
 //!
 //! where each `experiment` is one of `fig3`, `fig11`, `fig12`, `fig13`, `quant`,
 //! `fig14`, `fig15`, `table1`, `latency`, `ablation`, `backends`, `serving`, `sharding`,
-//! or `all` (the default). `--fast` uses reduced example counts (useful in debug
+//! `streaming`, or `all` (the default). `--fast` uses reduced example counts (useful in debug
 //! builds).
 
 use std::process::ExitCode;
@@ -17,8 +17,20 @@ use a3_eval::experiments::{self, accuracy, performance};
 use a3_eval::{EvalSettings, Table};
 
 const EXPERIMENTS: &[&str] = &[
-    "fig3", "fig11", "fig12", "fig13", "quant", "fig14", "fig15", "table1", "latency", "ablation",
-    "backends", "serving", "sharding",
+    "fig3",
+    "fig11",
+    "fig12",
+    "fig13",
+    "quant",
+    "fig14",
+    "fig15",
+    "table1",
+    "latency",
+    "ablation",
+    "backends",
+    "serving",
+    "sharding",
+    "streaming",
 ];
 
 fn print_tables(tables: Vec<Table>) {
@@ -42,6 +54,7 @@ fn run(name: &str, settings: &EvalSettings) -> bool {
         "backends" => print_tables(experiments::backend_comparison(settings)),
         "serving" => print_tables(experiments::serving(settings)),
         "sharding" => print_tables(experiments::sharding(settings)),
+        "streaming" => print_tables(experiments::streaming(settings)),
         other => {
             eprintln!("unknown experiment `{other}`; available: {EXPERIMENTS:?} or `all`");
             return false;

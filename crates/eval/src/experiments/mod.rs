@@ -8,6 +8,7 @@ pub mod latency;
 pub mod performance;
 pub mod serving;
 pub mod sharding;
+pub mod streaming;
 pub mod table1;
 
 pub use ablation::ablation;
@@ -16,6 +17,7 @@ pub use fig3::fig3;
 pub use latency::latency_model;
 pub use serving::serving;
 pub use sharding::sharding;
+pub use streaming::streaming;
 pub use table1::table1;
 
 use a3_workloads::bert::BertLite;

@@ -302,6 +302,7 @@ impl MultiUnit {
             throughput_ops_per_s: self.config.clock_hz / avg_throughput_cycles,
             avg_latency_s: avg_latency_cycles * self.config.clock_period_s(),
             preprocessing_cycles: model.preprocessing_cycles_for_ops(stats.missed_preprocess_ops),
+            incremental_prepare_cycles: 0,
             cache_hits: stats.hits,
             cache_misses: stats.misses,
             batches: 1,

@@ -134,6 +134,11 @@ pub struct SimReport {
     /// batch's memory missed the preprocessing cache (the sort/quantization actually
     /// ran); a warm batch pays zero.
     pub preprocessing_cycles: u64,
+    /// Host-side cycles spent on **incremental** prepare maintenance (streaming
+    /// appends/updates: sorted-column insertions, row re-quantizations) charged to
+    /// this batch. Kept distinct from [`SimReport::preprocessing_cycles`] so reports
+    /// show the amortized streaming cost next to the full-prepare cost it replaces.
+    pub incremental_prepare_cycles: u64,
     /// Preprocessing-cache hits recorded while serving this batch.
     pub cache_hits: u64,
     /// Preprocessing-cache misses recorded while serving this batch.
@@ -167,9 +172,10 @@ pub struct SimReport {
 
 impl SimReport {
     /// End-to-end cycles for the batch: accelerator drain plus any host-side
-    /// preprocessing this batch had to pay for (zero on a warm cache).
+    /// preprocessing — full (cache-miss) and incremental (streaming maintenance) —
+    /// this batch had to pay for (zero on a warm, unmutated cache).
     pub fn end_to_end_cycles(&self) -> u64 {
-        self.total_cycles + self.preprocessing_cycles
+        self.total_cycles + self.preprocessing_cycles + self.incremental_prepare_cycles
     }
 }
 
@@ -281,6 +287,15 @@ impl PipelineModel {
     /// Converts backend preprocessing work (element operations) into host-side cycles
     /// at the Section VI-C calibration rate.
     pub fn preprocessing_cycles_for_ops(&self, ops: u64) -> u64 {
+        ops.div_ceil(PREPROCESS_OPS_PER_CYCLE)
+    }
+
+    /// Converts incremental prepare-maintenance work (sorted-column insertions, row
+    /// re-quantizations; see [`a3_core::backend::IncrementalPrepareStats`]) into
+    /// host-side cycles. The element-operation rate is the same Section VI-C
+    /// calibration as full preprocessing — the win comes from the operation count
+    /// being `O(d log n)` per appended row instead of `O(d n log n)`.
+    pub fn incremental_prepare_cycles_for_ops(&self, ops: u64) -> u64 {
         ops.div_ceil(PREPROCESS_OPS_PER_CYCLE)
     }
 
@@ -447,6 +462,104 @@ impl PipelineModel {
         report
     }
 
+    /// Simulates a streaming decode loop over the configured backend: the memory
+    /// starts as (`keys`, `values`), and each step appends one row of
+    /// (`new_keys`, `new_values`) through the backend's incremental
+    /// [`ComputeBackend::append_rows`] before running one query of `queries` over
+    /// the grown memory.
+    ///
+    /// Cycle accounting separates the three host-side/accelerator costs:
+    /// the initial full prepare (a cache miss) lands in
+    /// [`SimReport::preprocessing_cycles`]; per-step incremental maintenance lands
+    /// in [`SimReport::incremental_prepare_cycles`] — unless a step fell back to a
+    /// full re-prepare, which is charged as full preprocessing; per-step query
+    /// costs aggregate exactly like a pre-formed batch. The cache entry is kept
+    /// current across steps via delta fingerprints ([`MemoryCache::take`] /
+    /// [`MemoryCache::insert_updated`]), so a later batch against the final grown
+    /// memory hits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grown problem does not fit the synthesized configuration,
+    /// `queries` does not provide exactly one query per appended row, or shapes
+    /// are inconsistent.
+    pub fn run_streaming_decode(
+        &self,
+        cache: &mut MemoryCache,
+        keys: &Matrix,
+        values: &Matrix,
+        new_keys: &Matrix,
+        new_values: &Matrix,
+        queries: &[Vec<f32>],
+    ) -> SimReport {
+        assert_eq!(
+            queries.len(),
+            new_keys.rows(),
+            "one query per appended row is required"
+        );
+        assert!(!queries.is_empty(), "at least one query is required");
+        self.config
+            .assert_fits(keys.rows() + new_keys.rows(), keys.dim());
+        let backend = self.backend();
+        let mut fingerprint = a3_core::backend::memory_fingerprint(keys, values);
+        let (prepared, hit) = cache
+            .get_or_prepare_with_fingerprint(backend.as_ref(), keys, values, fingerprint)
+            .expect("caller-provided shapes must be consistent");
+        let mut report_preprocessing = 0u64;
+        let mut cache_hits = 0u64;
+        let mut cache_misses = 0u64;
+        if hit {
+            cache_hits = 1;
+        } else {
+            cache_misses = 1;
+            report_preprocessing = self.preprocessing_cycles_for_ops(prepared.preprocess_ops());
+        }
+        // Own the prepared memory for in-place growth; the cache's clone is taken
+        // out so the mutation never leaves a stale entry behind.
+        let mut memory = cache
+            .take(&backend.name(), fingerprint)
+            .map_or_else(|| (*prepared).clone(), |arc| (*arc).clone());
+        drop(prepared);
+
+        let mut incremental_cycles = 0u64;
+        let mut costs = Vec::with_capacity(queries.len());
+        for (step, query) in queries.iter().enumerate() {
+            let row_keys = Matrix::from_rows(vec![new_keys.row(step).to_vec()])
+                .expect("caller-provided shapes must be consistent");
+            let row_values = Matrix::from_rows(vec![new_values.row(step).to_vec()])
+                .expect("caller-provided shapes must be consistent");
+            let old_rows = memory.n();
+            let stats = backend
+                .append_rows(&mut memory, &row_keys, &row_values)
+                .expect("caller-provided shapes must be consistent");
+            fingerprint = a3_core::backend::fingerprint_append(
+                fingerprint,
+                old_rows,
+                keys.dim(),
+                &row_keys,
+                &row_values,
+            );
+            if stats.full_reprepare {
+                report_preprocessing += self.preprocessing_cycles_for_ops(stats.incremental_ops);
+            } else {
+                incremental_cycles +=
+                    self.incremental_prepare_cycles_for_ops(stats.incremental_ops);
+            }
+            let profile = backend
+                .profile(&memory, query)
+                .expect("caller-provided shapes must be consistent");
+            costs.push(self.profile_cost(memory.n(), profile));
+        }
+        cache.insert_updated(&backend.name(), fingerprint, std::sync::Arc::new(memory));
+
+        let mut report = self.aggregate(&costs);
+        report.preprocessing_cycles = report_preprocessing;
+        report.incremental_prepare_cycles = incremental_cycles;
+        report.cache_hits = cache_hits;
+        report.cache_misses = cache_misses;
+        report
+    }
+
     /// Aggregates per-query costs into a batch report: the batch drains in
     /// `latency(first) + Σ throughput(rest)` cycles (queries enter the pipeline back to
     /// back). Latency percentiles (p50/p95/p99, nearest-rank) are computed over the
@@ -479,6 +592,7 @@ impl PipelineModel {
             throughput_ops_per_s: self.config.clock_hz / avg_throughput_cycles,
             avg_latency_s: avg_latency_cycles * self.config.clock_period_s(),
             preprocessing_cycles: 0,
+            incremental_prepare_cycles: 0,
             cache_hits: 0,
             cache_misses: 0,
             batches: 1,
@@ -747,6 +861,61 @@ mod tests {
         let single = m.aggregate(&[m.base_query_cost(20)]);
         assert_eq!(single.p50_latency_cycles, 87);
         assert_eq!(single.p99_latency_cycles, 87);
+    }
+
+    #[test]
+    fn streaming_decode_charges_incremental_cycles_distinctly() {
+        for config in [A3Config::paper_conservative(), A3Config::paper_base()] {
+            let m = PipelineModel::new(config);
+            let (keys, values, queries) = skewed_memory(120, 64);
+            let (extra, _, _) = skewed_memory(128, 64);
+            let new_keys = Matrix::from_rows(
+                (120..124)
+                    .map(|i| extra.row(i).to_vec())
+                    .collect::<Vec<_>>(),
+            )
+            .unwrap();
+            let new_values = new_keys.clone();
+            let mut cache = a3_core::backend::MemoryCache::new(4);
+            let step_queries: Vec<Vec<f32>> = (0..4).map(|i| queries[i].clone()).collect();
+            let report = m.run_streaming_decode(
+                &mut cache,
+                &keys,
+                &values,
+                &new_keys,
+                &new_values,
+                &step_queries,
+            );
+            assert_eq!(report.queries, 4);
+            assert_eq!(report.cache_misses, 1, "initial prepare is a cold miss");
+            assert!(report.preprocessing_cycles > 0);
+            assert!(
+                report.incremental_prepare_cycles > 0,
+                "streaming appends must charge incremental maintenance"
+            );
+            assert!(
+                report.incremental_prepare_cycles < report.preprocessing_cycles,
+                "incremental maintenance ({}) must be cheaper than the full prepare ({})",
+                report.incremental_prepare_cycles,
+                report.preprocessing_cycles
+            );
+            assert_eq!(
+                report.end_to_end_cycles(),
+                report.total_cycles
+                    + report.preprocessing_cycles
+                    + report.incremental_prepare_cycles
+            );
+
+            // The cache entry followed the growth: a batch over the final grown
+            // memory hits without re-preparing.
+            let mut grown_keys = keys.clone();
+            grown_keys.append_rows(&new_keys).unwrap();
+            let mut grown_values = values.clone();
+            grown_values.append_rows(&new_values).unwrap();
+            let warm = m.run_batch_cached(&mut cache, &grown_keys, &grown_values, &step_queries);
+            assert_eq!((warm.cache_hits, warm.cache_misses), (1, 0));
+            assert_eq!(warm.preprocessing_cycles, 0);
+        }
     }
 
     #[test]

@@ -331,6 +331,7 @@ impl ServerSim {
             throughput_ops_per_s: config.clock_hz * queries as f64 / makespan as f64,
             avg_latency_s: avg_latency_cycles * config.clock_period_s(),
             preprocessing_cycles,
+            incremental_prepare_cycles: 0,
             cache_hits,
             cache_misses,
             batches,
@@ -362,6 +363,7 @@ impl ServerSim {
             throughput_ops_per_s: 0.0,
             avg_latency_s: 0.0,
             preprocessing_cycles: 0,
+            incremental_prepare_cycles: 0,
             cache_hits: 0,
             cache_misses: 0,
             batches: 0,

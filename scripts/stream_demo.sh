@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Runs the streaming-decode demo end-to-end: builds the workspace and replays a
+# chat-style growing context (examples/streaming_decode.rs) — a 288-row session
+# streams 32 more tokens with one query each, served through the incremental
+# append path, checking bit-identity against a fresh prepare of the grown
+# memory and printing the cycle-model comparison against rebuild-per-token.
+#
+# Usage: scripts/stream_demo.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cargo run --release --example streaming_decode "$@"
