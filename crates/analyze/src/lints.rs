@@ -420,6 +420,26 @@ mod tests {
     }
 
     #[test]
+    fn hotpath_covers_the_tenancy_modules() {
+        // The multi-tenant serving layer (token-bucket admission, sharded
+        // session registry, builder config) is on the submit/flush hot path and
+        // must stay panic-free like the rest of `serve/`.
+        let bad = "pub fn admit() {\n    let t = buckets.get(&id).unwrap();\n}\n";
+        for file in [
+            "crates/core/src/serve/tenant.rs",
+            "crates/core/src/serve/registry.rs",
+            "crates/core/src/serve/config.rs",
+            "crates/core/src/serve/scheduler.rs",
+        ] {
+            assert_eq!(
+                lint_source("hotpath-no-panic", file, bad).len(),
+                1,
+                "{file} must be hot-path covered"
+            );
+        }
+    }
+
+    #[test]
     fn seeded_hotpath_indexing_fires_but_tests_are_exempt() {
         let bad = "pub fn serve(xs: &[f32]) -> f32 {\n    xs[0]\n}\n";
         let findings = lint_source("hotpath-no-panic", "crates/core/src/backend/mod.rs", bad);

@@ -16,7 +16,7 @@
 
 use a3_bench::skewed_memory;
 use a3_core::backend::{ApproximateBackend, MemoryCache};
-use a3_core::serve::{AttentionServer, BatchPolicy, Request};
+use a3_core::serve::{AttentionServer, BatchPolicy, MemoryConfig, Request};
 use a3_sim::{A3Config, PipelineModel, ServerSim, TraceRequest};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
@@ -84,9 +84,11 @@ fn bench_dynamic_batching(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("window", window), &policy, |b, &policy| {
             b.iter(|| {
                 let mut server =
-                    AttentionServer::new(Box::new(ApproximateBackend::conservative()), policy);
+                    AttentionServer::builder(Box::new(ApproximateBackend::conservative()))
+                        .batch_policy(policy)
+                        .build();
                 let session = server
-                    .register_memory(black_box(&keys), black_box(&values))
+                    .register(MemoryConfig::new(black_box(&keys), black_box(&values)))
                     .expect("valid shapes");
                 let mut completed = 0usize;
                 for (i, q) in queries.iter().enumerate() {

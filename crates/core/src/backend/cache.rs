@@ -1,4 +1,5 @@
-//! LRU cache of prepared memories, keyed by memory identity.
+//! Cache of prepared memories, keyed by memory identity, with pluggable
+//! admission/eviction policies (LRU and cost-aware).
 //!
 //! Serving workloads issue many batches against a small working set of key/value
 //! memories (one per passage/knowledge base/sequence). The preprocessing a backend
@@ -6,6 +7,17 @@
 //! the memory's content fingerprint lets every batch after the first skip it entirely
 //! — the software analogue of the sorted-key SRAM staying resident across queries in
 //! the hardware (paper Section IV-C).
+//!
+//! Prepare cost differs by orders of magnitude across backends and memory sizes
+//! (an exact prepare is a copy; a sorted/quantized prepare is `O(n·d·log n)` work),
+//! so under a skewed multi-tenant working set plain recency is the wrong eviction
+//! signal: it happily evicts an expensive, popular preparation to keep a cheap
+//! one-off. [`CacheAdmission::CostAware`] weighs prepare cost against popularity
+//! with the Greedy-Dual-Size-Frequency rule: each entry carries a retention
+//! priority `L + frequency · cost` (cost = [`PreparedMemory::preprocess_ops`]),
+//! eviction removes the minimum-priority entry, and the cache's inflation value
+//! `L` rises to the evicted priority so long-resident entries age out rather than
+//! squatting forever.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -18,13 +30,33 @@ use super::{memory_fingerprint, ComputeBackend, PreparedMemory};
 /// backends — prepare different state) plus the memory's content fingerprint.
 type CacheKey = (String, u64);
 
+/// Which entry a full [`MemoryCache`] sacrifices to admit a new preparation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum CacheAdmission {
+    /// Evict the least recently used entry, regardless of how expensive it was
+    /// to prepare. The historical default.
+    #[default]
+    Lru,
+    /// Greedy-Dual-Size-Frequency: evict the entry with the smallest
+    /// `L + frequency · prepare_cost` priority, so popular *and* expensive
+    /// preparations outlive cheap or cold ones. Recency breaks ties.
+    CostAware,
+}
+
 #[derive(Debug, Clone)]
 struct CacheEntry {
     memory: Arc<PreparedMemory>,
     last_used: u64,
+    /// Lookups served by this entry since admission (1 at admission).
+    frequency: u64,
+    /// Preprocessing operations a re-prepare would cost (at least 1).
+    cost: u64,
+    /// Greedy-dual retention priority (`L + frequency · cost` at last touch).
+    priority: u64,
 }
 
-/// A bounded LRU cache of [`PreparedMemory`] values.
+/// A bounded cache of [`PreparedMemory`] values with a configurable eviction
+/// policy ([`CacheAdmission`]; plain LRU by default).
 ///
 /// Entries are shared via [`Arc`], so a caller can keep serving a prepared memory
 /// after it has been evicted. Hit/miss counters make cache effectiveness observable
@@ -45,29 +77,44 @@ struct CacheEntry {
 #[derive(Debug, Clone)]
 pub struct MemoryCache {
     capacity: usize,
+    admission: CacheAdmission,
     entries: HashMap<CacheKey, CacheEntry>,
     clock: u64,
+    /// Greedy-dual inflation value: rises to each evicted entry's priority.
+    inflation: u64,
     hits: u64,
     misses: u64,
     updates: u64,
 }
 
 impl MemoryCache {
-    /// Creates a cache holding at most `capacity` prepared memories.
+    /// Creates an LRU cache holding at most `capacity` prepared memories.
     ///
     /// A capacity of 0 is a **pass-through cache**: every lookup runs the backend's
     /// preprocessing, nothing is ever stored, and the hit counter stays at zero. The
     /// simulator uses this to model per-request (uncached) serving with the same code
     /// path as cached serving.
     pub fn new(capacity: usize) -> Self {
+        Self::with_admission(capacity, CacheAdmission::Lru)
+    }
+
+    /// Creates a cache with an explicit admission/eviction policy.
+    pub fn with_admission(capacity: usize, admission: CacheAdmission) -> Self {
         Self {
             capacity,
+            admission,
             entries: HashMap::new(),
             clock: 0,
+            inflation: 0,
             hits: 0,
             misses: 0,
             updates: 0,
         }
+    }
+
+    /// The admission/eviction policy in force.
+    pub fn admission(&self) -> CacheAdmission {
+        self.admission
     }
 
     /// Returns the prepared memory for (`keys`, `values`) under `backend`, preparing
@@ -106,8 +153,11 @@ impl MemoryCache {
     ) -> Result<(Arc<PreparedMemory>, bool), AttentionError> {
         let key = (backend.name(), fingerprint);
         self.clock += 1;
+        let inflation = self.inflation;
         if let Some(entry) = self.entries.get_mut(&key) {
             entry.last_used = self.clock;
+            entry.frequency = entry.frequency.saturating_add(1);
+            entry.priority = inflation.saturating_add(entry.frequency.saturating_mul(entry.cost));
             self.hits += 1;
             return Ok((Arc::clone(&entry.memory), true));
         }
@@ -118,13 +168,17 @@ impl MemoryCache {
             return Ok((memory, false));
         }
         if self.entries.len() >= self.capacity {
-            self.evict_lru();
+            self.evict_one();
         }
+        let cost = memory.preprocess_ops().max(1);
         self.entries.insert(
             key,
             CacheEntry {
                 memory: Arc::clone(&memory),
                 last_used: self.clock,
+                frequency: 1,
+                cost,
+                priority: self.inflation.saturating_add(cost),
             },
         );
         Ok((memory, false))
@@ -163,25 +217,44 @@ impl MemoryCache {
         self.clock += 1;
         let key = (backend_name.to_owned(), fingerprint);
         if !self.entries.contains_key(&key) && self.entries.len() >= self.capacity {
-            self.evict_lru();
+            self.evict_one();
         }
+        let cost = memory.preprocess_ops().max(1);
         self.entries.insert(
             key,
             CacheEntry {
                 memory,
                 last_used: self.clock,
+                frequency: 1,
+                cost,
+                priority: self.inflation.saturating_add(cost),
             },
         );
     }
 
-    fn evict_lru(&mut self) {
-        if let Some(key) = self
-            .entries
-            .iter()
-            .min_by_key(|(_, e)| e.last_used)
-            .map(|(k, _)| k.clone())
-        {
+    /// Evicts one entry under the configured [`CacheAdmission`] policy. Both
+    /// policies tie-break on `last_used` (unique per touch), so eviction is
+    /// deterministic despite the hash map's iteration order.
+    fn evict_one(&mut self) {
+        let victim = match self.admission {
+            CacheAdmission::Lru => self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, e)| (k.clone(), e.priority)),
+            CacheAdmission::CostAware => self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| (e.priority, e.last_used))
+                .map(|(k, e)| (k.clone(), e.priority)),
+        };
+        if let Some((key, priority)) = victim {
             self.entries.remove(&key);
+            if self.admission == CacheAdmission::CostAware {
+                // Greedy-dual aging: future admissions start at the evicted
+                // priority, so resident entries must keep earning hits to stay.
+                self.inflation = self.inflation.max(priority);
+            }
         }
     }
 
@@ -219,6 +292,7 @@ impl MemoryCache {
     pub fn clear(&mut self) {
         self.entries.clear();
         self.clock = 0;
+        self.inflation = 0;
         self.hits = 0;
         self.misses = 0;
         self.updates = 0;
@@ -421,6 +495,77 @@ mod tests {
         // The re-inserted entry is found under the new fingerprint only.
         assert!(cache.take(&backend.name(), fingerprint).is_none());
         assert!(cache.take(&backend.name(), fingerprint + 1).is_some());
+    }
+
+    fn sized_memory(tag: f32, n: usize, d: usize) -> (Matrix, Matrix) {
+        let rows: Vec<Vec<f32>> = (0..n)
+            .map(|i| {
+                (0..d)
+                    .map(|j| tag + ((i * d + j) % 31) as f32 * 0.03)
+                    .collect()
+            })
+            .collect();
+        let keys = Matrix::from_rows(rows).unwrap();
+        let values = keys.clone();
+        (keys, values)
+    }
+
+    #[test]
+    fn cost_aware_keeps_the_expensive_popular_entry_where_lru_drops_it() {
+        // One expensive preparation (large sorted memory) that is touched often,
+        // plus a stream of cheap one-off memories. LRU evicts the expensive
+        // entry as soon as two cheap ones follow; cost-aware retains it.
+        let backend = ApproximateBackend::conservative();
+        let (big_k, big_v) = sized_memory(0.0, 64, 8);
+        let cheap: Vec<(Matrix, Matrix)> =
+            (0..3).map(|i| sized_memory(1.0 + i as f32, 4, 8)).collect();
+
+        for admission in [CacheAdmission::Lru, CacheAdmission::CostAware] {
+            let mut cache = MemoryCache::with_admission(2, admission);
+            assert_eq!(cache.admission(), admission);
+            cache.get_or_prepare(&backend, &big_k, &big_v).unwrap();
+            // Three hits establish the entry's popularity.
+            for _ in 0..3 {
+                let (_, hit) = cache.get_or_prepare(&backend, &big_k, &big_v).unwrap();
+                assert!(hit);
+            }
+            for (k, v) in &cheap {
+                cache.get_or_prepare(&backend, k, v).unwrap();
+            }
+            let (_, hit) = cache.get_or_prepare(&backend, &big_k, &big_v).unwrap();
+            match admission {
+                CacheAdmission::Lru => assert!(
+                    !hit,
+                    "LRU must have evicted the expensive entry behind the cheap stream"
+                ),
+                CacheAdmission::CostAware => assert!(
+                    hit,
+                    "cost-aware admission must retain the expensive popular entry"
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn cost_aware_inflation_ages_out_stale_expensive_entries() {
+        // Greedy-dual aging: an expensive entry that stops earning hits must
+        // eventually yield to a cheap entry that keeps getting referenced.
+        let backend = ApproximateBackend::conservative();
+        let (big_k, big_v) = sized_memory(0.0, 64, 8);
+        let (warm_k, warm_v) = sized_memory(9.0, 4, 8);
+        let mut cache = MemoryCache::with_admission(1, CacheAdmission::CostAware);
+        cache.get_or_prepare(&backend, &big_k, &big_v).unwrap();
+        // The cheap memory misses, evicting big (the only entry) and raising L
+        // to big's priority; from then on big has no seniority advantage.
+        cache.get_or_prepare(&backend, &warm_k, &warm_v).unwrap();
+        let (_, hit) = cache.get_or_prepare(&backend, &warm_k, &warm_v).unwrap();
+        assert!(hit, "after aging, the cheap busy entry must be resident");
+    }
+
+    #[test]
+    fn default_admission_is_lru() {
+        assert_eq!(MemoryCache::new(4).admission(), CacheAdmission::Lru);
+        assert_eq!(MemoryCache::default().admission(), CacheAdmission::Lru);
     }
 
     #[test]

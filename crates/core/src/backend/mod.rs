@@ -52,7 +52,7 @@ pub mod quantized_simd;
 mod shard;
 pub mod simd;
 
-pub use cache::MemoryCache;
+pub use cache::{CacheAdmission, MemoryCache};
 pub use shard::{
     merge_partial_softmax, MemoryShard, ShardMutationStats, ShardPlan, ShardPrepareStats,
     ShardedMemory,

@@ -121,6 +121,17 @@ pub enum ServeError {
         /// The raw session id carried by the offending request.
         session: u64,
     },
+    /// A registration referenced a tenant id the server never registered.
+    UnknownTenant {
+        /// The raw tenant id carried by the offending registration.
+        tenant: u64,
+    },
+    /// A request was rejected by its tenant's token-bucket admission control
+    /// (the tenant is offering load above its contracted rate).
+    Throttled {
+        /// The raw id of the over-rate tenant.
+        tenant: u64,
+    },
     /// A scheduling parameter is out of its valid range.
     InvalidPolicy {
         /// Name of the parameter.
@@ -137,6 +148,15 @@ impl fmt::Display for ServeError {
         match self {
             ServeError::UnknownSession { session } => {
                 write!(f, "request references unknown session {session}")
+            }
+            ServeError::UnknownTenant { tenant } => {
+                write!(f, "registration references unknown tenant {tenant}")
+            }
+            ServeError::Throttled { tenant } => {
+                write!(
+                    f,
+                    "request throttled: tenant {tenant} is over its admission rate"
+                )
             }
             ServeError::InvalidPolicy { name, constraint } => {
                 write!(f, "invalid scheduling policy {name}: {constraint}")
@@ -246,5 +266,14 @@ mod tests {
             constraint: "must be at least 1",
         };
         assert!(policy.to_string().contains("max_batch"));
+
+        let tenant = ServeError::UnknownTenant { tenant: 5 };
+        assert!(tenant.to_string().contains("5"));
+        assert!(tenant.source().is_none());
+
+        let throttled = ServeError::Throttled { tenant: 9 };
+        assert!(throttled.to_string().contains("9"));
+        assert!(throttled.to_string().contains("throttled"));
+        assert!(throttled.source().is_none());
     }
 }

@@ -1,31 +1,40 @@
-//! Request-oriented serving front-end: sessions, dynamic batching, deadline-aware
-//! scheduling.
+//! Request-oriented serving front-end: tenants, sessions, dynamic batching,
+//! deadline-aware weighted-fair scheduling.
 //!
 //! The [`backend`](crate::backend) layer amortizes A3's query-independent
 //! preprocessing across *pre-assembled* batches — but production attention serving is
-//! request-driven: queries arrive one at a time, for many memories, and the system
-//! must form the batches itself (the regime where approximation accelerators pay off,
-//! paper Section IV-C). This module redesigns the public serving surface around that
-//! reality:
+//! request-driven: queries arrive one at a time, for many memories, from many traffic
+//! classes, and the system must form the batches itself (the regime where
+//! approximation accelerators pay off, paper Section IV-C). This module organizes the
+//! public serving surface around three nested concepts:
 //!
-//! * [`AttentionServer::register_memory`] runs a backend's preprocessing over a
-//!   key/value memory (through a [`MemoryCache`], so re-registering a known memory is
-//!   free) and issues a [`SessionId`]; the resulting [`SessionHandle`] owns the
+//! * **Tenants** ([`TenantId`]) are isolation domains — products, customers, traffic
+//!   classes. Each carries a [`TenantConfig`]: a [`Priority`] class that maps to a
+//!   weighted-fair-queueing weight, and an optional [`RateLimit`] enforced by an
+//!   exact integer [`TokenBucket`] at submission time. The default tenant always
+//!   exists, so single-tenant callers never touch this layer.
+//! * **Sessions** ([`SessionId`]) are registered memories.
+//!   [`AttentionServer::register`] takes a [`MemoryConfig`] (keys/values, optional
+//!   row-sharding, owning tenant), runs the backend's preprocessing through a
+//!   [`MemoryCache`] — so re-registering a known memory is free, and under
+//!   [`crate::backend::CacheAdmission::CostAware`] expensive popular preparations
+//!   outlive cheap one-offs — and issues an id. The [`SessionHandle`] owns the
 //!   [`PreparedMemory`] for the session's lifetime, like the accelerator's resident
-//!   SRAM copies. [`AttentionServer::register_memory_sharded`] splits a memory too
-//!   large for one unit row-wise across shards ([`ShardedMemory`], each shard cached
-//!   under its own fingerprint); batches against such a session execute per shard and
-//!   merge.
-//! * [`AttentionServer::submit`] accepts single-query [`Request`]s tagged with a
-//!   session, an arrival tick and an optional deadline.
-//! * A [`Scheduler`] forms dynamic batches per session — flushing when a batch fills
-//!   ([`BatchPolicy::max_batch`]), when the batch window expires
-//!   ([`BatchPolicy::batch_window`]), or when a request's deadline would otherwise be
-//!   missed, whichever comes first.
-//! * [`AttentionServer::poll`] executes every due batch through the server's
-//!   [`ComputeBackend`] via the prepared batch path. Results are **bit-identical** to
-//!   calling [`ComputeBackend::attend_prepared`] once per query: batching is a pure
-//!   scheduling decision, never a numerics decision.
+//!   SRAM copies; handles live in a hash-sharded [`SessionRegistry`] sized for very
+//!   large session counts.
+//! * **Requests** ([`Request`]) are single queries tagged with a session, an arrival
+//!   tick and an optional deadline, accepted by [`AttentionServer::submit`] (after
+//!   the tenant's token bucket admits them) and batched by a [`Scheduler`] — flushing
+//!   when a batch fills ([`BatchPolicy::max_batch`]), when the batch window expires
+//!   ([`BatchPolicy::batch_window`]), or when a queued deadline would otherwise be
+//!   missed. When several tenants hold due batches, flush order is weighted-fair
+//!   across tenant lanes, so high-priority batches drain first without starving
+//!   background traffic.
+//!
+//! [`AttentionServer::poll`] executes every due batch through the server's
+//! [`ComputeBackend`] via the prepared batch path. Results are **bit-identical** to
+//! calling [`ComputeBackend::attend_prepared`] once per query: batching, admission
+//! and fairness are pure scheduling decisions, never numerics decisions.
 //!
 //! Time is a logical [`Tick`] counter supplied by the caller, which makes every
 //! schedule deterministic and lets `a3-sim`'s discrete-event model replay the same
@@ -33,15 +42,14 @@
 //!
 //! ```
 //! use a3_core::backend::ApproximateBackend;
-//! use a3_core::serve::{AttentionServer, BatchPolicy, Request};
+//! use a3_core::serve::{AttentionServer, BatchPolicy, MemoryConfig, Request};
 //! use a3_core::Matrix;
 //!
 //! let keys = Matrix::from_rows(vec![vec![1.0, 0.0], vec![-1.0, 0.5], vec![0.9, 0.1]]).unwrap();
-//! let mut server = AttentionServer::new(
-//!     Box::new(ApproximateBackend::conservative()),
-//!     BatchPolicy::new(2, 100).unwrap(),
-//! );
-//! let session = server.register_memory(&keys, &keys).unwrap();
+//! let mut server = AttentionServer::builder(Box::new(ApproximateBackend::conservative()))
+//!     .batch_policy(BatchPolicy::new(2, 100).unwrap())
+//!     .build();
+//! let session = server.register(MemoryConfig::new(&keys, &keys)).unwrap();
 //!
 //! // Two requests fill a batch; the second submission makes it due immediately.
 //! server.submit(Request::new(session, vec![1.0, 0.0], 10)).unwrap();
@@ -52,9 +60,15 @@
 //! assert!(!completed[0].responses[1].missed_deadline());
 //! ```
 
+mod config;
+mod registry;
 mod scheduler;
+mod tenant;
 
+pub use config::{MemoryConfig, ServerBuilder};
+pub use registry::{SessionRegistry, DEFAULT_REGISTRY_SHARDS};
 pub use scheduler::{BatchPolicy, FlushReason, FormedBatch, QueuedRequest, Scheduler};
+pub use tenant::{Priority, RateLimit, TenantConfig, TenantId, TenantStats, TokenBucket};
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -75,7 +89,7 @@ pub struct SessionId(u64);
 impl SessionId {
     /// Builds a session id from its raw value. Intended for trace tooling and the
     /// simulator; within one server, only ids issued by
-    /// [`AttentionServer::register_memory`] resolve.
+    /// [`AttentionServer::register`] resolve.
     pub fn from_raw(raw: u64) -> Self {
         Self(raw)
     }
@@ -203,11 +217,13 @@ impl SessionMemory {
     }
 }
 
-/// A registered memory: the session id plus the backend's preprocessing of the
-/// key/value matrices (whole or sharded), held for the session's lifetime.
+/// A registered memory: the session id, the owning tenant, plus the backend's
+/// preprocessing of the key/value matrices (whole or sharded), held for the
+/// session's lifetime.
 #[derive(Debug, Clone)]
 pub struct SessionHandle {
     id: SessionId,
+    tenant: TenantId,
     memory: SessionMemory,
     fingerprint: u64,
     reused_preparation: bool,
@@ -217,6 +233,12 @@ impl SessionHandle {
     /// The session id.
     pub fn id(&self) -> SessionId {
         self.id
+    }
+
+    /// The tenant this session belongs to ([`TenantId::DEFAULT`] unless the
+    /// registration's [`MemoryConfig::tenant`] said otherwise).
+    pub fn tenant(&self) -> TenantId {
+        self.tenant
     }
 
     /// The prepared state serving this session.
@@ -307,6 +329,8 @@ pub struct CompletedBatch {
 pub struct ServerStats {
     /// Requests accepted by [`AttentionServer::submit`].
     pub submitted: u64,
+    /// Requests rejected by a tenant's token-bucket admission control.
+    pub throttled: u64,
     /// Requests completed (responses returned).
     pub completed: u64,
     /// Batches executed.
@@ -328,14 +352,26 @@ impl ServerStats {
     }
 }
 
-/// A request-oriented attention server: registered memories, a dynamic-batching
+/// One tenant's runtime state: configuration, its live token bucket, and
+/// lifetime counters.
+#[derive(Debug, Clone)]
+struct TenantRuntime {
+    config: TenantConfig,
+    bucket: Option<TokenBucket>,
+    stats: TenantStats,
+}
+
+/// A request-oriented attention server: tenants, registered memories in a
+/// hash-sharded [`SessionRegistry`], a weighted-fair dynamic-batching
 /// [`Scheduler`], and one [`ComputeBackend`] executing the batches it forms.
 ///
-/// See the [module documentation](self) for the full request flow.
+/// Construct via [`AttentionServer::builder`]. See the
+/// [module documentation](self) for the full request flow.
 pub struct AttentionServer {
     backend: Box<dyn ComputeBackend>,
     cache: MemoryCache,
-    sessions: BTreeMap<SessionId, SessionHandle>,
+    sessions: SessionRegistry,
+    tenants: BTreeMap<TenantId, TenantRuntime>,
     scheduler: Scheduler,
     next_session: u64,
     next_request: u64,
@@ -347,6 +383,7 @@ impl fmt::Debug for AttentionServer {
         f.debug_struct("AttentionServer")
             .field("backend", &self.backend.name())
             .field("policy", &self.scheduler.policy())
+            .field("tenants", &self.tenants.len())
             .field("sessions", &self.sessions.len())
             .field("pending", &self.scheduler.pending())
             .field("stats", &self.stats)
@@ -355,27 +392,56 @@ impl fmt::Debug for AttentionServer {
 }
 
 impl AttentionServer {
+    /// Starts building a server around `backend`. All other knobs (batch policy,
+    /// cache capacity and admission, registry sharding, tenants) have defaults —
+    /// see [`ServerBuilder`].
+    pub fn builder(backend: Box<dyn ComputeBackend>) -> ServerBuilder {
+        ServerBuilder::new(backend)
+    }
+
     /// Creates a server with a default-capacity [`MemoryCache`].
+    #[deprecated(note = "use `AttentionServer::builder(backend).batch_policy(policy).build()`")]
     pub fn new(backend: Box<dyn ComputeBackend>, policy: BatchPolicy) -> Self {
-        Self::with_cache_capacity(backend, policy, MemoryCache::default().capacity())
+        Self::builder(backend).batch_policy(policy).build()
     }
 
     /// Creates a server whose preprocessing cache holds at most `cache_capacity`
     /// prepared memories (0 disables reuse across re-registrations).
+    #[deprecated(
+        note = "use `AttentionServer::builder(backend).batch_policy(policy).cache_capacity(n).build()`"
+    )]
     pub fn with_cache_capacity(
         backend: Box<dyn ComputeBackend>,
         policy: BatchPolicy,
         cache_capacity: usize,
     ) -> Self {
-        Self {
+        Self::builder(backend)
+            .batch_policy(policy)
+            .cache_capacity(cache_capacity)
+            .build()
+    }
+
+    /// Assembles a server from already-built parts ([`ServerBuilder::build`]'s
+    /// back half). The default tenant is registered before the server is handed
+    /// out, so it always exists.
+    pub(crate) fn from_parts(
+        backend: Box<dyn ComputeBackend>,
+        policy: BatchPolicy,
+        cache: MemoryCache,
+        registry_shards: usize,
+    ) -> Self {
+        let mut server = Self {
             backend,
-            cache: MemoryCache::new(cache_capacity),
-            sessions: BTreeMap::new(),
+            cache,
+            sessions: SessionRegistry::new(registry_shards),
+            tenants: BTreeMap::new(),
             scheduler: Scheduler::new(policy),
             next_session: 0,
             next_request: 0,
             stats: ServerStats::default(),
-        }
+        };
+        server.register_tenant(TenantId::DEFAULT, TenantConfig::default());
+        server
     }
 
     /// The backend executing this server's batches.
@@ -393,82 +459,139 @@ impl AttentionServer {
         &self.cache
     }
 
+    /// The session registry (shard layout included).
+    pub fn registry(&self) -> &SessionRegistry {
+        &self.sessions
+    }
+
     /// Lifetime counters.
     pub fn stats(&self) -> ServerStats {
         self.stats
     }
 
+    /// Registers (or reconfigures) a tenant: its priority class feeds the
+    /// scheduler's weighted-fair lane, its optional rate limit arms a token
+    /// bucket that admits or throttles every future submission for the tenant's
+    /// sessions. Reconfiguring an existing tenant resets its bucket but keeps
+    /// its lifetime counters.
+    pub fn register_tenant(&mut self, id: TenantId, config: TenantConfig) {
+        self.scheduler
+            .set_tenant_weight(id, config.priority().weight());
+        let bucket = config.rate_limit().map(|limit| TokenBucket::new(limit, 0));
+        self.tenants
+            .entry(id)
+            .and_modify(|runtime| {
+                runtime.config = config;
+                runtime.bucket = bucket;
+            })
+            .or_insert(TenantRuntime {
+                config,
+                bucket,
+                stats: TenantStats::default(),
+            });
+    }
+
+    /// A tenant's configuration, if registered.
+    pub fn tenant_config(&self, id: TenantId) -> Option<TenantConfig> {
+        self.tenants.get(&id).map(|runtime| runtime.config)
+    }
+
+    /// A tenant's lifetime admission/completion counters, if registered.
+    pub fn tenant_stats(&self, id: TenantId) -> Option<TenantStats> {
+        self.tenants.get(&id).map(|runtime| runtime.stats)
+    }
+
+    /// Iterates over every registered tenant in id order.
+    pub fn tenants(&self) -> impl Iterator<Item = (TenantId, TenantConfig)> + '_ {
+        self.tenants
+            .iter()
+            .map(|(&id, runtime)| (id, runtime.config))
+    }
+
+    /// Registers a memory described by `config` and opens a session serving it:
+    /// the backend's query-independent preprocessing runs over the key/value
+    /// matrices — through the server's [`MemoryCache`], so a memory with a known
+    /// fingerprint reuses its preparation — either whole or split row-wise across
+    /// [`MemoryConfig::sharded`] shards (each shard cached under its own
+    /// fingerprint, batches execute per shard and merge, bit-identical to direct
+    /// [`ComputeBackend::attend_sharded`] calls).
+    ///
+    /// # Errors
+    ///
+    /// * [`ServeError::UnknownTenant`] if [`MemoryConfig::tenant`] named a tenant
+    ///   that was never registered.
+    /// * [`ServeError::Attention`] if the key/value shapes are inconsistent or the
+    ///   shard count is zero.
+    pub fn register(&mut self, config: MemoryConfig<'_>) -> Result<SessionId, ServeError> {
+        let tenant = config.tenant_id();
+        if !self.tenants.contains_key(&tenant) {
+            return Err(ServeError::UnknownTenant {
+                tenant: tenant.raw(),
+            });
+        }
+        let keys = config.keys();
+        let values = config.values();
+        let fingerprint = crate::backend::memory_fingerprint(keys, values);
+        let (memory, reused_preparation) = if config.shard_request() == 1 {
+            let (memory, hit) = self.cache.get_or_prepare_with_fingerprint(
+                self.backend.as_ref(),
+                keys,
+                values,
+                fingerprint,
+            )?;
+            (SessionMemory::Whole(memory), hit)
+        } else {
+            let plan = ShardPlan::new(config.shard_request())?;
+            let (sharded, stats) = ShardedMemory::prepare_cached(
+                self.backend.as_ref(),
+                plan,
+                &mut self.cache,
+                keys,
+                values,
+            )?;
+            (SessionMemory::Sharded(Arc::new(sharded)), stats.misses == 0)
+        };
+        let id = SessionId(self.next_session);
+        self.next_session += 1;
+        self.scheduler.assign_session(id, tenant);
+        self.sessions.insert(SessionHandle {
+            id,
+            tenant,
+            memory,
+            fingerprint,
+            reused_preparation,
+        });
+        Ok(id)
+    }
+
     /// Runs the backend's query-independent preprocessing over (`keys`, `values`)
-    /// — through the server's [`MemoryCache`], so a memory with a known fingerprint
-    /// reuses its preparation — and opens a session serving it.
+    /// and opens a session serving it, under the default tenant.
     ///
     /// # Errors
     ///
     /// Returns [`ServeError::Attention`] if the key/value shapes are inconsistent.
+    #[deprecated(note = "use `register(MemoryConfig::new(keys, values))`")]
     pub fn register_memory(
         &mut self,
         keys: &Matrix,
         values: &Matrix,
     ) -> Result<SessionId, ServeError> {
-        let fingerprint = crate::backend::memory_fingerprint(keys, values);
-        let (memory, hit) = self
-            .cache
-            .get_or_prepare(self.backend.as_ref(), keys, values)?;
-        let id = SessionId(self.next_session);
-        self.next_session += 1;
-        self.sessions.insert(
-            id,
-            SessionHandle {
-                id,
-                memory: SessionMemory::Whole(memory),
-                fingerprint,
-                reused_preparation: hit,
-            },
-        );
-        Ok(id)
+        self.register(MemoryConfig::new(keys, values))
     }
 
-    /// [`AttentionServer::register_memory`] with a row-wise [`ShardPlan`]: the memory
-    /// is split into shards, each prepared independently through the server's
-    /// [`MemoryCache`] (per-shard fingerprints, so a session over a memory where only
-    /// one shard changed re-prepares that shard alone). Batches against the session
-    /// execute per shard and merge — bit-identical to direct
-    /// [`ComputeBackend::attend_sharded`] calls.
-    ///
-    /// A single-shard plan is exactly [`AttentionServer::register_memory`].
+    /// Registration with a row-wise [`ShardPlan`], under the default tenant.
     ///
     /// # Errors
     ///
     /// Returns [`ServeError::Attention`] if the key/value shapes are inconsistent.
+    #[deprecated(note = "use `register(MemoryConfig::new(keys, values).sharded(k))`")]
     pub fn register_memory_sharded(
         &mut self,
         keys: &Matrix,
         values: &Matrix,
         plan: ShardPlan,
     ) -> Result<SessionId, ServeError> {
-        if plan.shards() == 1 {
-            return self.register_memory(keys, values);
-        }
-        let fingerprint = crate::backend::memory_fingerprint(keys, values);
-        let (sharded, stats) = ShardedMemory::prepare_cached(
-            self.backend.as_ref(),
-            plan,
-            &mut self.cache,
-            keys,
-            values,
-        )?;
-        let id = SessionId(self.next_session);
-        self.next_session += 1;
-        self.sessions.insert(
-            id,
-            SessionHandle {
-                id,
-                memory: SessionMemory::Sharded(Arc::new(sharded)),
-                fingerprint,
-                reused_preparation: stats.misses == 0,
-            },
-        );
-        Ok(id)
+        self.register(MemoryConfig::new(keys, values).sharded(plan.shards()))
     }
 
     /// Appends rows to a live session's memory **in place**, through the backend's
@@ -494,7 +617,7 @@ impl AttentionServer {
     ) -> Result<SessionMutation, ServeError> {
         let handle = self
             .sessions
-            .get_mut(&id)
+            .get_mut(id)
             .ok_or(ServeError::UnknownSession { session: id.raw() })?;
         let old_fingerprint = handle.fingerprint;
         let old_n = handle.memory.n();
@@ -566,7 +689,7 @@ impl AttentionServer {
     ) -> Result<SessionMutation, ServeError> {
         let handle = self
             .sessions
-            .get_mut(&id)
+            .get_mut(id)
             .ok_or(ServeError::UnknownSession { session: id.raw() })?;
         if row >= handle.memory.n() {
             return Err(ServeError::Attention(AttentionError::InvalidParameter {
@@ -658,12 +781,12 @@ impl AttentionServer {
 
     /// The handle of a registered session.
     pub fn session(&self, id: SessionId) -> Option<&SessionHandle> {
-        self.sessions.get(&id)
+        self.sessions.get(id)
     }
 
     /// Iterates over every registered session, in id order.
     pub fn sessions(&self) -> impl Iterator<Item = &SessionHandle> {
-        self.sessions.values()
+        self.sessions.iter()
     }
 
     /// Accepts a request into its session's queue and returns the id its response
@@ -674,11 +797,14 @@ impl AttentionServer {
     ///
     /// * [`ServeError::UnknownSession`] if the session was never registered.
     /// * [`ServeError::Attention`] if the query dimension does not match the
-    ///   session's memory (rejected at submission, before it can poison a batch).
+    ///   session's memory (rejected at submission, before it can poison a batch
+    ///   — and before it can consume admission tokens).
+    /// * [`ServeError::Throttled`] if the session's tenant is over its admission
+    ///   rate (the request is dropped at the door, it never queues).
     pub fn submit(&mut self, request: Request) -> Result<RequestId, ServeError> {
         let session = self
             .sessions
-            .get(&request.session)
+            .get(request.session)
             .ok_or(ServeError::UnknownSession {
                 session: request.session.raw(),
             })?;
@@ -687,6 +813,20 @@ impl AttentionServer {
                 expected: session.memory.d(),
                 actual: request.query.len(),
             }));
+        }
+        let tenant = session.tenant;
+        if let Some(runtime) = self.tenants.get_mut(&tenant) {
+            runtime.stats.offered += 1;
+            if let Some(bucket) = runtime.bucket.as_mut() {
+                if !bucket.try_admit(request.arrival) {
+                    runtime.stats.throttled += 1;
+                    self.stats.throttled += 1;
+                    return Err(ServeError::Throttled {
+                        tenant: tenant.raw(),
+                    });
+                }
+            }
+            runtime.stats.admitted += 1;
         }
         let id = RequestId(self.next_request);
         self.next_request += 1;
@@ -719,8 +859,8 @@ impl AttentionServer {
     }
 
     /// Executes every batch that is due at or before `now` and returns the completed
-    /// batches in (session id, arrival) order. An idle server returns an empty
-    /// vector.
+    /// batches in weighted-fair (tenant virtual time, tenant id, session id) order.
+    /// An idle server returns an empty vector.
     ///
     /// # Errors
     ///
@@ -756,10 +896,11 @@ impl AttentionServer {
         for batch in batches {
             let session = self
                 .sessions
-                .get(&batch.session)
+                .get(batch.session)
                 .ok_or(ServeError::UnknownSession {
                     session: batch.session.raw(),
                 })?;
+            let tenant = session.tenant;
             let queries: Vec<&[f32]> = batch.requests.iter().map(|r| r.query.as_slice()).collect();
             let results = match &session.memory {
                 SessionMemory::Whole(memory) => {
@@ -784,10 +925,14 @@ impl AttentionServer {
                     result,
                 })
                 .collect();
+            let misses = responses.iter().filter(|r| r.missed_deadline()).count() as u64;
             self.stats.batches += 1;
             self.stats.completed += responses.len() as u64;
-            self.stats.deadline_misses +=
-                responses.iter().filter(|r| r.missed_deadline()).count() as u64;
+            self.stats.deadline_misses += misses;
+            if let Some(runtime) = self.tenants.get_mut(&tenant) {
+                runtime.stats.completed += responses.len() as u64;
+                runtime.stats.deadline_misses += misses;
+            }
             completed.push(CompletedBatch {
                 session: batch.session,
                 formed_at: batch.formed_at,
@@ -832,14 +977,20 @@ mod tests {
         ]
     }
 
+    fn server_with(backend: Box<dyn ComputeBackend>, policy: BatchPolicy) -> AttentionServer {
+        AttentionServer::builder(backend)
+            .batch_policy(policy)
+            .build()
+    }
+
     #[test]
     fn server_results_are_bit_identical_to_direct_prepared_calls() {
         for backend in all_backends() {
             let name = backend.name();
             let (keys, values) = memory(0.0, 12, 6);
             let reference = backend.prepare(&keys, &values).unwrap();
-            let mut server = AttentionServer::new(backend, BatchPolicy::new(3, 50).unwrap());
-            let session = server.register_memory(&keys, &values).unwrap();
+            let mut server = server_with(backend, BatchPolicy::new(3, 50).unwrap());
+            let session = server.register(MemoryConfig::new(&keys, &values)).unwrap();
             let queries: Vec<Vec<f32>> = (0..5).map(|i| query(6, 0.1 * i as f32)).collect();
             for (i, q) in queries.iter().enumerate() {
                 server
@@ -865,8 +1016,8 @@ mod tests {
     #[test]
     fn unknown_session_and_bad_dimension_are_rejected_at_submit() {
         let (keys, values) = memory(0.0, 8, 4);
-        let mut server = AttentionServer::new(Box::new(ExactBackend), BatchPolicy::default());
-        let session = server.register_memory(&keys, &values).unwrap();
+        let mut server = server_with(Box::new(ExactBackend), BatchPolicy::default());
+        let session = server.register(MemoryConfig::new(&keys, &values)).unwrap();
         assert!(matches!(
             server.submit(Request::new(SessionId::from_raw(99), vec![0.0; 4], 0)),
             Err(ServeError::UnknownSession { session: 99 })
@@ -883,11 +1034,11 @@ mod tests {
     #[test]
     fn batches_flush_on_fill_window_and_deadline() {
         let (keys, values) = memory(0.0, 10, 4);
-        let mut server = AttentionServer::new(
+        let mut server = server_with(
             Box::new(ApproximateBackend::conservative()),
             BatchPolicy::new(2, 100).unwrap(),
         );
-        let session = server.register_memory(&keys, &values).unwrap();
+        let session = server.register(MemoryConfig::new(&keys, &values)).unwrap();
 
         // Fill: two requests at t=0 and t=5 are due at t=5.
         server
@@ -931,10 +1082,9 @@ mod tests {
     fn sessions_do_not_share_batches() {
         let (k0, v0) = memory(0.0, 8, 4);
         let (k1, v1) = memory(1.0, 8, 4);
-        let mut server =
-            AttentionServer::new(Box::new(ExactBackend), BatchPolicy::new(4, 10).unwrap());
-        let s0 = server.register_memory(&k0, &v0).unwrap();
-        let s1 = server.register_memory(&k1, &v1).unwrap();
+        let mut server = server_with(Box::new(ExactBackend), BatchPolicy::new(4, 10).unwrap());
+        let s0 = server.register(MemoryConfig::new(&k0, &v0)).unwrap();
+        let s1 = server.register(MemoryConfig::new(&k1, &v1)).unwrap();
         assert_ne!(s0, s1);
         server.submit(Request::new(s0, query(4, 0.0), 0)).unwrap();
         server.submit(Request::new(s1, query(4, 0.1), 0)).unwrap();
@@ -947,12 +1097,12 @@ mod tests {
     #[test]
     fn reregistering_a_memory_reuses_its_preparation() {
         let (keys, values) = memory(0.0, 16, 8);
-        let mut server = AttentionServer::new(
+        let mut server = server_with(
             Box::new(ApproximateBackend::conservative()),
             BatchPolicy::default(),
         );
-        let first = server.register_memory(&keys, &values).unwrap();
-        let second = server.register_memory(&keys, &values).unwrap();
+        let first = server.register(MemoryConfig::new(&keys, &values)).unwrap();
+        let second = server.register(MemoryConfig::new(&keys, &values)).unwrap();
         assert_ne!(first, second, "sessions are distinct even for one memory");
         assert!(!server.session(first).unwrap().reused_preparation());
         assert!(server.session(second).unwrap().reused_preparation());
@@ -966,9 +1116,8 @@ mod tests {
     #[test]
     fn stats_track_batches_and_fill() {
         let (keys, values) = memory(0.0, 8, 4);
-        let mut server =
-            AttentionServer::new(Box::new(ExactBackend), BatchPolicy::new(2, 1000).unwrap());
-        let session = server.register_memory(&keys, &values).unwrap();
+        let mut server = server_with(Box::new(ExactBackend), BatchPolicy::new(2, 1000).unwrap());
+        let session = server.register(MemoryConfig::new(&keys, &values)).unwrap();
         for i in 0..4 {
             server
                 .submit(Request::new(session, query(4, 0.1 * i as f32), i))
@@ -997,9 +1146,9 @@ mod tests {
                 &values,
             )
             .unwrap();
-            let mut server = AttentionServer::new(backend, BatchPolicy::new(4, 50).unwrap());
+            let mut server = server_with(backend, BatchPolicy::new(4, 50).unwrap());
             let session = server
-                .register_memory_sharded(&keys, &values, ShardPlan::new(3).unwrap())
+                .register(MemoryConfig::new(&keys, &values).sharded(3))
                 .unwrap();
             assert_eq!(server.session(session).unwrap().shard_count(), 3);
             assert_eq!(server.session(session).unwrap().memory().n(), 24);
@@ -1025,10 +1174,10 @@ mod tests {
     #[test]
     fn single_shard_plan_is_a_whole_session() {
         let (keys, values) = memory(0.0, 8, 4);
-        let mut server = AttentionServer::new(Box::new(ExactBackend), BatchPolicy::default());
-        let whole = server.register_memory(&keys, &values).unwrap();
+        let mut server = server_with(Box::new(ExactBackend), BatchPolicy::default());
+        let whole = server.register(MemoryConfig::new(&keys, &values)).unwrap();
         let single = server
-            .register_memory_sharded(&keys, &values, ShardPlan::single())
+            .register(MemoryConfig::new(&keys, &values).sharded(1))
             .unwrap();
         assert_eq!(server.session(single).unwrap().shard_count(), 1);
         assert!(server.session(single).unwrap().memory().whole().is_some());
@@ -1040,22 +1189,25 @@ mod tests {
             server.session(whole).unwrap().fingerprint(),
             server.session(single).unwrap().fingerprint()
         );
+        // Zero shards are rejected at registration.
+        assert!(server
+            .register(MemoryConfig::new(&keys, &values).sharded(0))
+            .is_err());
     }
 
     #[test]
     fn resharding_a_session_reuses_per_shard_preparations() {
         let (keys, values) = memory(0.0, 16, 4);
-        let mut server = AttentionServer::new(
+        let mut server = server_with(
             Box::new(ApproximateBackend::conservative()),
             BatchPolicy::default(),
         );
-        let plan = ShardPlan::new(4).unwrap();
         let first = server
-            .register_memory_sharded(&keys, &values, plan)
+            .register(MemoryConfig::new(&keys, &values).sharded(4))
             .unwrap();
         assert!(!server.session(first).unwrap().reused_preparation());
         let second = server
-            .register_memory_sharded(&keys, &values, plan)
+            .register(MemoryConfig::new(&keys, &values).sharded(4))
             .unwrap();
         assert!(
             server.session(second).unwrap().reused_preparation(),
@@ -1081,8 +1233,8 @@ mod tests {
             let grown_keys = concat(&keys, &extra_keys);
             let grown_values = concat(&values, &extra_values);
 
-            let mut server = AttentionServer::new(backend, BatchPolicy::new(1, 10).unwrap());
-            let session = server.register_memory(&keys, &values).unwrap();
+            let mut server = server_with(backend, BatchPolicy::new(1, 10).unwrap());
+            let session = server.register(MemoryConfig::new(&keys, &values)).unwrap();
             let mutation = server
                 .append_to_session(session, &extra_keys, &extra_values)
                 .unwrap();
@@ -1097,10 +1249,9 @@ mod tests {
 
             // The mutated session answers exactly like a session registered over
             // the concatenated memory from scratch.
-            let mut reference =
-                AttentionServer::new(reference_backend, BatchPolicy::new(1, 10).unwrap());
+            let mut reference = server_with(reference_backend, BatchPolicy::new(1, 10).unwrap());
             let ref_session = reference
-                .register_memory(&grown_keys, &grown_values)
+                .register(MemoryConfig::new(&grown_keys, &grown_values))
                 .unwrap();
             let q = query(6, 0.2);
             server.submit(Request::new(session, q.clone(), 0)).unwrap();
@@ -1116,7 +1267,9 @@ mod tests {
 
             // The cache entry was *updated*, not invalidated: re-registering the
             // grown memory reuses the preparation without a miss.
-            let again = server.register_memory(&grown_keys, &grown_values).unwrap();
+            let again = server
+                .register(MemoryConfig::new(&grown_keys, &grown_values))
+                .unwrap();
             assert!(
                 server.session(again).unwrap().reused_preparation(),
                 "{name}: the appended session's cache entry must be addressable"
@@ -1136,8 +1289,8 @@ mod tests {
             let mut mutated_values = values.clone();
             mutated_values.set_row(4, &new_value).unwrap();
 
-            let mut server = AttentionServer::new(backend, BatchPolicy::new(1, 10).unwrap());
-            let session = server.register_memory(&keys, &values).unwrap();
+            let mut server = server_with(backend, BatchPolicy::new(1, 10).unwrap());
+            let session = server.register(MemoryConfig::new(&keys, &values)).unwrap();
             let mutation = server
                 .update_session_row(session, 4, &new_key, &new_value)
                 .unwrap();
@@ -1168,9 +1321,9 @@ mod tests {
         let (extra_keys, extra_values) = memory(0.3, 2, 4);
         let plan = ShardPlan::new(4).unwrap();
         let backend: Box<dyn ComputeBackend> = Box::new(ExactBackend);
-        let mut server = AttentionServer::new(backend, BatchPolicy::new(1, 10).unwrap());
+        let mut server = server_with(backend, BatchPolicy::new(1, 10).unwrap());
         let session = server
-            .register_memory_sharded(&keys, &values, plan)
+            .register(MemoryConfig::new(&keys, &values).sharded(4))
             .unwrap();
         let mutation = server
             .append_to_session(session, &extra_keys, &extra_values)
@@ -1216,8 +1369,8 @@ mod tests {
     #[test]
     fn session_mutations_reject_unknown_sessions_and_bad_shapes() {
         let (keys, values) = memory(0.0, 8, 4);
-        let mut server = AttentionServer::new(Box::new(ExactBackend), BatchPolicy::default());
-        let session = server.register_memory(&keys, &values).unwrap();
+        let mut server = server_with(Box::new(ExactBackend), BatchPolicy::default());
+        let session = server.register(MemoryConfig::new(&keys, &values)).unwrap();
         let (extra_keys, extra_values) = memory(0.1, 1, 4);
         assert!(matches!(
             server.append_to_session(SessionId::from_raw(99), &extra_keys, &extra_values),
@@ -1248,7 +1401,7 @@ mod tests {
 
     #[test]
     fn empty_flush_is_legal_and_ids_render() {
-        let mut server = AttentionServer::new(Box::new(ExactBackend), BatchPolicy::default());
+        let mut server = server_with(Box::new(ExactBackend), BatchPolicy::default());
         assert!(server.poll(0).unwrap().is_empty());
         assert!(server.flush_all(0).unwrap().is_empty());
         assert_eq!(server.next_due(), None);
@@ -1257,5 +1410,186 @@ mod tests {
         assert_eq!(SessionId::from_raw(3).raw(), 3);
         let debug = format!("{server:?}");
         assert!(debug.contains("AttentionServer"));
+    }
+
+    #[test]
+    fn registration_rejects_unknown_tenants() {
+        let (keys, values) = memory(0.0, 8, 4);
+        let mut server = server_with(Box::new(ExactBackend), BatchPolicy::default());
+        assert!(matches!(
+            server.register(MemoryConfig::new(&keys, &values).tenant(TenantId::from_raw(9))),
+            Err(ServeError::UnknownTenant { tenant: 9 })
+        ));
+        server.register_tenant(TenantId::from_raw(9), TenantConfig::new(Priority::High));
+        let session = server
+            .register(MemoryConfig::new(&keys, &values).tenant(TenantId::from_raw(9)))
+            .unwrap();
+        assert_eq!(
+            server.session(session).unwrap().tenant(),
+            TenantId::from_raw(9)
+        );
+    }
+
+    #[test]
+    fn over_rate_tenants_are_throttled_at_submit() {
+        let (keys, values) = memory(0.0, 8, 4);
+        let limited = TenantId::from_raw(1);
+        let mut server = AttentionServer::builder(Box::new(ExactBackend))
+            .batch_policy(BatchPolicy::per_request())
+            .tenant(
+                limited,
+                TenantConfig::new(Priority::Normal)
+                    // 1 request per 100 ticks, burst 2.
+                    .with_rate_limit(RateLimit::new(1, 100, 2).unwrap()),
+            )
+            .build();
+        let session = server
+            .register(MemoryConfig::new(&keys, &values).tenant(limited))
+            .unwrap();
+        assert!(server
+            .submit(Request::new(session, query(4, 0.0), 0))
+            .is_ok());
+        assert!(server
+            .submit(Request::new(session, query(4, 0.1), 0))
+            .is_ok());
+        assert!(matches!(
+            server.submit(Request::new(session, query(4, 0.2), 10)),
+            Err(ServeError::Throttled { tenant: 1 })
+        ));
+        // The bucket refills: +100 ticks buys exactly one more admission.
+        assert!(server
+            .submit(Request::new(session, query(4, 0.3), 100))
+            .is_ok());
+        let stats = server.tenant_stats(limited).unwrap();
+        assert_eq!(stats.offered, 4);
+        assert_eq!(stats.admitted, 3);
+        assert_eq!(stats.throttled, 1);
+        assert_eq!(server.stats().throttled, 1);
+        assert_eq!(server.stats().submitted, 3);
+        assert_eq!(server.pending(), 3, "throttled requests never queue");
+        // Completion flows into the tenant's counters.
+        server.flush_all(200).unwrap();
+        assert_eq!(server.tenant_stats(limited).unwrap().completed, 3);
+    }
+
+    #[test]
+    fn high_priority_tenants_flush_ahead_of_background() {
+        let (k0, v0) = memory(0.0, 8, 4);
+        let (k1, v1) = memory(1.0, 8, 4);
+        let high = TenantId::from_raw(1);
+        let bg = TenantId::from_raw(2);
+        let mut server = AttentionServer::builder(Box::new(ExactBackend))
+            .batch_policy(BatchPolicy::per_request())
+            .tenant(high, TenantConfig::new(Priority::High))
+            .tenant(bg, TenantConfig::new(Priority::Background))
+            .build();
+        // Register background first so session-id order would favour it; the
+        // weighted-fair scheduler must still flush the high-priority tenant first.
+        let bg_session = server
+            .register(MemoryConfig::new(&k0, &v0).tenant(bg))
+            .unwrap();
+        let high_session = server
+            .register(MemoryConfig::new(&k1, &v1).tenant(high))
+            .unwrap();
+        for i in 0..4 {
+            server
+                .submit(Request::new(bg_session, query(4, 0.1 * i as f32), 0))
+                .unwrap();
+            server
+                .submit(Request::new(high_session, query(4, 0.2 * i as f32), 0))
+                .unwrap();
+        }
+        let batches = server.poll(0).unwrap();
+        assert_eq!(batches.len(), 8);
+        let order: Vec<SessionId> = batches.iter().map(|b| b.session).collect();
+        assert_eq!(
+            order.first(),
+            Some(&high_session),
+            "the high-priority batch must flush first"
+        );
+        // Weight 8 vs 1: all four high batches drain before the last background one.
+        let last_high = order.iter().rposition(|&s| s == high_session).unwrap();
+        let last_bg = order.iter().rposition(|&s| s == bg_session).unwrap();
+        assert!(
+            last_high < last_bg,
+            "background must finish last: {order:?}"
+        );
+        assert_eq!(server.tenant_stats(high).unwrap().completed, 4);
+        assert_eq!(server.tenant_stats(bg).unwrap().completed, 4);
+    }
+
+    #[test]
+    fn sessions_iterate_in_id_order_across_registry_shards() {
+        let (keys, values) = memory(0.0, 8, 4);
+        let mut server = AttentionServer::builder(Box::new(ExactBackend))
+            .registry_shards(4)
+            .build();
+        let mut ids = Vec::new();
+        for _ in 0..9 {
+            ids.push(server.register(MemoryConfig::new(&keys, &values)).unwrap());
+        }
+        assert_eq!(server.registry().shard_count(), 4);
+        assert_eq!(server.registry().len(), 9);
+        let iterated: Vec<SessionId> = server.sessions().map(SessionHandle::id).collect();
+        assert_eq!(iterated, ids, "iteration must stay in global id order");
+        let spread = (0..4)
+            .filter(|&s| server.registry().shard_len(s) > 0)
+            .count();
+        assert!(spread > 1, "sessions must spread across registry shards");
+    }
+
+    #[test]
+    fn tenant_roster_and_reconfiguration() {
+        let mut server = AttentionServer::builder(Box::new(ExactBackend)).build();
+        let roster: Vec<TenantId> = server.tenants().map(|(id, _)| id).collect();
+        assert_eq!(roster, vec![TenantId::DEFAULT]);
+        assert!(server.tenant_config(TenantId::from_raw(3)).is_none());
+        assert!(server.tenant_stats(TenantId::from_raw(3)).is_none());
+        server.register_tenant(TenantId::from_raw(3), TenantConfig::new(Priority::High));
+        assert_eq!(
+            server
+                .tenant_config(TenantId::from_raw(3))
+                .unwrap()
+                .priority(),
+            Priority::High
+        );
+        // Reconfiguring keeps counters but applies the new class.
+        server.register_tenant(
+            TenantId::from_raw(3),
+            TenantConfig::new(Priority::Background),
+        );
+        assert_eq!(
+            server
+                .tenant_config(TenantId::from_raw(3))
+                .unwrap()
+                .priority(),
+            Priority::Background
+        );
+        assert_eq!(
+            server.tenant_stats(TenantId::from_raw(3)).unwrap(),
+            TenantStats::default()
+        );
+    }
+
+    /// The pre-builder API surface survives one release as deprecated wrappers;
+    /// this is the single call site exercising it.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructors_and_registrations_still_serve() {
+        let (keys, values) = memory(0.0, 8, 4);
+        let mut server = AttentionServer::new(Box::new(ExactBackend), BatchPolicy::per_request());
+        let whole = server.register_memory(&keys, &values).unwrap();
+        let sharded = server
+            .register_memory_sharded(&keys, &values, ShardPlan::new(2).unwrap())
+            .unwrap();
+        assert_eq!(server.session(sharded).unwrap().shard_count(), 2);
+        server
+            .submit(Request::new(whole, query(4, 0.0), 0))
+            .unwrap();
+        assert_eq!(server.poll(0).unwrap().len(), 1);
+
+        let capped =
+            AttentionServer::with_cache_capacity(Box::new(ExactBackend), BatchPolicy::default(), 3);
+        assert_eq!(capped.cache().capacity(), 3);
     }
 }

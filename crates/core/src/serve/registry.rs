@@ -1,0 +1,171 @@
+//! Hash-sharded session registry.
+//!
+//! The ROADMAP north-star is serving millions of registered memories, which makes
+//! the flat `BTreeMap<SessionId, SessionHandle>` session table a scaling
+//! bottleneck: every lookup walks one deep tree, and a future concurrent server
+//! would serialize every registration on one lock. [`SessionRegistry`] splits the
+//! table into a power-of-two number of shards addressed by a mixed hash of the
+//! session id — the classic sharded-map layout (each shard an independent ordered
+//! map, ready to take its own lock) — while keeping **deterministic id-ordered
+//! iteration**, so every observable schedule stays identical to the flat table's.
+//!
+//! Lookup equivalence with a flat map over arbitrary insert/remove traces is
+//! property-tested in `crates/core/tests/tenancy.rs`.
+
+use std::collections::BTreeMap;
+
+use super::{SessionHandle, SessionId};
+
+/// Default shard count ([`SessionRegistry::new`] rounds requests up to a power
+/// of two).
+pub const DEFAULT_REGISTRY_SHARDS: usize = 16;
+
+/// A hash-sharded map from [`SessionId`] to [`SessionHandle`].
+///
+/// Shard assignment mixes the raw id through a 64-bit finalizer (sequential ids
+/// would otherwise pile into neighbouring shards) and masks to a power-of-two
+/// shard count. Within a shard, handles live in a `BTreeMap`, and
+/// [`SessionRegistry::iter`] merges shards back into global id order.
+#[derive(Debug, Clone)]
+pub struct SessionRegistry {
+    shards: Vec<BTreeMap<SessionId, SessionHandle>>,
+    mask: u64,
+    len: usize,
+}
+
+impl SessionRegistry {
+    /// Creates a registry with `shards` shards, rounded up to the next power of
+    /// two (minimum 1).
+    pub fn new(shards: usize) -> Self {
+        let count = shards.max(1).next_power_of_two();
+        Self {
+            shards: vec![BTreeMap::new(); count],
+            mask: (count as u64) - 1,
+            len: 0,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard index a session id maps to (splitmix64 finalizer, masked).
+    pub fn shard_of(&self, id: SessionId) -> usize {
+        let mut x = id.raw().wrapping_add(0x9E37_79B9_7F4A_7C15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        ((x ^ (x >> 31)) & self.mask) as usize
+    }
+
+    /// Number of sessions in one shard (0 for an out-of-range shard index).
+    pub fn shard_len(&self, shard: usize) -> usize {
+        self.shards.get(shard).map_or(0, BTreeMap::len)
+    }
+
+    /// Total number of registered sessions.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no session is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Looks up a session handle.
+    pub fn get(&self, id: SessionId) -> Option<&SessionHandle> {
+        let shard = self.shard_of(id);
+        self.shards.get(shard).and_then(|s| s.get(&id))
+    }
+
+    /// Looks up a session handle mutably.
+    pub fn get_mut(&mut self, id: SessionId) -> Option<&mut SessionHandle> {
+        let shard = self.shard_of(id);
+        self.shards.get_mut(shard).and_then(|s| s.get_mut(&id))
+    }
+
+    /// Inserts (or replaces) a handle under its own id, returning the previous
+    /// handle if one was registered.
+    pub fn insert(&mut self, handle: SessionHandle) -> Option<SessionHandle> {
+        let shard = self.shard_of(handle.id());
+        let slot = self.shards.get_mut(shard)?;
+        let previous = slot.insert(handle.id(), handle);
+        if previous.is_none() {
+            self.len += 1;
+        }
+        previous
+    }
+
+    /// Removes a session, returning its handle if it was registered.
+    pub fn remove(&mut self, id: SessionId) -> Option<SessionHandle> {
+        let shard = self.shard_of(id);
+        let removed = self.shards.get_mut(shard).and_then(|s| s.remove(&id));
+        if removed.is_some() {
+            self.len -= 1;
+        }
+        removed
+    }
+
+    /// Iterates over every registered handle in global session-id order (the
+    /// same order the flat session table produced, so schedules and reports
+    /// stay deterministic).
+    pub fn iter(&self) -> impl Iterator<Item = &SessionHandle> {
+        let mut handles: Vec<&SessionHandle> =
+            self.shards.iter().flat_map(BTreeMap::values).collect();
+        handles.sort_by_key(|h| h.id());
+        handles.into_iter()
+    }
+}
+
+impl Default for SessionRegistry {
+    /// A registry with [`DEFAULT_REGISTRY_SHARDS`] shards.
+    fn default() -> Self {
+        Self::new(DEFAULT_REGISTRY_SHARDS)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_counts_round_up_to_powers_of_two() {
+        assert_eq!(SessionRegistry::new(0).shard_count(), 1);
+        assert_eq!(SessionRegistry::new(1).shard_count(), 1);
+        assert_eq!(SessionRegistry::new(3).shard_count(), 4);
+        assert_eq!(SessionRegistry::new(16).shard_count(), 16);
+        assert_eq!(SessionRegistry::new(17).shard_count(), 32);
+        assert_eq!(
+            SessionRegistry::default().shard_count(),
+            DEFAULT_REGISTRY_SHARDS
+        );
+    }
+
+    #[test]
+    fn shard_of_is_stable_and_in_range() {
+        let registry = SessionRegistry::new(8);
+        for raw in 0..1000u64 {
+            let id = SessionId::from_raw(raw);
+            let shard = registry.shard_of(id);
+            assert!(shard < registry.shard_count());
+            assert_eq!(shard, registry.shard_of(id), "assignment must be stable");
+        }
+    }
+
+    #[test]
+    fn sequential_ids_spread_across_shards() {
+        let registry = SessionRegistry::new(8);
+        let mut seen = vec![0usize; 8];
+        for raw in 0..64u64 {
+            if let Some(count) = seen.get_mut(registry.shard_of(SessionId::from_raw(raw))) {
+                *count += 1;
+            }
+        }
+        let occupied = seen.iter().filter(|&&c| c > 0).count();
+        assert!(
+            occupied >= 6,
+            "sequential ids must not collapse into few shards: {seen:?}"
+        );
+    }
+}

@@ -1,4 +1,5 @@
-//! Dynamic-batching scheduler: per-session request queues with deadline-aware flushes.
+//! Dynamic-batching scheduler: per-session request queues with deadline-aware,
+//! weighted-fair flushes.
 //!
 //! The scheduler is a pure batching policy — it decides *which requests run together
 //! and when*, and nothing else. [`super::AttentionServer`] pairs it with a
@@ -15,12 +16,27 @@
 //!    (possibly partial).
 //! 3. **Window** — the oldest queued request has waited [`BatchPolicy::batch_window`]
 //!    ticks.
+//!
+//! When several sessions hold due batches at once, flush order is **weighted fair**
+//! across tenants rather than strict session-id order: every tenant lane carries a
+//! virtual time that advances by `batch_len / weight` (scaled) whenever one of its
+//! batches pops, and the scheduler always pops the due batch of the lane with the
+//! smallest virtual time (ties break on tenant id, then session id, keeping every
+//! schedule deterministic). A tenant with weight `w` therefore drains `w` requests
+//! for every 1 request of a weight-1 tenant under saturation — priority without
+//! starvation. Sessions never assigned a tenant share the default lane, where the
+//! policy degenerates to the original session-id order.
 
 use std::collections::{BTreeMap, VecDeque};
 
 use crate::ServeError;
 
-use super::{RequestId, SessionId, Tick};
+use super::{RequestId, SessionId, TenantId, Tick};
+
+/// Scale factor of tenant virtual time: one popped request advances its lane by
+/// `VIRTUAL_TIME_SCALE / weight`, so integer division never collapses distinct
+/// weights for any weight up to the scale.
+const VIRTUAL_TIME_SCALE: u64 = 1 << 16;
 
 /// When and how large to flush dynamic batches.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -138,15 +154,38 @@ struct DueAt {
     reason: FlushReason,
 }
 
-/// Per-session dynamic-batching queues under one [`BatchPolicy`].
+/// One tenant's weighted-fair lane: its scheduling weight, the virtual time its
+/// pops have accumulated, and how many of its requests are queued.
+#[derive(Debug, Clone, Copy)]
+struct Lane {
+    weight: u64,
+    virtual_time: u64,
+    pending: usize,
+}
+
+impl Lane {
+    fn new(weight: u64) -> Self {
+        Self {
+            weight: weight.max(1),
+            virtual_time: 0,
+            pending: 0,
+        }
+    }
+}
+
+/// Per-session dynamic-batching queues under one [`BatchPolicy`], flushed in
+/// weighted-fair order across tenant lanes.
 ///
-/// Deterministic: queues are keyed by [`SessionId`] in a `BTreeMap`, so
-/// [`Scheduler::pop_due`] and [`Scheduler::pop_all`] return batches in stable
-/// (session id, arrival) order for identical request sequences.
+/// Deterministic: queues are keyed by [`SessionId`] in a `BTreeMap`, lanes by
+/// [`TenantId`], and every pop selects by the total order (lane virtual time,
+/// tenant id, session id) — identical request sequences always produce identical
+/// batch sequences.
 #[derive(Debug, Clone)]
 pub struct Scheduler {
     policy: BatchPolicy,
     queues: BTreeMap<SessionId, VecDeque<QueuedRequest>>,
+    session_tenants: BTreeMap<SessionId, TenantId>,
+    lanes: BTreeMap<TenantId, Lane>,
 }
 
 impl Scheduler {
@@ -155,6 +194,8 @@ impl Scheduler {
         Self {
             policy,
             queues: BTreeMap::new(),
+            session_tenants: BTreeMap::new(),
+            lanes: BTreeMap::new(),
         }
     }
 
@@ -163,9 +204,60 @@ impl Scheduler {
         self.policy
     }
 
+    /// Sets a tenant lane's weighted-fair weight (clamped to at least 1). Lanes
+    /// default to [`super::Priority::Normal`]'s weight when first touched.
+    pub fn set_tenant_weight(&mut self, tenant: TenantId, weight: u64) {
+        let lane = self
+            .lanes
+            .entry(tenant)
+            .or_insert_with(|| Lane::new(weight));
+        lane.weight = weight.max(1);
+    }
+
+    /// Routes a session's future requests through `tenant`'s lane. Unassigned
+    /// sessions share [`TenantId::DEFAULT`]'s lane.
+    pub fn assign_session(&mut self, session: SessionId, tenant: TenantId) {
+        self.session_tenants.insert(session, tenant);
+    }
+
+    /// The tenant lane a session's requests flush through.
+    pub fn session_tenant(&self, session: SessionId) -> TenantId {
+        self.session_tenants
+            .get(&session)
+            .copied()
+            .unwrap_or(TenantId::DEFAULT)
+    }
+
+    /// A tenant lane's accumulated virtual time (0 for an untouched lane).
+    /// Observable for tests and diagnostics; the scale is
+    /// `VIRTUAL_TIME_SCALE / weight` per popped request.
+    pub fn tenant_virtual_time(&self, tenant: TenantId) -> u64 {
+        self.lanes.get(&tenant).map_or(0, |l| l.virtual_time)
+    }
+
     /// Adds a request to its session's queue. The caller is responsible for popping
     /// due batches afterwards (a full queue is due immediately).
     pub fn enqueue(&mut self, request: QueuedRequest) {
+        let tenant = self.session_tenant(request.session);
+        // A lane waking from idle catches up to the busiest lanes' virtual time
+        // floor: it must not burn accumulated credit monopolizing the unit, only
+        // compete fairly from now on.
+        let active_floor = self
+            .lanes
+            .values()
+            .filter(|l| l.pending > 0)
+            .map(|l| l.virtual_time)
+            .min();
+        let lane = self
+            .lanes
+            .entry(tenant)
+            .or_insert_with(|| Lane::new(super::Priority::Normal.weight()));
+        if lane.pending == 0 {
+            if let Some(floor) = active_floor {
+                lane.virtual_time = lane.virtual_time.max(floor);
+            }
+        }
+        lane.pending += 1;
         self.queues
             .entry(request.session)
             .or_default()
@@ -217,59 +309,100 @@ impl Scheduler {
             .min()
     }
 
-    /// Pops every batch that is due at or before `now`, in (session id, arrival)
+    /// The due session (if any) whose lane has the smallest
+    /// (virtual time, tenant id, session id) key. `filter` decides which queues
+    /// are eligible ([`Scheduler::pop_due`] passes the due-by-now test,
+    /// [`Scheduler::pop_all`] accepts everything).
+    fn select_fair(
+        &self,
+        mut eligible: impl FnMut(&VecDeque<QueuedRequest>) -> Option<DueAt>,
+    ) -> Option<(SessionId, DueAt)> {
+        let mut best: Option<(u64, u64, SessionId, DueAt)> = None;
+        for (&session, queue) in &self.queues {
+            let Some(due) = eligible(queue) else {
+                continue;
+            };
+            let tenant = self.session_tenant(session);
+            let vtime = self.tenant_virtual_time(tenant);
+            let key = (vtime, tenant.raw(), session);
+            if best.map_or(true, |(bv, bt, bs, _)| key < (bv, bt, bs)) {
+                best = Some((vtime, tenant.raw(), session, due));
+            }
+        }
+        best.map(|(_, _, session, due)| (session, due))
+    }
+
+    /// Pops one batch (up to `take` requests) from `session`'s queue and charges
+    /// its lane's virtual time.
+    fn pop_batch(&mut self, session: SessionId, take: usize, due: DueAt) -> Option<FormedBatch> {
+        let queue = self.queues.get_mut(&session)?;
+        let take = take.min(queue.len());
+        let requests: Vec<QueuedRequest> = queue.drain(..take).collect();
+        if queue.is_empty() {
+            self.queues.remove(&session);
+        }
+        let tenant = self.session_tenant(session);
+        if let Some(lane) = self.lanes.get_mut(&tenant) {
+            lane.pending = lane.pending.saturating_sub(requests.len());
+            lane.virtual_time = lane.virtual_time.saturating_add(
+                (requests.len() as u64).saturating_mul(VIRTUAL_TIME_SCALE) / lane.weight,
+            );
+        }
+        Some(FormedBatch {
+            session,
+            formed_at: due.tick,
+            reason: due.reason,
+            requests,
+        })
+    }
+
+    /// Pops every batch that is due at or before `now`, in weighted-fair
+    /// (lane virtual time, tenant id, session id) order — one batch per selection,
+    /// so tenants interleave by weight instead of draining whole sessions in id
     /// order. A queue holding more than `max_batch` requests yields multiple full
     /// batches; a deadline- or window-triggered flush takes the whole (partial)
     /// queue.
     pub fn pop_due(&mut self, now: Tick) -> Vec<FormedBatch> {
         let mut batches = Vec::new();
-        let sessions: Vec<SessionId> = self.queues.keys().copied().collect();
         let policy = self.policy;
-        for session in sessions {
-            while let Some(queue) = self.queues.get_mut(&session) {
-                let due = match Self::due_at(policy, queue) {
-                    Some(due) if due.tick <= now => due,
-                    _ => break,
-                };
-                let take = match due.reason {
-                    FlushReason::Full => policy.max_batch,
-                    _ => queue.len(),
-                };
-                let requests: Vec<QueuedRequest> = queue.drain(..take).collect();
-                let emptied = queue.is_empty();
-                batches.push(FormedBatch {
-                    session,
-                    formed_at: due.tick,
-                    reason: due.reason,
-                    requests,
-                });
-                if emptied {
-                    self.queues.remove(&session);
-                    break;
-                }
+        loop {
+            let selected = self.select_fair(|queue| match Self::due_at(policy, queue) {
+                Some(due) if due.tick <= now => Some(due),
+                _ => None,
+            });
+            let Some((session, due)) = selected else {
+                break;
+            };
+            let take = match due.reason {
+                FlushReason::Full => policy.max_batch,
+                _ => self.queue_depth(session),
+            };
+            match self.pop_batch(session, take, due) {
+                Some(batch) if !batch.is_empty() => batches.push(batch),
+                _ => break,
             }
         }
         batches
     }
 
     /// Pops everything regardless of due times (reason [`FlushReason::Forced`],
-    /// formed at `now`). An idle scheduler yields an empty vector — the legal
-    /// "empty-batch flush".
+    /// formed at `now`), still in weighted-fair order. An idle scheduler yields an
+    /// empty vector — the legal "empty-batch flush".
     pub fn pop_all(&mut self, now: Tick) -> Vec<FormedBatch> {
         let mut batches = Vec::new();
-        let queues = std::mem::take(&mut self.queues);
-        for (session, queue) in queues {
-            let mut requests: Vec<QueuedRequest> = queue.into_iter().collect();
-            while !requests.is_empty() {
-                let take = requests.len().min(self.policy.max_batch);
-                let rest = requests.split_off(take);
-                batches.push(FormedBatch {
-                    session,
-                    formed_at: now,
-                    reason: FlushReason::Forced,
-                    requests,
-                });
-                requests = rest;
+        let forced = DueAt {
+            tick: now,
+            reason: FlushReason::Forced,
+        };
+        loop {
+            let selected =
+                self.select_fair(|queue| if queue.is_empty() { None } else { Some(forced) });
+            let Some((session, due)) = selected else {
+                break;
+            };
+            match self.pop_batch(session, self.policy.max_batch, due) {
+                Some(batch) if !batch.is_empty() => batches.push(batch),
+                _ => break,
             }
         }
         batches
@@ -279,6 +412,7 @@ impl Scheduler {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::serve::Priority;
 
     fn req(id: u64, session: u64, arrival: Tick, deadline: Option<Tick>) -> QueuedRequest {
         QueuedRequest {
@@ -392,5 +526,76 @@ mod tests {
         assert_eq!(batches.len(), 1);
         assert_eq!(batches[0].formed_at, 3);
         assert_eq!(s.queue_depth(SessionId::from_raw(1)), 1);
+    }
+
+    /// Saturated lanes with weights 8 and 1 drain roughly 8:1 — and the
+    /// background lane still pops (no starvation).
+    #[test]
+    fn weighted_fair_pop_interleaves_by_weight() {
+        let mut s = Scheduler::new(BatchPolicy::per_request());
+        let high = TenantId::from_raw(1);
+        let bg = TenantId::from_raw(2);
+        s.set_tenant_weight(high, Priority::High.weight());
+        s.set_tenant_weight(bg, Priority::Background.weight());
+        s.assign_session(SessionId::from_raw(10), high);
+        s.assign_session(SessionId::from_raw(20), bg);
+        assert_eq!(s.session_tenant(SessionId::from_raw(10)), high);
+        for i in 0..27u64 {
+            s.enqueue(req(2 * i, 10, 0, None));
+            s.enqueue(req(2 * i + 1, 20, 0, None));
+        }
+        let batches = s.pop_due(0);
+        // Count pops of each lane within the first 18 selections: weight 8 vs 1
+        // must give the high lane 16 of them.
+        let head: Vec<u64> = batches.iter().take(18).map(|b| b.session.raw()).collect();
+        let high_pops = head.iter().filter(|&&raw| raw == 10).count();
+        assert_eq!(high_pops, 16, "head of schedule: {head:?}");
+        // Background still drains completely by the end.
+        assert_eq!(s.pending(), 0);
+        assert!(s.tenant_virtual_time(bg) >= s.tenant_virtual_time(high));
+    }
+
+    /// A lane waking from idle competes from the active lanes' virtual-time
+    /// floor instead of replaying banked credit.
+    #[test]
+    fn idle_lane_does_not_bank_credit() {
+        let mut s = Scheduler::new(BatchPolicy::per_request());
+        let a = TenantId::from_raw(1);
+        let b = TenantId::from_raw(2);
+        s.set_tenant_weight(a, 4);
+        s.set_tenant_weight(b, 4);
+        s.assign_session(SessionId::from_raw(1), a);
+        s.assign_session(SessionId::from_raw(2), b);
+        // Lane a pops 50 requests while b is idle.
+        for i in 0..50u64 {
+            s.enqueue(req(i, 1, 0, None));
+        }
+        assert_eq!(s.pop_due(0).len(), 50);
+        let a_time = s.tenant_virtual_time(a);
+        assert!(a_time > 0);
+        // Now both lanes go busy; b must not pop 50 times in a row first.
+        for i in 0..8u64 {
+            s.enqueue(req(100 + 2 * i, 1, 1, None));
+            s.enqueue(req(101 + 2 * i, 2, 1, None));
+        }
+        let order: Vec<u64> = s.pop_due(1).iter().map(|b| b.session.raw()).collect();
+        let first_a = order.iter().position(|&raw| raw == 1);
+        assert!(
+            first_a.is_some_and(|p| p <= 2),
+            "lane a must pop near the head, got {order:?}"
+        );
+    }
+
+    #[test]
+    fn default_lane_keeps_legacy_session_order() {
+        // No tenants assigned: all sessions share the default lane, and pops come
+        // out in session-id order exactly like the pre-tenancy scheduler.
+        let mut s = window_policy(1, 10);
+        for session in [3u64, 1, 2] {
+            s.enqueue(req(session, session, 0, None));
+        }
+        let order: Vec<u64> = s.pop_due(100).iter().map(|b| b.session.raw()).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+        assert_eq!(s.session_tenant(SessionId::from_raw(1)), TenantId::DEFAULT);
     }
 }

@@ -10,7 +10,7 @@ use a3_core::backend::{
     ShardedMemory, SimdBackend,
 };
 use a3_core::quantized::{QuantizedAttention, QuantizedMemory};
-use a3_core::serve::{AttentionServer, BatchPolicy, Request, Response};
+use a3_core::serve::{AttentionServer, BatchPolicy, MemoryConfig, Request, Response};
 use a3_core::Matrix;
 use a3_fixed::QFormat;
 use proptest::prelude::*;
@@ -578,13 +578,13 @@ proptest! {
             let name = backend.name();
             let reference = backend.prepare(&keys, &values).unwrap();
             let policy = BatchPolicy::new(max_batch, window).unwrap();
-            let mut server = AttentionServer::new(backend, policy);
+            let mut server = AttentionServer::builder(backend).batch_policy(policy).build();
 
             // The empty-batch flush is legal before anything is registered.
             prop_assert!(server.poll(0).unwrap().is_empty(), "{}", name);
             prop_assert!(server.flush_all(0).unwrap().is_empty(), "{}", name);
 
-            let session = server.register_memory(&keys, &values).unwrap();
+            let session = server.register(MemoryConfig::new(&keys, &values)).unwrap();
             let mut queries = Vec::with_capacity(requests.len());
             let mut responses: Vec<Response> = Vec::new();
             let mut now = 0u64;

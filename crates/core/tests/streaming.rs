@@ -8,7 +8,7 @@ use a3_core::backend::{
     fingerprint_append, fingerprint_update, memory_fingerprint, ApproximateBackend, ComputeBackend,
     ExactBackend, MemoryCache, QuantizedBackend, ShardPlan, ShardedMemory, SimdBackend,
 };
-use a3_core::serve::{AttentionServer, BatchPolicy};
+use a3_core::serve::{AttentionServer, BatchPolicy, MemoryConfig};
 use a3_core::Matrix;
 use proptest::prelude::*;
 
@@ -219,12 +219,11 @@ fn mutate_reregister_churn_stays_on_the_delta_path() {
     )
     .unwrap();
     let sorts_before = preprocess_count();
-    let mut server = AttentionServer::with_cache_capacity(
-        Box::new(ApproximateBackend::conservative()),
-        BatchPolicy::per_request(),
-        4,
-    );
-    let session = server.register_memory(&keys, &values).unwrap();
+    let mut server = AttentionServer::builder(Box::new(ApproximateBackend::conservative()))
+        .batch_policy(BatchPolicy::per_request())
+        .cache_capacity(4)
+        .build();
+    let session = server.register(MemoryConfig::new(&keys, &values)).unwrap();
 
     let mut grown_keys: Vec<Vec<f32>> = (0..keys.rows()).map(|r| keys.row(r).to_vec()).collect();
     let mut grown_values: Vec<Vec<f32>> =
@@ -251,7 +250,7 @@ fn mutate_reregister_churn_stays_on_the_delta_path() {
         // Re-registering the grown memory must find the *updated* cache entry.
         let gk = Matrix::from_rows(grown_keys.clone()).unwrap();
         let gv = Matrix::from_rows(grown_values.clone()).unwrap();
-        let reregistered = server.register_memory(&gk, &gv).unwrap();
+        let reregistered = server.register(MemoryConfig::new(&gk, &gv)).unwrap();
         let handle = server.session(reregistered).unwrap();
         assert!(
             handle.reused_preparation(),

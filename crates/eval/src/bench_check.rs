@@ -637,6 +637,22 @@ pub fn measure(effort: Effort) -> Vec<Metric> {
         true,
     ));
 
+    // Multi-tenant QoS acceptance ratios. Pure simulator cycle counts — fully
+    // deterministic and machine-independent, committed so the isolation and
+    // cost-aware-admission wins cannot silently regress.
+    metrics.push(Metric::new(
+        "ratio/tenant_isolation_p99",
+        MetricUnit::Ratio,
+        crate::experiments::multi_tenant::isolation_p99_ratio(),
+        true,
+    ));
+    metrics.push(Metric::new(
+        "ratio/cost_aware_vs_lru_cycles",
+        MetricUnit::Ratio,
+        crate::experiments::multi_tenant::cost_aware_vs_lru_cycles_ratio(),
+        true,
+    ));
+
     metrics
 }
 

@@ -8,8 +8,8 @@
 //!
 //! where each `experiment` is one of `fig3`, `fig11`, `fig12`, `fig13`, `quant`,
 //! `fig14`, `fig15`, `table1`, `latency`, `ablation`, `backends`, `serving`, `sharding`,
-//! `streaming`, or `all` (the default). `--fast` uses reduced example counts (useful in debug
-//! builds).
+//! `streaming`, `multi_tenant`, or `all` (the default). `--fast` uses reduced example
+//! counts (useful in debug builds).
 
 use std::process::ExitCode;
 
@@ -31,6 +31,7 @@ const EXPERIMENTS: &[&str] = &[
     "serving",
     "sharding",
     "streaming",
+    "multi_tenant",
 ];
 
 fn print_tables(tables: Vec<Table>) {
@@ -55,6 +56,7 @@ fn run(name: &str, settings: &EvalSettings) -> bool {
         "serving" => print_tables(experiments::serving(settings)),
         "sharding" => print_tables(experiments::sharding(settings)),
         "streaming" => print_tables(experiments::streaming(settings)),
+        "multi_tenant" => print_tables(experiments::multi_tenant(settings)),
         other => {
             eprintln!("unknown experiment `{other}`; available: {EXPERIMENTS:?} or `all`");
             return false;

@@ -5,6 +5,7 @@ pub mod accuracy;
 pub mod backends;
 pub mod fig3;
 pub mod latency;
+pub mod multi_tenant;
 pub mod performance;
 pub mod serving;
 pub mod sharding;
@@ -15,6 +16,7 @@ pub use ablation::ablation;
 pub use backends::backend_comparison;
 pub use fig3::fig3;
 pub use latency::latency_model;
+pub use multi_tenant::multi_tenant;
 pub use serving::serving;
 pub use sharding::sharding;
 pub use streaming::streaming;

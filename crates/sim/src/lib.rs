@@ -20,7 +20,9 @@
 //! * [`server`] — a discrete-event queue model of the request-oriented serving
 //!   front-end: replays a request trace through the dynamic-batching scheduler of
 //!   [`a3_core::serve`] and charges batching wait, queueing delay,
-//!   preprocessing-on-miss and accelerator cycles into per-request latency.
+//!   preprocessing-on-miss and accelerator cycles into per-request latency —
+//!   including the serve layer's multi-tenant weighted-fair scheduling and
+//!   token-bucket admission policies.
 
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
@@ -36,12 +38,14 @@ pub use config::A3Config;
 pub use energy::{EnergyBreakdown, EnergyModel, ModuleCharacteristics, TableI};
 pub use multi_unit::{merge_query_cycles, MultiUnit, ShardedSimReport, MERGE_ALPHA, MERGE_LANES};
 pub use pipeline::{ApproxQueryTrace, PipelineModel, QueryCost, SimReport};
-pub use server::{poisson_arrival_cycles, RequestOutcome, ServerSim, TraceRequest};
+pub use server::{
+    poisson_arrival_cycles, RequestOutcome, ServerSim, TenantReport, TenantSpec, TraceRequest,
+};
 pub use sram::SramConfig;
 
 // Re-exported so simulator callers can drive the cached serving entry points without
 // depending on `a3_core::backend` directly.
-pub use a3_core::backend::{ComputeBackend, MemoryCache, ShardPlan, ShardedMemory};
-// Re-exported so request-trace callers can build policies without depending on
-// `a3_core::serve` directly.
-pub use a3_core::serve::BatchPolicy;
+pub use a3_core::backend::{CacheAdmission, ComputeBackend, MemoryCache, ShardPlan, ShardedMemory};
+// Re-exported so request-trace callers can build policies and tenant QoS specs
+// without depending on `a3_core::serve` directly.
+pub use a3_core::serve::{BatchPolicy, Priority, RateLimit, TenantId, TokenBucket};

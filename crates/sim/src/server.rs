@@ -19,7 +19,10 @@
 //! statistics; per-request detail is available from [`ServerSim::replay_detailed`].
 
 use a3_core::backend::{ComputeBackend, MemoryCache};
-use a3_core::serve::{BatchPolicy, QueuedRequest, RequestId, Scheduler, SessionId};
+use a3_core::serve::{
+    BatchPolicy, Priority, QueuedRequest, RateLimit, RequestId, Scheduler, SessionId, TenantId,
+    TokenBucket,
+};
 use a3_core::Matrix;
 use serde::{Deserialize, Serialize};
 
@@ -90,6 +93,57 @@ impl RequestOutcome {
     }
 }
 
+/// Per-tenant QoS configuration of a multi-tenant replay: the scheduling
+/// priority class (mapped to a weighted-fair lane weight, exactly as in
+/// [`a3_core::serve::AttentionServer`]) and an optional token-bucket admission
+/// rate.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TenantSpec {
+    /// Priority class; the default is [`Priority::Normal`].
+    pub priority: Priority,
+    /// Optional admission rate; `None` admits every arrival.
+    pub rate: Option<RateLimit>,
+}
+
+impl TenantSpec {
+    /// A spec with the given priority and no rate limit.
+    pub fn with_priority(priority: Priority) -> Self {
+        Self {
+            priority,
+            rate: None,
+        }
+    }
+
+    /// Attaches a token-bucket admission rate.
+    pub fn with_rate(mut self, rate: RateLimit) -> Self {
+        self.rate = Some(rate);
+        self
+    }
+}
+
+/// Per-tenant outcome aggregation of one multi-tenant replay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantReport {
+    /// Index of the tenant in the spec slice handed to
+    /// [`ServerSim::replay_multi_tenant`].
+    pub tenant: usize,
+    /// Trace requests belonging to this tenant's sessions.
+    pub offered: u64,
+    /// Requests the tenant's token bucket admitted (everything, without a rate).
+    pub admitted: u64,
+    /// Requests dropped at admission.
+    pub throttled: u64,
+    /// Admitted requests that completed (always equals `admitted`: every queue
+    /// flushes).
+    pub completed: u64,
+    /// Completed requests that missed their deadline.
+    pub deadline_misses: u64,
+    /// Mean end-to-end latency of the tenant's completed requests (0 when none).
+    pub avg_latency_cycles: f64,
+    /// 99th-percentile end-to-end latency of the tenant's completed requests.
+    pub p99_latency_cycles: u64,
+}
+
 /// Discrete-event model of one A3 unit behind a dynamic-batching request queue.
 #[derive(Debug, Clone)]
 pub struct ServerSim {
@@ -144,6 +198,62 @@ impl ServerSim {
         memories: &[(Matrix, Matrix)],
         trace: &[TraceRequest],
     ) -> (SimReport, Vec<RequestOutcome>) {
+        // One unlimited normal-priority tenant owning every session degenerates
+        // to the legacy single-tenant schedule (one weighted-fair lane).
+        let session_tenants = vec![0usize; memories.len()];
+        let (report, _, outcomes) = self.replay_multi_tenant(
+            backend,
+            cache,
+            memories,
+            &session_tenants,
+            &[TenantSpec::default()],
+            trace,
+        );
+        let outcomes = outcomes
+            .into_iter()
+            .map(|o| o.expect("no rate limit: every trace request is admitted and completes"))
+            .collect();
+        (report, outcomes)
+    }
+
+    /// Replays `trace` with tenancy: `session_tenants[s]` names the tenant (an
+    /// index into `tenants`) owning memory `s`. Each tenant's priority class
+    /// weights the scheduler's fair flush order and its optional rate limit arms
+    /// a token bucket that drops over-rate arrivals at admission — mirroring
+    /// [`a3_core::serve::AttentionServer`]'s policies cycle-accurately.
+    ///
+    /// Returns the aggregate report over *admitted* requests, one
+    /// [`TenantReport`] per tenant, and one `Option<RequestOutcome>` per trace
+    /// request (`None` for throttled arrivals).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a trace request references a session outside `memories`,
+    /// `session_tenants` does not cover `memories`, a session names a tenant
+    /// outside `tenants`, a problem does not fit the synthesized configuration,
+    /// or shapes are inconsistent.
+    #[allow(clippy::too_many_arguments)]
+    pub fn replay_multi_tenant(
+        &self,
+        backend: &dyn ComputeBackend,
+        cache: &mut MemoryCache,
+        memories: &[(Matrix, Matrix)],
+        session_tenants: &[usize],
+        tenants: &[TenantSpec],
+        trace: &[TraceRequest],
+    ) -> (SimReport, Vec<TenantReport>, Vec<Option<RequestOutcome>>) {
+        assert_eq!(
+            session_tenants.len(),
+            memories.len(),
+            "session_tenants must name one tenant per memory"
+        );
+        for (session, &tenant) in session_tenants.iter().enumerate() {
+            assert!(
+                tenant < tenants.len(),
+                "session {session} references tenant {tenant} but only {} tenants are specified",
+                tenants.len()
+            );
+        }
         for request in trace {
             assert!(
                 request.session < memories.len(),
@@ -155,8 +265,28 @@ impl ServerSim {
         for (keys, _) in memories {
             self.model.config().assert_fits(keys.rows(), keys.dim());
         }
+        let empty_tenant_reports = |tenants: &[TenantSpec]| {
+            tenants
+                .iter()
+                .enumerate()
+                .map(|(t, _)| TenantReport {
+                    tenant: t,
+                    offered: 0,
+                    admitted: 0,
+                    throttled: 0,
+                    completed: 0,
+                    deadline_misses: 0,
+                    avg_latency_cycles: 0.0,
+                    p99_latency_cycles: 0,
+                })
+                .collect::<Vec<_>>()
+        };
         if trace.is_empty() {
-            return (self.empty_report(), Vec::new());
+            return (
+                self.empty_report(),
+                empty_tenant_reports(tenants),
+                Vec::new(),
+            );
         }
 
         // Arrival order (stable for equal cycles, so replays are deterministic).
@@ -164,6 +294,20 @@ impl ServerSim {
         order.sort_by_key(|&i| trace[i].arrival_cycle);
 
         let mut scheduler = Scheduler::new(self.policy);
+        for (t, spec) in tenants.iter().enumerate() {
+            scheduler.set_tenant_weight(TenantId::from_raw(t as u64), spec.priority.weight());
+        }
+        for (session, &tenant) in session_tenants.iter().enumerate() {
+            scheduler.assign_session(
+                SessionId::from_raw(session as u64),
+                TenantId::from_raw(tenant as u64),
+            );
+        }
+        let mut buckets: Vec<Option<TokenBucket>> = tenants
+            .iter()
+            .map(|spec| spec.rate.map(|limit| TokenBucket::new(limit, 0)))
+            .collect();
+        let mut tenant_reports = empty_tenant_reports(tenants);
         let mut outcomes: Vec<Option<RequestOutcome>> = vec![None; trace.len()];
         let mut accel_free_at: u64 = 0;
         let mut batches: u64 = 0;
@@ -195,6 +339,18 @@ impl ServerSim {
             while next_arrival < order.len() && trace[order[next_arrival]].arrival_cycle == now {
                 let index = order[next_arrival];
                 let request = &trace[index];
+                next_arrival += 1;
+                // Token-bucket admission, charged at the arrival cycle exactly as
+                // `AttentionServer::submit` does: over-rate arrivals never queue.
+                let tenant = session_tenants[request.session];
+                tenant_reports[tenant].offered += 1;
+                if let Some(bucket) = &mut buckets[tenant] {
+                    if !bucket.try_admit(request.arrival_cycle) {
+                        tenant_reports[tenant].throttled += 1;
+                        continue;
+                    }
+                }
+                tenant_reports[tenant].admitted += 1;
                 scheduler.enqueue(QueuedRequest {
                     id: RequestId::from_raw(index as u64),
                     session: SessionId::from_raw(request.session as u64),
@@ -202,15 +358,15 @@ impl ServerSim {
                     arrival: request.arrival_cycle,
                     deadline: request.deadline_cycle,
                 });
-                next_arrival += 1;
                 let depth = scheduler.pending() as u64;
                 max_queue_depth = max_queue_depth.max(depth);
                 depth_samples += 1;
                 depth_sum += depth;
             }
 
-            // Execute every batch the scheduler declares due, in session order,
-            // serialized on the single accelerator unit.
+            // Execute every batch the scheduler declares due, in weighted-fair
+            // (tenant virtual time, tenant, session) order, serialized on the
+            // single accelerator unit.
             for batch in scheduler.pop_due(now) {
                 let session = batch.session.raw() as usize;
                 let (keys, values) = &memories[session];
@@ -269,24 +425,43 @@ impl ServerSim {
             }
         }
 
-        let outcomes: Vec<RequestOutcome> = outcomes
-            .into_iter()
-            .map(|o| o.expect("every trace request completes: all queues flush"))
-            .collect();
-        let report = self.summarize(
-            &outcomes,
-            busy_cycles,
-            preprocessing_cycles,
-            cache_hits,
-            cache_misses,
-            batches,
-            throughput_sum,
-            max_queue_depth,
-            depth_sum,
-            depth_samples,
-            activity,
-        );
-        (report, outcomes)
+        let admitted: Vec<RequestOutcome> = outcomes.iter().filter_map(|o| *o).collect();
+        for outcome in &admitted {
+            let report = &mut tenant_reports[session_tenants[outcome.session]];
+            report.completed += 1;
+            report.deadline_misses += u64::from(outcome.missed_deadline());
+        }
+        for report in &mut tenant_reports {
+            let mut latencies: Vec<u64> = admitted
+                .iter()
+                .filter(|o| session_tenants[o.session] == report.tenant)
+                .map(RequestOutcome::latency_cycles)
+                .collect();
+            latencies.sort_unstable();
+            if !latencies.is_empty() {
+                report.avg_latency_cycles =
+                    latencies.iter().map(|&l| l as f64).sum::<f64>() / latencies.len() as f64;
+                report.p99_latency_cycles = percentile(&latencies, 99);
+            }
+        }
+        let report = if admitted.is_empty() {
+            self.empty_report()
+        } else {
+            self.summarize(
+                &admitted,
+                busy_cycles,
+                preprocessing_cycles,
+                cache_hits,
+                cache_misses,
+                batches,
+                throughput_sum,
+                max_queue_depth,
+                depth_sum,
+                depth_samples,
+                activity,
+            )
+        };
+        (report, tenant_reports, outcomes)
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -596,6 +771,118 @@ mod tests {
         assert_ne!(a, c, "different seeds diverge");
         let mean = *a.last().unwrap() as f64 / 32.0;
         assert!(mean > 20.0 && mean < 500.0, "mean interval {mean}");
+    }
+
+    #[test]
+    fn single_default_tenant_replay_matches_legacy_replay() {
+        let memories = vec![memory(0.0, 64, 64), memory(1.0, 48, 64)];
+        let trace: Vec<TraceRequest> = (0..10)
+            .map(|i| TraceRequest::new(i % 2, query(64, 0.01 * i as f32), (i as u64) * 40))
+            .collect();
+        let server = sim(BatchPolicy::new(4, 200).unwrap());
+        let backend = ApproximateBackend::conservative();
+        let mut cache = MemoryCache::new(4);
+        let (legacy, legacy_outcomes) =
+            server.replay_detailed(&backend, &mut cache, &memories, &trace);
+        let mut cache = MemoryCache::new(4);
+        let (multi, tenants, outcomes) = server.replay_multi_tenant(
+            &backend,
+            &mut cache,
+            &memories,
+            &[0, 0],
+            &[TenantSpec::default()],
+            &trace,
+        );
+        assert_eq!(legacy, multi, "one unlimited tenant must change nothing");
+        let unwrapped: Vec<RequestOutcome> = outcomes.into_iter().map(|o| o.unwrap()).collect();
+        assert_eq!(legacy_outcomes, unwrapped);
+        assert_eq!(tenants.len(), 1);
+        assert_eq!(tenants[0].offered, 10);
+        assert_eq!(tenants[0].admitted, 10);
+        assert_eq!(tenants[0].throttled, 0);
+        assert_eq!(tenants[0].completed, 10);
+        assert!(tenants[0].avg_latency_cycles > 0.0);
+    }
+
+    #[test]
+    fn rate_limited_tenants_drop_over_rate_arrivals() {
+        let memories = vec![memory(0.0, 64, 64)];
+        // 12 arrivals in quick succession against a 1-per-1000-cycles, burst-2
+        // bucket: only the burst plus refills get in.
+        let trace: Vec<TraceRequest> = (0..12)
+            .map(|i| TraceRequest::new(0, query(64, 0.0), (i as u64) * 10))
+            .collect();
+        let server = sim(BatchPolicy::per_request());
+        let mut cache = MemoryCache::new(2);
+        let spec = TenantSpec::default().with_rate(RateLimit::new(1, 1_000, 2).unwrap());
+        let (report, tenants, outcomes) = server.replay_multi_tenant(
+            &ApproximateBackend::conservative(),
+            &mut cache,
+            &memories,
+            &[0],
+            &[spec],
+            &trace,
+        );
+        assert_eq!(tenants[0].offered, 12);
+        assert_eq!(
+            tenants[0].admitted, 2,
+            "burst of 2, no refill inside 110 cycles"
+        );
+        assert_eq!(tenants[0].throttled, 10);
+        assert_eq!(report.queries, 2);
+        assert_eq!(outcomes.iter().filter(|o| o.is_none()).count(), 10);
+        assert!(outcomes[0].is_some() && outcomes[1].is_some());
+    }
+
+    #[test]
+    fn high_priority_tenants_keep_latency_under_background_flood() {
+        let memories = vec![memory(0.0, 96, 64), memory(1.0, 96, 64)];
+        // Session 0: background flood, session 1: sparse high-priority traffic,
+        // both saturating one unit.
+        let mut trace = Vec::new();
+        for i in 0..40u64 {
+            trace.push(TraceRequest::new(0, query(64, 0.0), i * 5));
+        }
+        for i in 0..8u64 {
+            trace.push(TraceRequest::new(1, query(64, 0.1), i * 25));
+        }
+        let server = sim(BatchPolicy::per_request());
+        let specs = [
+            TenantSpec::with_priority(Priority::Background),
+            TenantSpec::with_priority(Priority::High),
+        ];
+        let mut cache = MemoryCache::new(4);
+        let (_, tenants, _) = server.replay_multi_tenant(
+            &ApproximateBackend::conservative(),
+            &mut cache,
+            &memories,
+            &[0, 1],
+            &specs,
+            &trace,
+        );
+        assert!(
+            tenants[1].p99_latency_cycles < tenants[0].p99_latency_cycles,
+            "high-priority p99 ({}) must beat background p99 ({})",
+            tenants[1].p99_latency_cycles,
+            tenants[0].p99_latency_cycles
+        );
+        assert_eq!(tenants[1].completed, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "references tenant")]
+    fn out_of_range_tenant_panics() {
+        let server = sim(BatchPolicy::default());
+        let mut cache = MemoryCache::new(2);
+        let trace = vec![TraceRequest::new(0, query(64, 0.0), 0)];
+        server.replay_multi_tenant(
+            &ExactBackend,
+            &mut cache,
+            &[memory(0.0, 8, 64)],
+            &[3],
+            &[TenantSpec::default()],
+            &trace,
+        );
     }
 
     #[test]

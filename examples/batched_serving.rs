@@ -14,7 +14,7 @@ use std::time::Instant;
 use a3::core::approx::{ApproxConfig, ApproximateAttention};
 use a3::core::attention::attention_batch;
 use a3::core::backend::{ApproximateBackend, ComputeBackend, QuantizedBackend, SimdBackend};
-use a3::core::serve::{AttentionServer, BatchPolicy, Request};
+use a3::core::serve::{AttentionServer, BatchPolicy, MemoryConfig, Request};
 use a3::sim::{A3Config, MemoryCache, PipelineModel};
 use a3::workloads::kvmemn2n::KvMemN2N;
 use a3::workloads::Workload;
@@ -169,12 +169,11 @@ fn main() {
     let reference = backend
         .prepare(&memory.keys, &memory.values)
         .expect("valid shapes");
-    let mut server = AttentionServer::new(
-        Box::new(ApproximateBackend::conservative()),
-        BatchPolicy::new(queries.len().max(1), 1_000).expect("max_batch >= 1"),
-    );
+    let mut server = AttentionServer::builder(Box::new(ApproximateBackend::conservative()))
+        .batch_policy(BatchPolicy::new(queries.len().max(1), 1_000).expect("max_batch >= 1"))
+        .build();
     let session = server
-        .register_memory(&memory.keys, &memory.values)
+        .register(MemoryConfig::new(&memory.keys, &memory.values))
         .expect("valid shapes");
     for (i, query) in queries.iter().enumerate() {
         server

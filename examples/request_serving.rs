@@ -16,7 +16,7 @@
 //! Run with: `cargo run --release --example request_serving`
 
 use a3::core::backend::{ApproximateBackend, ComputeBackend, MemoryCache};
-use a3::core::serve::{AttentionServer, BatchPolicy, Request};
+use a3::core::serve::{AttentionServer, BatchPolicy, MemoryConfig, Request};
 use a3::sim::{poisson_arrival_cycles, A3Config, PipelineModel, ServerSim, TraceRequest};
 use a3::workloads::kvmemn2n::KvMemN2N;
 use a3::workloads::Workload;
@@ -103,13 +103,16 @@ fn main() {
 
     // Serve the same trace through the software front-end and verify the contract:
     // every batched response is bit-identical to a direct per-query call.
-    let mut server = AttentionServer::new(
-        Box::new(ApproximateBackend::conservative()),
-        BatchPolicy::new(16, 1_024).expect("max_batch >= 1"),
-    );
+    let mut server = AttentionServer::builder(Box::new(ApproximateBackend::conservative()))
+        .batch_policy(BatchPolicy::new(16, 1_024).expect("max_batch >= 1"))
+        .build();
     let sessions: Vec<_> = memories
         .iter()
-        .map(|(keys, values)| server.register_memory(keys, values).expect("valid shapes"))
+        .map(|(keys, values)| {
+            server
+                .register(MemoryConfig::new(keys, values))
+                .expect("valid shapes")
+        })
         .collect();
     let prepared: Vec<_> = memories
         .iter()

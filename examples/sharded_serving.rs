@@ -21,7 +21,7 @@
 use a3::core::backend::{
     ApproximateBackend, ComputeBackend, MemoryCache, ShardPlan, ShardedMemory,
 };
-use a3::core::serve::{AttentionServer, BatchPolicy, Request};
+use a3::core::serve::{AttentionServer, BatchPolicy, MemoryConfig, Request};
 use a3::core::Matrix;
 use a3::sim::{A3Config, MultiUnit};
 
@@ -99,12 +99,11 @@ fn main() {
         let plan = ShardPlan::new(k).expect("k >= 1");
 
         // Serve the batch through the request front-end against a sharded session.
-        let mut server = AttentionServer::new(
-            Box::new(backend.clone()),
-            BatchPolicy::new(QUERIES, 1_000).expect("max_batch >= 1"),
-        );
+        let mut server = AttentionServer::builder(Box::new(backend.clone()))
+            .batch_policy(BatchPolicy::new(QUERIES, 1_000).expect("max_batch >= 1"))
+            .build();
         let session = server
-            .register_memory_sharded(&keys, &values, plan)
+            .register(MemoryConfig::new(&keys, &values).sharded(plan.shards()))
             .expect("valid shapes");
         for (i, q) in queries.iter().enumerate() {
             server

@@ -20,7 +20,7 @@
 //! Run with: `cargo run --release --example streaming_decode`
 
 use a3::core::backend::{ApproximateBackend, ComputeBackend, MemoryCache};
-use a3::core::serve::{AttentionServer, BatchPolicy, Request};
+use a3::core::serve::{AttentionServer, BatchPolicy, MemoryConfig, Request};
 use a3::core::Matrix;
 use a3::sim::{A3Config, PipelineModel};
 
@@ -73,9 +73,11 @@ fn main() {
 
     // -- Serving layer: the session grows in place, bit-equivalent to a fresh
     //    registration of the grown memory. ------------------------------------
-    let mut server = AttentionServer::new(Box::new(backend.clone()), BatchPolicy::per_request());
+    let mut server = AttentionServer::builder(Box::new(backend.clone()))
+        .batch_policy(BatchPolicy::per_request())
+        .build();
     let session = server
-        .register_memory(&base_keys, &base_values)
+        .register(MemoryConfig::new(&base_keys, &base_values))
         .expect("valid shapes");
     let mut incremental_ops = 0u64;
     let mut full_reprepares = 0u64;
